@@ -1,0 +1,44 @@
+#include "bench/bench_common.h"
+
+#include <iostream>
+
+#include "src/analysis/report.h"
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+namespace fa::bench {
+
+const trace::TraceDatabase& shared_db() {
+  static const trace::TraceDatabase db =
+      sim::simulate(sim::SimulationConfig::paper_defaults());
+  return db;
+}
+
+const analysis::AnalysisPipeline& shared_pipeline() {
+  static const analysis::AnalysisPipeline pipeline(shared_db());
+  return pipeline;
+}
+
+std::string render_binned(const std::string& title,
+                          const analysis::BinnedRates& rates,
+                          std::size_t min_population) {
+  analysis::TextTable table(
+      {"bin", "population", "failures", "weekly rate", "p25", "p75"});
+  for (std::size_t b = 0; b < rates.population.size(); ++b) {
+    if (rates.population[b] < min_population) continue;
+    const auto& summary = rates.weekly_summary[b];
+    table.add_row({rates.spec.label(b), std::to_string(rates.population[b]),
+                   std::to_string(rates.failure_count[b]),
+                   format_double(summary.mean, 5),
+                   format_double(summary.p25, 5),
+                   format_double(summary.p75, 5)});
+  }
+  return title + "\n" + table.to_string();
+}
+
+int finish(const paperref::Comparison& comparison) {
+  std::cout << comparison.render() << std::flush;
+  return 0;
+}
+
+}  // namespace fa::bench

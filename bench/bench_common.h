@@ -1,0 +1,32 @@
+// Shared infrastructure for the experiment-reproduction binaries: one
+// full-scale simulated trace and one analysis pipeline, both built once per
+// process, plus helpers for rendering binned results.
+#pragma once
+
+#include <string>
+
+#include "src/analysis/capacity_usage.h"
+#include "src/analysis/pipeline.h"
+#include "src/paper/comparison.h"
+#include "src/paper/reference.h"
+#include "src/trace/database.h"
+
+namespace fa::bench {
+
+// The paper-scale trace (5129 PMs, 4292 VMs, one year). Deterministic.
+const trace::TraceDatabase& shared_db();
+
+// Crash extraction + classification over shared_db().
+const analysis::AnalysisPipeline& shared_pipeline();
+
+// Renders a BinnedRates result as a table: bin label, population, mean
+// weekly rate with p25/p75 (the paper's bar-and-whisker panels).
+std::string render_binned(const std::string& title,
+                          const analysis::BinnedRates& rates,
+                          std::size_t min_population = 1);
+
+// Prints the comparison and returns the process exit code (always 0: a
+// CHECK verdict is a documented deviation, not a harness failure).
+int finish(const paperref::Comparison& comparison);
+
+}  // namespace fa::bench

@@ -1,0 +1,72 @@
+// Extension: follow-on failure class transitions. The paper's related-work
+// section highlights (citing El-Sayed & Schroeder, DSN'13) that failure
+// classes are strongly correlated — power problems induce follow-on
+// failures "of any kind". This bench measures the same-server weekly
+// class-transition matrix on our trace and checks the structure the
+// generator encodes (software recurs as software; infrastructure classes
+// seldom recur as themselves).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+#include "src/analysis/transitions.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+
+  const auto result = analysis::analyze_transitions(
+      db, pipeline.failures(), pipeline.class_lookup(), kMinutesPerWeek);
+
+  analysis::TextTable table({"from \\ to", "HW", "Net", "Power", "Reboot",
+                             "SW", "Other", "P(follow-up)"});
+  for (trace::FailureClass from : trace::kAllFailureClasses) {
+    const auto i = static_cast<std::size_t>(from);
+    std::vector<std::string> row = {std::string(trace::to_string(from))};
+    for (std::size_t j = 0; j < trace::kFailureClassCount; ++j) {
+      row.push_back(format_double(result.probability[i][j], 2));
+    }
+    row.push_back(format_double(result.followup_probability[i], 3));
+    table.add_row(std::move(row));
+  }
+  std::cout << "Extension: same-server class transitions within a week\n"
+            << table.to_string() << "\n";
+
+  const double sw_self =
+      result.self_transition(trace::FailureClass::kSoftware);
+  const double hw_self =
+      result.self_transition(trace::FailureClass::kHardware);
+  const double power_follow = result.followup_probability[static_cast<
+      std::size_t>(trace::FailureClass::kPower)];
+
+  paperref::Comparison cmp(
+      "Extension -- class-transition structure of follow-on failures");
+  cmp.add("software self-transition", 0.5, sw_self, 2);
+  cmp.add("hardware self-transition", 0.1, hw_self, 2);
+  cmp.add("P(follow-up | power failure)", paperref::kRecurrentWeekPm,
+          power_follow, 3);
+  cmp.check("software problems recur as software far more than hardware "
+            "recurs as hardware",
+            sw_self > hw_self + 0.1);
+  cmp.check("power failures induce follow-on failures of any kind "
+            "(no dominant destination class)",
+            [&] {
+              const auto i =
+                  static_cast<std::size_t>(trace::FailureClass::kPower);
+              for (std::size_t j = 0; j < trace::kFailureClassCount; ++j) {
+                if (result.probability[i][j] > 0.75) return false;
+              }
+              return power_follow > 0.05;
+            }());
+  cmp.check("every class's follow-up probability is below the all-class "
+            "weekly recurrence ceiling",
+            [&] {
+              for (double p : result.followup_probability) {
+                if (p > 0.6) return false;
+              }
+              return true;
+            }());
+  return bench::finish(cmp);
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 10: the impact of the VM on/off frequency (measured from
+// the 15-min power data of the two-month tracking window, extrapolated to
+// the year) on weekly VM failure rates. The paper finds an increasing trend
+// up to ~2 cycles/month and no clear trend beyond.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/management.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& failures = bench::shared_pipeline().failures();
+
+  const auto result = analysis::onoff_binned_rates(db, failures);
+  std::cout << bench::render_binned(
+                   "Fig. 10 (VM weekly failure rate vs on/off per month)",
+                   result)
+            << "\n";
+
+  std::size_t total = 0;
+  for (std::size_t n : result.population) total += n;
+  std::cout << "population shares: ";
+  for (std::size_t b = 0; b < result.population.size(); ++b) {
+    std::cout << result.spec.label(b) << "="
+              << format_double(100.0 * result.population[b] / total, 1)
+              << "% ";
+  }
+  std::cout << "\n\n";
+
+  const auto& rates = result.overall_rate;
+  const double at_most_once =
+      static_cast<double>(result.population[0] + result.population[1]) /
+      total;
+
+  paperref::Comparison cmp("Fig. 10 -- impact of VM on/off frequency");
+  cmp.add("share of VMs cycling at most once/month",
+          paperref::kOnOffAtMostOncePerMonth, at_most_once, 2);
+  cmp.add("rate with no cycling", 0.002, rates[0], 5);
+  cmp.add("rate around 2 cycles/month", 0.0035, rates[2], 5);
+
+  // The paper reports a rise from 0.002 to 0.0035 over 0 to ~2 cycles and
+  // fluctuation without trend beyond; the measured-frequency bins mix
+  // nominal rates (two-month Poisson sampling), so the check compares the
+  // no-cycling bin against the 0-2 cycle band as a whole.
+  cmp.check("rate increases from 0 to ~2 cycles/month",
+            rates[0] < rates[1] && rates[0] < rates[2] &&
+                rates[0] < 0.8 * std::max(rates[1], rates[2]));
+  cmp.check("no strong deterioration at high frequencies (within 1.5x of "
+            "the 2/month rate)",
+            rates[rates.size() - 1] < 1.5 * rates[2] &&
+                rates[rates.size() - 1] > rates[0] * 0.8);
+  cmp.check("majority of VMs cycle at most once per month",
+            at_most_once > 0.5);
+  return bench::finish(cmp);
+}

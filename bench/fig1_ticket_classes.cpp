@@ -1,0 +1,100 @@
+// Reproduces Fig. 1: the distribution of crash tickets across the failure
+// classes (hardware, network, power, reboot, software) per subsystem, using
+// the k-means classifier exactly as the paper does, plus the "other" shares
+// quoted in Section III-A.
+#include <array>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& pipeline = bench::shared_pipeline();
+
+  // Predicted-class counts per subsystem.
+  std::array<std::array<std::size_t, trace::kFailureClassCount>,
+             trace::kSubsystemCount>
+      counts{};
+  std::array<std::size_t, trace::kSubsystemCount> totals{};
+  for (const trace::Ticket* t : pipeline.failures()) {
+    ++counts[t->subsystem][static_cast<std::size_t>(pipeline.class_of(*t))];
+    ++totals[t->subsystem];
+  }
+
+  analysis::TextTable table({"class", "Sys I", "Sys II", "Sys III", "Sys IV",
+                             "Sys V", "All"});
+  std::array<std::size_t, trace::kFailureClassCount> all_counts{};
+  std::size_t all_total = 0;
+  for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+    for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+      all_counts[c] += counts[s][c];
+    }
+    all_total += totals[s];
+  }
+  for (trace::FailureClass c : trace::kAllFailureClasses) {
+    std::vector<std::string> row = {std::string(trace::to_string(c))};
+    for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+      const double share =
+          totals[s] ? 100.0 * counts[s][static_cast<std::size_t>(c)] /
+                          totals[s]
+                    : 0.0;
+      row.push_back(format_double(share, 1) + "%");
+    }
+    row.push_back(format_double(100.0 *
+                                    all_counts[static_cast<std::size_t>(c)] /
+                                    all_total,
+                                1) +
+                  "%");
+    table.add_row(std::move(row));
+  }
+  std::cout << "Fig. 1 (class shares of crash tickets, k-means predicted)\n"
+            << table.to_string() << "\n";
+
+  const auto share = [&](trace::Subsystem s, trace::FailureClass c) {
+    return totals[s] ? static_cast<double>(
+                           counts[s][static_cast<std::size_t>(c)]) /
+                           totals[s]
+                     : 0.0;
+  };
+  const auto all_share = [&](trace::FailureClass c) {
+    return static_cast<double>(all_counts[static_cast<std::size_t>(c)]) /
+           all_total;
+  };
+
+  paperref::Comparison cmp("Fig. 1 -- ticket distribution across classes");
+  cmp.add("classifier accuracy", paperref::kClassificationAccuracy,
+          pipeline.classification().accuracy, 3);
+  cmp.add("'other' share overall", paperref::kOtherShareOverall,
+          all_share(trace::FailureClass::kOther), 3);
+  for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+    cmp.add(std::string(trace::subsystem_name(s)) + " 'other' share",
+            paperref::kOtherShare[s], share(s, trace::FailureClass::kOther),
+            3);
+  }
+  cmp.add("software+reboot share of all crash tickets",
+          paperref::kSoftwareRebootShare,
+          all_share(trace::FailureClass::kSoftware) +
+              all_share(trace::FailureClass::kReboot),
+          3);
+
+  cmp.check("classifier accuracy at or above the paper's 87% - 5pp",
+            pipeline.classification().accuracy >
+                paperref::kClassificationAccuracy - 0.05);
+  cmp.check("software and reboot dominate the classified tickets",
+            all_share(trace::FailureClass::kSoftware) +
+                    all_share(trace::FailureClass::kReboot) >
+                all_share(trace::FailureClass::kHardware) +
+                    all_share(trace::FailureClass::kNetwork) +
+                    all_share(trace::FailureClass::kPower));
+  cmp.check("Sys V is power-outage heavy (~29%)",
+            share(4, trace::FailureClass::kPower) > 0.15);
+  cmp.check("Sys III shows (almost) no power failures",
+            share(2, trace::FailureClass::kPower) < 0.03);
+  cmp.check("hardware+network prominent in Sys I (~26%+13% prose)",
+            share(0, trace::FailureClass::kHardware) +
+                    share(0, trace::FailureClass::kNetwork) >
+                0.12);
+  return bench::finish(cmp);
+}

@@ -1,0 +1,66 @@
+// Reproduces Fig. 5: recurrent failure probabilities within a day, a week
+// and a month, for PMs and VMs.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/recurrence.h"
+#include "src/analysis/report.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& failures = bench::shared_pipeline().failures();
+
+  analysis::TextTable table({"type", "within day", "within week",
+                             "within month"});
+  std::array<std::array<double, 3>, 2> probs{};
+  const Duration windows[3] = {kMinutesPerDay, kMinutesPerWeek,
+                               kMinutesPerMonth};
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    const analysis::Scope scope{static_cast<trace::MachineType>(t),
+                                std::nullopt};
+    for (int w = 0; w < 3; ++w) {
+      probs[static_cast<std::size_t>(t)][static_cast<std::size_t>(w)] =
+          analysis::recurrent_probability(db, failures, scope, windows[w]);
+    }
+    table.add_row(
+        {std::string(trace::to_string(static_cast<trace::MachineType>(t))),
+         format_double(probs[static_cast<std::size_t>(t)][0], 3),
+         format_double(probs[static_cast<std::size_t>(t)][1], 3),
+         format_double(probs[static_cast<std::size_t>(t)][2], 3)});
+  }
+  std::cout << "Fig. 5 (recurrent failure probabilities)\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Fig. 5 -- recurrent failure probabilities");
+  cmp.add("PM within day (figure approx)", paperref::kRecurrentDayPm,
+          probs[0][0], 3);
+  cmp.add("PM within week (Table V)", paperref::kRecurrentWeekPm,
+          probs[0][1], 3);
+  cmp.add("PM within month (figure approx)", paperref::kRecurrentMonthPm,
+          probs[0][2], 3);
+  cmp.add("VM within day (figure approx)", paperref::kRecurrentDayVm,
+          probs[1][0], 3);
+  cmp.add("VM within week (Table V)", paperref::kRecurrentWeekVm,
+          probs[1][1], 3);
+  cmp.add("VM within month (figure approx)", paperref::kRecurrentMonthVm,
+          probs[1][2], 3);
+
+  cmp.check("VM recurrent probabilities below PM in every window",
+            probs[1][0] < probs[0][0] && probs[1][1] < probs[0][1] &&
+                probs[1][2] < probs[0][2]);
+  cmp.check("probabilities grow with the window",
+            probs[0][0] < probs[0][1] && probs[0][1] < probs[0][2] &&
+                probs[1][0] < probs[1][1] && probs[1][1] < probs[1][2]);
+  cmp.check("growth is sub-linear: weekly << 7x daily",
+            probs[0][1] < 4.0 * probs[0][0] &&
+                probs[1][1] < 4.0 * probs[1][0]);
+  cmp.check("PM weekly recurrence within 30% of the paper's 0.22",
+            std::abs(probs[0][1] - paperref::kRecurrentWeekPm) <
+                0.3 * paperref::kRecurrentWeekPm);
+  cmp.check("VM weekly recurrence within 30% of the paper's 0.16",
+            std::abs(probs[1][1] - paperref::kRecurrentWeekVm) <
+                0.3 * paperref::kRecurrentWeekVm);
+  return bench::finish(cmp);
+}

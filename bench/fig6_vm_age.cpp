@@ -1,0 +1,56 @@
+// Reproduces Fig. 6: failures vs VM age. The paper finds the age CDF close
+// to the diagonal (no bathtub) with a weak positive trend in the PDF, over
+// the ~75% of VMs whose creation date is observable.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/age.h"
+#include "src/analysis/report.h"
+#include "src/stats/ecdf.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+
+  const auto result = analysis::analyze_vm_age(db, pipeline.failures());
+
+  analysis::TextTable curve({"age percentile", "age (days)", "uniform ref"});
+  if (!result.failure_age_days.empty()) {
+    const stats::Ecdf cdf(result.failure_age_days);
+    const double max_age = cdf.sorted_values().back();
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      curve.add_row({format_double(100.0 * p, 0) + "%",
+                     format_double(cdf.quantile(p), 1),
+                     format_double(p * max_age, 1)});
+    }
+  }
+  std::cout << "Fig. 6 (failure count vs VM age; CDF vs the diagonal)\n"
+            << curve.to_string() << "\n";
+
+  analysis::TextTable pdf({"age bin (30d)", "normalized failure count"});
+  for (std::size_t b = 0; b < result.binned_pdf.size(); ++b) {
+    pdf.add_row({std::to_string(b), format_double(result.binned_pdf[b], 2)});
+  }
+  std::cout << pdf.to_string() << "\n";
+
+  paperref::Comparison cmp("Fig. 6 -- VM age vs failures");
+  cmp.add("observable VM fraction", paperref::kVmObservableAgeShare,
+          result.observable_fraction, 3);
+  cmp.add("KS distance of age CDF to uniform", 0.05,
+          result.ks_distance_to_uniform, 3);
+  cmp.add("PDF trend slope (weakly positive)", 0.01,
+          result.pdf_trend_slope, 4);
+
+  cmp.check("~75% of VMs have observable creation dates",
+            std::abs(result.observable_fraction -
+                     paperref::kVmObservableAgeShare) < 0.10);
+  cmp.check("age CDF is close to the diagonal (no bathtub)",
+            result.ks_distance_to_uniform < 0.25);
+  cmp.check("failures show a weak positive trend with age (slope >= 0)",
+            result.pdf_trend_slope > -0.005);
+  cmp.check("age sample is non-trivial",
+            result.failure_age_days.size() > 100);
+  return bench::finish(cmp);
+}

@@ -1,0 +1,101 @@
+// Reproduces Fig. 8: weekly failure rates vs resource usage — CPU and
+// memory utilization for both machine types, and disk utilization / network
+// traffic for VMs (the dataset has no PM disk/network usage, as in the
+// paper).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& failures = bench::shared_pipeline().failures();
+
+  const analysis::Scope pm{trace::MachineType::kPhysical, std::nullopt};
+  const analysis::Scope vm{trace::MachineType::kVirtual, std::nullopt};
+
+  const analysis::UsageAttribute cpu = [](const trace::WeeklyUsage& u) {
+    return std::optional<double>(u.cpu_util);
+  };
+  const analysis::UsageAttribute mem = [](const trace::WeeklyUsage& u) {
+    return std::optional<double>(u.mem_util);
+  };
+  const analysis::UsageAttribute disk = [](const trace::WeeklyUsage& u) {
+    return u.disk_util;
+  };
+  const analysis::UsageAttribute net = [](const trace::WeeklyUsage& u) {
+    return u.net_kbps;
+  };
+
+  const auto util_bins =
+      stats::BinSpec::from_edges({0, 10, 20, 30, 50, 70, 100});
+  const auto net_bins =
+      stats::BinSpec::from_edges({0, 2, 8, 64, 512, 2048, 10000});
+
+  const auto pm_cpu = analysis::usage_binned_rates(db, failures, pm, cpu,
+                                                   util_bins);
+  const auto vm_cpu = analysis::usage_binned_rates(db, failures, vm, cpu,
+                                                   util_bins);
+  const auto pm_mem = analysis::usage_binned_rates(db, failures, pm, mem,
+                                                   util_bins);
+  const auto vm_mem = analysis::usage_binned_rates(db, failures, vm, mem,
+                                                   util_bins);
+  const auto vm_disk = analysis::usage_binned_rates(db, failures, vm, disk,
+                                                    util_bins);
+  const auto vm_net = analysis::usage_binned_rates(db, failures, vm, net,
+                                                   net_bins);
+
+  std::cout << bench::render_binned("Fig. 8(a) PM rate vs CPU util %",
+                                    pm_cpu, 100)
+            << "\n"
+            << bench::render_binned("Fig. 8(a) VM rate vs CPU util %",
+                                    vm_cpu, 100)
+            << "\n"
+            << bench::render_binned("Fig. 8(b) PM rate vs memory util %",
+                                    pm_mem, 100)
+            << "\n"
+            << bench::render_binned("Fig. 8(b) VM rate vs memory util %",
+                                    vm_mem, 100)
+            << "\n"
+            << bench::render_binned("Fig. 8(c) VM rate vs disk util %",
+                                    vm_disk, 100)
+            << "\n"
+            << bench::render_binned("Fig. 8(d) VM rate vs network kbps",
+                                    vm_net, 100)
+            << "\n";
+
+  paperref::Comparison cmp("Fig. 8 -- impact of resource usage");
+  cmp.add("VM CPU-util factor (max/min)", 10.0,
+          vm_cpu.max_min_rate_factor(), 1);
+  cmp.add("PM mem-util factor", 4.0, pm_mem.max_min_rate_factor(), 1);
+  cmp.add("VM disk-util low rate", 0.001, vm_disk.overall_rate[0], 5);
+  cmp.add("VM disk-util high rate", 0.003,
+          vm_disk.overall_rate[vm_disk.overall_rate.size() - 1], 5);
+
+  const auto& vc = vm_cpu.overall_rate;
+  cmp.check("VM rate increases with CPU utilization over 0-30%",
+            vc[0] < vc[1] && vc[1] < vc[2]);
+  const auto& pc = pm_cpu.overall_rate;
+  cmp.check("PM rate decreases with CPU utilization over 0-30%",
+            pc[0] > pc[1] && pc[1] > pc[2]);
+  const auto& pmm = pm_mem.overall_rate;
+  cmp.check("PM memory-util follows an inverted bathtub (peak mid-range)",
+            pmm[2] > pmm[0] && pmm[2] > pmm[5]);
+  const auto& vmm = vm_mem.overall_rate;
+  cmp.check("VM memory-util follows an inverted bathtub",
+            vmm[1] > vmm[0] && vmm[2] > vmm[5]);
+  const auto& vd = vm_disk.overall_rate;
+  cmp.check("VM rate increases mildly with disk utilization",
+            vd[0] < vd[4] && vd[5] > vd[0]);
+  // The sub-2-kbps bin holds a few hundred server-weeks only; the trend is
+  // judged on the populated bins, as in the paper (45% of VMs at 2-64 kbps).
+  const auto& vn = vm_net.overall_rate;
+  cmp.check("VM network: rate peaks in the 8-64 kbps band and declines "
+            "toward high volumes",
+            vn[2] > 1.4 * vn[1] && vn[2] > 1.4 * vn[3] &&
+                vn[5] < 0.6 * vn[2]);
+  cmp.check("memory utilization dominates PM usage factors",
+            pm_mem.max_min_rate_factor() > 1.5);
+  return bench::finish(cmp);
+}

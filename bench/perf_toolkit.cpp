@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the toolkit itself: simulation
+// throughput, distribution fitting, ECDF construction, k-means, and the
+// end-to-end classification pipeline.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/classification.h"
+#include "src/analysis/recurrence.h"
+#include "src/sim/simulator.h"
+#include "src/stats/ecdf.h"
+#include "src/stats/fitting.h"
+#include "src/stats/kmeans.h"
+#include "src/text/features.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace fa;
+
+std::vector<double> gamma_sample(std::size_t n) {
+  Rng rng(1);
+  const stats::GammaDist dist(0.6, 40.0);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+void BM_SimulateScaled(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+  for (auto _ : state) {
+    const auto db = sim::simulate(config);
+    benchmark::DoNotOptimize(db.tickets().size());
+  }
+  state.SetLabel("scale=" + std::to_string(scale));
+}
+BENCHMARK(BM_SimulateScaled)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitGamma(benchmark::State& state) {
+  const auto xs = gamma_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_gamma(xs).shape());
+  }
+}
+BENCHMARK(BM_FitGamma)->Arg(1000)->Arg(10000);
+
+void BM_FitCandidates(benchmark::State& state) {
+  const auto xs = gamma_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_candidates(xs).front().aic);
+  }
+}
+BENCHMARK(BM_FitCandidates)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EcdfBuildAndQuery(benchmark::State& state) {
+  const auto xs = gamma_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const stats::Ecdf cdf(xs);
+    benchmark::DoNotOptimize(cdf.quantile(0.95));
+  }
+}
+BENCHMARK(BM_EcdfBuildAndQuery)->Arg(1000)->Arg(100000);
+
+void BM_KMeansTfIdf(benchmark::State& state) {
+  // Cluster synthetic ticket-like documents end to end.
+  Rng rng(3);
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.05);
+  const auto db = sim::simulate(config);
+  std::vector<std::string> docs;
+  for (const auto& t : db.tickets()) {
+    if (t.is_crash) docs.push_back(t.description + " " + t.resolution);
+  }
+  const auto vectorizer = text::Vectorizer::fit(docs, {});
+  const auto features = vectorizer.transform_all(docs);
+  stats::KMeansOptions options;
+  options.k = 12;
+  options.restarts = 2;
+  for (auto _ : state) {
+    Rng local(7);
+    benchmark::DoNotOptimize(
+        stats::kmeans(features, options, local).inertia);
+  }
+  state.SetLabel(std::to_string(docs.size()) + " docs, dim=" +
+                 std::to_string(vectorizer.dimension()));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * docs.size()));
+}
+BENCHMARK(BM_KMeansTfIdf)->Unit(benchmark::kMillisecond);
+
+void BM_ClassificationPipeline(benchmark::State& state) {
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.1);
+  const auto db = sim::simulate(config);
+  const auto tickets = analysis::extract_crash_tickets(db);
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(
+        analysis::classify_tickets(tickets, {}, rng).accuracy);
+  }
+  state.SetLabel(std::to_string(tickets.size()) + " crash tickets");
+}
+BENCHMARK(BM_ClassificationPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_CrashExtraction(benchmark::State& state) {
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.2);
+  const auto db = sim::simulate(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::extract_crash_tickets(db).size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * db.tickets().size()));
+}
+BENCHMARK(BM_CrashExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_RecurrenceAnalysis(benchmark::State& state) {
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.5);
+  const auto db = sim::simulate(config);
+  const auto failures = db.crash_tickets();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::recurrent_probability(
+        db, failures, {}, kMinutesPerWeek));
+  }
+}
+BENCHMARK(BM_RecurrenceAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces Table II: dataset statistics — PM/VM populations, total problem
+// tickets, crash-ticket share of all tickets, and the PM/VM split of crash
+// tickets, per subsystem.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+
+  analysis::TextTable table({"", "Sys I", "Sys II", "Sys III", "Sys IV",
+                             "Sys V"});
+  std::array<std::size_t, trace::kSubsystemCount> pm_crash{}, vm_crash{};
+  for (const trace::Ticket* t : pipeline.failures()) {
+    const auto type = db.server(t->server).type;
+    (type == trace::MachineType::kPhysical ? pm_crash : vm_crash)
+        [t->subsystem]++;
+  }
+
+  const auto row = [&](const std::string& label, auto value_fn) {
+    std::vector<std::string> cells = {label};
+    for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+      cells.push_back(value_fn(s));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row("PMs", [&](trace::Subsystem s) {
+    return std::to_string(db.server_count(trace::MachineType::kPhysical, s));
+  });
+  row("VMs", [&](trace::Subsystem s) {
+    return std::to_string(db.server_count(trace::MachineType::kVirtual, s));
+  });
+  row("All tickets", [&](trace::Subsystem s) {
+    return std::to_string(db.ticket_count(s));
+  });
+  row("% crash tickets", [&](trace::Subsystem s) {
+    const double crash =
+        static_cast<double>(pm_crash[s] + vm_crash[s]);
+    return format_double(100.0 * crash / db.ticket_count(s), 2) + "%";
+  });
+  row("% crash (PMs)", [&](trace::Subsystem s) {
+    const double crash = static_cast<double>(pm_crash[s] + vm_crash[s]);
+    if (crash == 0) return std::string("n.a.");
+    return format_double(100.0 * pm_crash[s] / crash, 0) + "%";
+  });
+  row("% crash (VMs)", [&](trace::Subsystem s) {
+    const double crash = static_cast<double>(pm_crash[s] + vm_crash[s]);
+    if (crash == 0) return std::string("n.a.");
+    return format_double(100.0 * vm_crash[s] / crash, 0) + "%";
+  });
+  std::cout << "Table II (measured on the simulated trace)\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Table II -- dataset statistics");
+  std::size_t crash_total = pipeline.failures().size();
+  cmp.add("total PMs", paperref::kTotalPms,
+          static_cast<double>(db.server_count(trace::MachineType::kPhysical)),
+          0);
+  cmp.add("total VMs", paperref::kTotalVms,
+          static_cast<double>(db.server_count(trace::MachineType::kVirtual)),
+          0);
+  cmp.add("total crash tickets", paperref::kTotalCrashTickets,
+          static_cast<double>(crash_total), 0);
+  for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+    cmp.add(std::string(trace::subsystem_name(s)) + " crash fraction",
+            paperref::kTable2[s].crash_ticket_fraction,
+            static_cast<double>(pm_crash[s] + vm_crash[s]) /
+                static_cast<double>(db.ticket_count(s)));
+  }
+
+  cmp.check("populations match Table II exactly",
+            db.server_count(trace::MachineType::kPhysical) ==
+                    static_cast<std::size_t>(paperref::kTotalPms) &&
+                db.server_count(trace::MachineType::kVirtual) ==
+                    static_cast<std::size_t>(paperref::kTotalVms));
+  cmp.check("crash total within 15% of paper",
+            std::abs(static_cast<double>(crash_total) -
+                     paperref::kTotalCrashTickets) <
+                0.15 * paperref::kTotalCrashTickets);
+  cmp.check("Sys II VMs produce no crash tickets", vm_crash[1] == 0);
+  cmp.check("PMs hold the crash-ticket majority overall",
+            [&] {
+              std::size_t pm = 0, vm = 0;
+              for (trace::Subsystem s = 0; s < trace::kSubsystemCount; ++s) {
+                pm += pm_crash[s];
+                vm += vm_crash[s];
+              }
+              return pm > vm;
+            }());
+  return bench::finish(cmp);
+}

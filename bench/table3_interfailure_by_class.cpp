@@ -1,0 +1,93 @@
+// Reproduces Table III: mean/median inter-failure times per failure class,
+// from the datacenter operator's view (gaps between any two failures of a
+// class) and from the single-server view (gaps per server, pooled).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/interfailure.h"
+#include "src/analysis/report.h"
+#include "src/stats/descriptive.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+  const auto class_of = pipeline.class_lookup();
+
+  analysis::TextTable table(
+      {"view", "metric", "HW", "Net", "Power", "Reboot", "SW", "Other"});
+  std::array<double, trace::kFailureClassCount> op_mean{}, op_median{},
+      sv_mean{}, sv_median{};
+  for (trace::FailureClass c : trace::kAllFailureClasses) {
+    const auto idx = static_cast<std::size_t>(c);
+    const auto op = analysis::operator_interfailure_days(pipeline.failures(),
+                                                         c, class_of);
+    const auto sv = analysis::per_server_interfailure_days(
+        db, pipeline.failures(), {}, c, class_of);
+    if (!op.empty()) {
+      op_mean[idx] = stats::mean(op);
+      op_median[idx] = stats::median(op);
+    }
+    if (!sv.empty()) {
+      sv_mean[idx] = stats::mean(sv);
+      sv_median[idx] = stats::median(sv);
+    }
+  }
+  const auto add_rows = [&](const std::string& view,
+                            const std::array<double, 6>& means,
+                            const std::array<double, 6>& medians) {
+    std::vector<std::string> mean_row = {view, "average"};
+    std::vector<std::string> median_row = {view, "median"};
+    for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+      mean_row.push_back(format_double(means[c], 2));
+      median_row.push_back(format_double(medians[c], 2));
+    }
+    table.add_row(std::move(mean_row));
+    table.add_row(std::move(median_row));
+  };
+  add_rows("operator", op_mean, op_median);
+  add_rows("single server", sv_mean, sv_median);
+  std::cout << "Table III (inter-failure times in days, by class)\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Table III -- inter-failure times by root cause");
+  const char* names[] = {"HW", "Net", "Power", "Reboot", "SW", "Other"};
+  for (std::size_t c = 0; c < 6; ++c) {
+    cmp.add(std::string("operator mean ") + names[c],
+            paperref::kTable3Operator[c].mean, op_mean[c], 2);
+    cmp.add(std::string("server mean ") + names[c],
+            paperref::kTable3SingleServer[c].mean, sv_mean[c], 2);
+  }
+
+  bool operator_shorter = true;
+  for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+    if (op_mean[c] > 0 && sv_mean[c] > 0) {
+      operator_shorter &= op_mean[c] < sv_mean[c];
+    }
+  }
+  cmp.check("operator-view gaps are much shorter than per-server gaps",
+            operator_shorter);
+  const auto sw = static_cast<std::size_t>(trace::FailureClass::kSoftware);
+  const auto hw = static_cast<std::size_t>(trace::FailureClass::kHardware);
+  const auto net = static_cast<std::size_t>(trace::FailureClass::kNetwork);
+  cmp.check("software has the shortest inter-failure times among real "
+            "classes (operator view)",
+            op_mean[sw] < op_mean[hw] && op_mean[sw] < op_mean[net]);
+  // Per-server same-class gap *orderings* between the infrastructure
+  // classes swing with seed noise (network has ~50 incidents, so only a
+  // handful of same-server pairs exist -- the paper faces the same sparsity).
+  // The robust Table III property is the magnitude: same-class re-failures
+  // of one server take weeks to months, not days.
+  const auto power = static_cast<std::size_t>(trace::FailureClass::kPower);
+  const auto reboot = static_cast<std::size_t>(trace::FailureClass::kReboot);
+  cmp.check("per-server same-class gaps are tens of days for every class "
+            "(paper: 22-66 days)",
+            sv_mean[hw] > 14.0 && sv_mean[net] > 14.0 &&
+                sv_mean[power] > 14.0 && sv_mean[reboot] > 14.0 &&
+                sv_mean[sw] > 14.0);
+  cmp.check("per-server software gaps within the paper's order of magnitude",
+            sv_mean[sw] > paperref::kTable3SingleServer[sw].mean / 2.0 &&
+                sv_mean[sw] < paperref::kTable3SingleServer[sw].mean * 3.0);
+  return bench::finish(cmp);
+}

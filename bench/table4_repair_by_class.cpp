@@ -1,0 +1,69 @@
+// Reproduces Table IV: mean and median repair times in hours per failure
+// class, including the paper's observations that hardware/network repairs
+// take longest and software repairs have the lowest variability.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/repair_times.h"
+#include "src/analysis/report.h"
+#include "src/stats/descriptive.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+  const auto class_of = pipeline.class_lookup();
+
+  analysis::TextTable table({"metric", "HW", "Net", "Power", "Reboot", "SW"});
+  std::array<double, 5> means{}, medians{}, cvs{};
+  std::vector<std::string> mean_row = {"mean"}, median_row = {"median"},
+                           cv_row = {"coeff. of variation"};
+  for (std::size_t c = 0; c < 5; ++c) {
+    const auto sample = analysis::repair_hours(
+        db, pipeline.failures(), {}, static_cast<trace::FailureClass>(c),
+        class_of);
+    if (sample.size() >= 2) {
+      means[c] = stats::mean(sample);
+      medians[c] = stats::median(sample);
+      cvs[c] = stats::coefficient_of_variation(sample);
+    }
+    mean_row.push_back(format_double(means[c], 2));
+    median_row.push_back(format_double(medians[c], 2));
+    cv_row.push_back(format_double(cvs[c], 2));
+  }
+  table.add_row(std::move(mean_row));
+  table.add_row(std::move(median_row));
+  table.add_row(std::move(cv_row));
+  std::cout << "Table IV (repair hours per class, k-means predicted)\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Table IV -- repair times by class");
+  const char* names[] = {"HW", "Net", "Power", "Reboot", "SW"};
+  for (std::size_t c = 0; c < 5; ++c) {
+    cmp.add(std::string("mean ") + names[c], paperref::kTable4[c].mean,
+            means[c], 2);
+    cmp.add(std::string("median ") + names[c], paperref::kTable4[c].median,
+            medians[c], 2);
+  }
+
+  const auto hw = static_cast<std::size_t>(trace::FailureClass::kHardware);
+  const auto net = static_cast<std::size_t>(trace::FailureClass::kNetwork);
+  const auto power = static_cast<std::size_t>(trace::FailureClass::kPower);
+  const auto reboot = static_cast<std::size_t>(trace::FailureClass::kReboot);
+  const auto sw = static_cast<std::size_t>(trace::FailureClass::kSoftware);
+
+  cmp.check("means far exceed medians (high repair-time variability)",
+            means[hw] > 2.0 * medians[hw] && means[net] > 2.0 * medians[net]);
+  cmp.check("power repairs are the fastest (critical severity)",
+            medians[power] < medians[hw] && medians[power] < medians[net] &&
+                medians[power] < medians[sw]);
+  cmp.check("reboots are the second-fastest repairs",
+            medians[reboot] < medians[hw] && medians[reboot] < medians[sw]);
+  cmp.check("hardware and network repairs take longest on average",
+            means[hw] > means[power] && means[hw] > means[reboot] &&
+                means[net] > means[power]);
+  cmp.check("software repairs have the lowest coefficient of variation",
+            cvs[sw] < cvs[hw] && cvs[sw] < cvs[net] && cvs[sw] < cvs[power]);
+  return bench::finish(cmp);
+}

@@ -1,0 +1,76 @@
+// Reproduces Table V: weekly random failure probability vs recurrent
+// failure probability within a week, and their ratio, per machine type and
+// subsystem. The paper's headline: recurrence exceeds random by ~35x (PM)
+// and ~42x (VM).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/recurrence.h"
+#include "src/analysis/report.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& failures = bench::shared_pipeline().failures();
+
+  std::array<std::array<double, 7>, 2> random{}, recurrent{};  // [type][All+5]
+  analysis::TextTable table({"type", "scope", "random", "recurrent",
+                             "ratio"});
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    const auto type = static_cast<trace::MachineType>(t);
+    for (int s = -1; s < trace::kSubsystemCount; ++s) {
+      analysis::Scope scope{type, std::nullopt};
+      std::string label = "All";
+      if (s >= 0) {
+        scope.subsystem = static_cast<trace::Subsystem>(s);
+        label = std::string(trace::subsystem_name(
+            static_cast<trace::Subsystem>(s)));
+        if (db.server_count(type, static_cast<trace::Subsystem>(s)) == 0) {
+          continue;
+        }
+      }
+      const double rnd = analysis::random_failure_probability(
+          db, failures, scope, analysis::Granularity::kWeekly);
+      const double rec = analysis::recurrent_probability(
+          db, failures, scope, kMinutesPerWeek);
+      random[static_cast<std::size_t>(t)][static_cast<std::size_t>(s + 1)] =
+          rnd;
+      recurrent[static_cast<std::size_t>(t)][static_cast<std::size_t>(s + 1)] =
+          rec;
+      table.add_row({std::string(trace::to_string(type)), label,
+                     format_double(rnd, 4), format_double(rec, 3),
+                     rnd > 0 ? format_double(rec / rnd, 1) + "x" : "n.a."});
+    }
+  }
+  std::cout << "Table V (weekly random vs recurrent failures)\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Table V -- random vs recurrent probabilities");
+  cmp.add("PM All random", paperref::kTable5Pm[0].random, random[0][0], 4);
+  cmp.add("PM All recurrent", paperref::kTable5Pm[0].recurrent,
+          recurrent[0][0], 3);
+  cmp.add("PM All ratio", paperref::kTable5Pm[0].ratio,
+          recurrent[0][0] / random[0][0], 1);
+  cmp.add("VM All random", paperref::kTable5Vm[0].random, random[1][0], 4);
+  cmp.add("VM All recurrent", paperref::kTable5Vm[0].recurrent,
+          recurrent[1][0], 3);
+  cmp.add("VM All ratio", paperref::kTable5Vm[0].ratio,
+          recurrent[1][0] / random[1][0], 1);
+
+  const double pm_ratio = recurrent[0][0] / random[0][0];
+  const double vm_ratio = recurrent[1][0] / random[1][0];
+  cmp.check("failures are not memoryless: PM ratio above 10x",
+            pm_ratio > 10.0);
+  cmp.check("failures are not memoryless: VM ratio above 10x",
+            vm_ratio > 10.0);
+  cmp.check("VM recurrence intensity (ratio) exceeds PM",
+            vm_ratio > pm_ratio);
+  cmp.check("absolute recurrent probability higher for PM than VM",
+            recurrent[0][0] > recurrent[1][0]);
+  cmp.check("PM ratio within the paper's order of magnitude (15x-80x)",
+            pm_ratio > 15.0 && pm_ratio < 80.0);
+  cmp.check("Sys II VMs have zero random failure probability",
+            random[1][2] == 0.0);
+  return bench::finish(cmp);
+}

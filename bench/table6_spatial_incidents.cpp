@@ -1,0 +1,60 @@
+// Reproduces Table VI: the percentage of failure incidents involving zero,
+// one, and two-or-more servers, overall and per machine-type view, plus the
+// paper's derived dependency fractions (VMs ~26%, PMs ~16%).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/report.h"
+#include "src/analysis/spatial.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace fa;
+  const auto& db = bench::shared_db();
+  const auto& pipeline = bench::shared_pipeline();
+
+  const auto result = analysis::analyze_spatial(db, pipeline.class_lookup());
+
+  analysis::TextTable table({"view", "0", "1", ">=2", "dependency"});
+  const auto add = [&](const std::string& view,
+                       const analysis::IncidentTypeBreakdown& b) {
+    table.add_row({view, format_double(100.0 * b.zero, 0) + "%",
+                   format_double(100.0 * b.one, 0) + "%",
+                   format_double(100.0 * b.two_or_more, 0) + "%",
+                   format_double(100.0 * b.dependency_fraction(), 0) + "%"});
+  };
+  add("PM and VM", result.all);
+  add("PM only", result.pm_only);
+  add("VM only", result.vm_only);
+  std::cout << "Table VI (" << result.incident_count
+            << " incidents; max servers in one incident: "
+            << result.max_servers_in_incident << ")\n"
+            << table.to_string() << "\n";
+
+  paperref::Comparison cmp("Table VI -- spatial dependency of failures");
+  cmp.add("incidents with one server", paperref::kTable6All.one,
+          result.all.one, 3);
+  cmp.add("incidents with >=2 servers", paperref::kTable6All.two_or_more,
+          result.all.two_or_more, 3);
+  cmp.add("VM dependency fraction", paperref::kVmDependencyFraction,
+          result.vm_only.dependency_fraction(), 3);
+  cmp.add("PM dependency fraction", paperref::kPmDependencyFraction,
+          result.pm_only.dependency_fraction(), 3);
+  cmp.add("max servers in one incident", paperref::kTable7Other.max,
+          result.max_servers_in_incident, 0);
+
+  cmp.check("~78/22 split: most incidents affect a single server",
+            result.all.one > 0.65 && result.all.two_or_more < 0.35);
+  cmp.check("VMs show stronger spatial dependency than PMs",
+            result.vm_only.dependency_fraction() >
+                result.pm_only.dependency_fraction());
+  cmp.check("largest incident within 2x of the paper's 34 servers",
+            result.max_servers_in_incident >= 17 &&
+                result.max_servers_in_incident <= 40);
+  // Documented deviation: the paper's PM-only/VM-only zero rows imply more
+  // VM-involving than PM-involving incidents, which contradicts its own
+  // Table II crash split; our trace follows Table II (see EXPERIMENTS.md).
+  cmp.check("incidents never involve zero servers overall",
+            result.all.zero == 0.0);
+  return bench::finish(cmp);
+}

@@ -1,0 +1,71 @@
+// Quickstart: simulate a datacenter trace, run the analysis pipeline, and
+// print the headline failure statistics of the paper.
+//
+//   $ ./examples/quickstart [scale]
+//
+// `scale` in (0, 1] shrinks the simulated fleet (default 1.0 = the paper's
+// ~10K machines; use e.g. 0.1 for a fast demo).
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/failure_rates.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/recurrence.h"
+#include "src/analysis/report.h"
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+
+  double scale = 1.0;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::cerr << "usage: quickstart [scale in (0,1]]\n";
+    return 1;
+  }
+
+  std::cout << "Simulating five datacenter subsystems (scale=" << scale
+            << ")...\n";
+  auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+  const trace::TraceDatabase db = sim::simulate(config);
+
+  std::cout << "  servers: " << db.servers().size()
+            << "  (PM=" << db.server_count(trace::MachineType::kPhysical)
+            << ", VM=" << db.server_count(trace::MachineType::kVirtual)
+            << ")\n";
+  std::cout << "  tickets: " << db.tickets().size() << "\n";
+
+  std::cout << "Extracting crash tickets and classifying by root cause...\n";
+  const analysis::AnalysisPipeline pipeline(db);
+  std::cout << "  crash tickets: " << pipeline.failures().size()
+            << ", classifier accuracy vs ground truth: "
+            << format_double(100.0 * pipeline.classification().accuracy, 1)
+            << "%\n\n";
+
+  analysis::TextTable table(
+      {"scope", "weekly failure rate", "p25", "p75", "random weekly",
+       "recurrent weekly", "ratio"});
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    const auto type = static_cast<trace::MachineType>(t);
+    const analysis::Scope scope{type, std::nullopt};
+    const auto summary = analysis::failure_rate_summary(
+        db, pipeline.failures(), scope, analysis::Granularity::kWeekly);
+    const double random = analysis::random_failure_probability(
+        db, pipeline.failures(), scope, analysis::Granularity::kWeekly);
+    const double recurrent = analysis::recurrent_probability(
+        db, pipeline.failures(), scope, kMinutesPerWeek);
+    table.add_row({std::string(trace::to_string(type)),
+                   format_double(summary.mean, 5),
+                   format_double(summary.p25, 5),
+                   format_double(summary.p75, 5), format_double(random, 5),
+                   format_double(recurrent, 3),
+                   random > 0 ? format_double(recurrent / random, 1) + "x"
+                              : "n.a."});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nKey finding reproduced: PMs fail more often than VMs, but "
+               "both show\nrecurrent-failure probabilities orders of "
+               "magnitude above random.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reliability modelling: fit the statistical models the paper uses
+// (Gamma inter-failure times, LogNormal repair times), derive MTBF / MTTR /
+// availability per machine type, and print a survival curve — the
+// fault-tolerance planning workflow Section IV motivates.
+//
+//   $ ./examples/reliability_modeling [scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/reliability.h"
+#include "src/analysis/report.h"
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  double scale = 0.5;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::cerr << "usage: reliability_modeling [scale in (0,1]]\n";
+    return 1;
+  }
+
+  const auto db =
+      sim::simulate(sim::SimulationConfig::paper_defaults().scaled(scale));
+  const analysis::AnalysisPipeline pipeline(db);
+
+  analysis::TextTable table({"metric", "PM", "VM"});
+  std::array<analysis::ReliabilityReport, 2> reports;
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    reports[static_cast<std::size_t>(t)] = analysis::reliability_report(
+        db, pipeline.failures(),
+        {static_cast<trace::MachineType>(t), std::nullopt});
+  }
+  const auto row = [&](const std::string& name, auto fn) {
+    table.add_row({name, fn(reports[0]), fn(reports[1])});
+  };
+  row("servers", [](const auto& r) { return std::to_string(r.servers); });
+  row("failures", [](const auto& r) { return std::to_string(r.failures); });
+  row("MTBF [days]",
+      [](const auto& r) { return format_double(r.mtbf_days, 1); });
+  row("MTTR [hours]",
+      [](const auto& r) { return format_double(r.mttr_hours, 1); });
+  row("failures / server-year",
+      [](const auto& r) { return format_double(r.annualized_failure_rate, 3); });
+  row("availability", [](const auto& r) {
+    return format_double(100.0 * r.availability, 4) + "%";
+  });
+  row("inter-failure fit", [](const auto& r) {
+    return r.interfailure_fit ? r.interfailure_fit->dist->describe()
+                              : std::string("n.a.");
+  });
+  row("repair fit", [](const auto& r) {
+    return r.repair_fit ? r.repair_fit->dist->describe()
+                        : std::string("n.a.");
+  });
+  std::cout << "Reliability model (one simulated observation year)\n"
+            << table.to_string() << "\n";
+
+  analysis::TextTable survival(
+      {"horizon [days]", "P(PM survives)", "P(VM survives)"});
+  for (double days : {7.0, 30.0, 90.0, 180.0, 365.0}) {
+    survival.add_row(
+        {format_double(days, 0),
+         format_double(analysis::survival_probability(reports[0], days), 3),
+         format_double(analysis::survival_probability(reports[1], days), 3)});
+  }
+  std::cout << "Survival probabilities (Poisson approximation)\n"
+            << survival.to_string() << "\n";
+
+  std::cout << "Modeling note: inter-failure times are far from exponential\n"
+               "(recurrent failures cluster), so per-window survival should\n"
+               "be taken from the fitted "
+            << (reports[0].interfailure_fit
+                    ? reports[0].interfailure_fit->dist->name()
+                    : "heavy-tailed")
+            << " distribution when precision matters.\n";
+  return 0;
+}

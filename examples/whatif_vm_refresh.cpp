@@ -1,0 +1,64 @@
+// What-if: the paper's Section IV-F suggestion — "periodically taking
+// snapshots of existing VM images and creating new VM instances can reduce
+// VM failures". This example quantifies it by re-running the calibrated
+// simulation with the age-risk curve clamped at several refresh horizons.
+//
+//   $ ./examples/whatif_vm_refresh [scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/failure_rates.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/report.h"
+#include "src/sim/scenario.h"
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+namespace {
+
+double vm_weekly_rate(const fa::trace::TraceDatabase& db) {
+  const auto failures = db.crash_tickets();
+  return fa::analysis::failure_rate_summary(
+             db, failures,
+             {fa::trace::MachineType::kVirtual, std::nullopt},
+             fa::analysis::Granularity::kWeekly)
+      .mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  double scale = 0.5;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::cerr << "usage: whatif_vm_refresh [scale in (0,1]]\n";
+    return 1;
+  }
+
+  const auto base_config =
+      sim::SimulationConfig::paper_defaults().scaled(scale);
+  const double baseline = vm_weekly_rate(sim::simulate(base_config));
+
+  analysis::TextTable table(
+      {"policy", "VM weekly failure rate", "vs baseline"});
+  table.add_row({"no refresh (baseline)", format_double(baseline, 5), "--"});
+  for (double horizon : {540.0, 365.0, 180.0, 90.0}) {
+    // The hazard change must be converted into an absolute volume change
+    // (the simulator otherwise re-normalizes to the calibrated targets).
+    const auto scenario = sim::rescale_vm_targets(
+        sim::with_vm_refresh(base_config, horizon), base_config);
+    const double rate = vm_weekly_rate(sim::simulate(scenario));
+    table.add_row({"refresh every " + format_double(horizon, 0) + " days",
+                   format_double(rate, 5),
+                   format_double(100.0 * (rate / baseline - 1.0), 1) + "%"});
+  }
+  std::cout << "What-if: periodic VM re-instantiation (age-risk clamping)\n"
+            << table.to_string() << "\n";
+  std::cout
+      << "Yearly refresh buys only a few percent (the Fig. 6 age trend is "
+         "weak),\nbut aggressive quarterly refresh keeps every VM on the "
+         "young, low-risk\nend of the age curve -- quantifying the paper's "
+         "suggestion.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "src/analysis/age.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/stats/ecdf.h"
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+AgeAnalysis analyze_vm_age(const trace::TraceDatabase& db,
+                           std::span<const trace::Ticket* const> failures) {
+  AgeAnalysis result;
+  const TimePoint db_start = db.monitoring().begin;
+
+  std::unordered_set<trace::ServerId> observable;
+  std::size_t vms = 0;
+  for (const trace::ServerRecord& s : db.servers()) {
+    if (s.type != trace::MachineType::kVirtual) continue;
+    ++vms;
+    if (s.first_record > db_start) observable.insert(s.id);
+  }
+  require(vms > 0, "analyze_vm_age: no VMs in the trace");
+  result.observable_fraction =
+      static_cast<double>(observable.size()) / static_cast<double>(vms);
+
+  for (const trace::Ticket* t : failures) {
+    if (!observable.contains(t->server)) continue;
+    const trace::ServerRecord& s = db.server(t->server);
+    // Defensive: a failure stamped before the server's first monitoring
+    // record indicates clock skew between data sources; skip it.
+    if (t->opened < s.first_record) continue;
+    result.failure_age_days.push_back(to_days(t->opened - s.first_record));
+  }
+  if (result.failure_age_days.empty()) return result;
+
+  // KS distance to Uniform(0, max age).
+  std::vector<double> sorted = result.failure_age_days;
+  std::sort(sorted.begin(), sorted.end());
+  const double max_age = std::max(sorted.back(), 1.0);
+  const auto n = static_cast<double>(sorted.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = sorted[i] / max_age;
+    ks = std::max(ks, std::max(std::fabs(f - static_cast<double>(i) / n),
+                               std::fabs(static_cast<double>(i + 1) / n - f)));
+  }
+  result.ks_distance_to_uniform = ks;
+
+  // Binned PDF (30-day bins) normalized to mean 1, plus a least-squares
+  // trend slope over bin index.
+  const int bins = std::max(1, static_cast<int>(std::ceil(max_age / 30.0)));
+  std::vector<double> counts(static_cast<std::size_t>(bins), 0.0);
+  for (double age : sorted) {
+    const auto b = std::min<std::size_t>(
+        static_cast<std::size_t>(age / 30.0), counts.size() - 1);
+    counts[b] += 1.0;
+  }
+  const double mean_count = n / static_cast<double>(bins);
+  for (double& c : counts) c /= mean_count;
+  result.binned_pdf = counts;
+
+  if (bins >= 2) {
+    // Slope of counts vs. bin index (simple linear regression).
+    const double m = static_cast<double>(bins);
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (int i = 0; i < bins; ++i) {
+      const auto x = static_cast<double>(i);
+      const double y = counts[static_cast<std::size_t>(i)];
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    result.pdf_trend_slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  }
+  return result;
+}
+
+}  // namespace fa::analysis

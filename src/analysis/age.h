@@ -1,0 +1,35 @@
+// VM age analysis (paper Section IV-F, Fig. 6).
+//
+// A VM's creation date is approximated by its first occurrence in the
+// monitoring DB; VMs whose first record coincides with the DB start are
+// left-censored and excluded (the paper keeps ~75% of VMs this way). The
+// question is whether failures-vs-age follows a bathtub (they do not: the
+// CDF is near-uniform with a weak positive trend).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+struct AgeAnalysis {
+  // Share of the VM population with an observable (non-censored) age.
+  double observable_fraction = 0.0;
+  // Age in days at each failure of an observable VM.
+  std::vector<double> failure_age_days;
+  // KS distance between the age CDF and the uniform distribution on
+  // [0, max age]: small distance = the paper's "close to diagonal".
+  double ks_distance_to_uniform = 0.0;
+  // Least-squares slope of binned failure counts vs. age (per 30-day bin,
+  // counts normalized to mean 1); positive = failures increase with age.
+  double pdf_trend_slope = 0.0;
+  // Binned (30-day) failure counts, normalized to mean 1.
+  std::vector<double> binned_pdf;
+};
+
+AgeAnalysis analyze_vm_age(const trace::TraceDatabase& db,
+                           std::span<const trace::Ticket* const> failures);
+
+}  // namespace fa::analysis

@@ -1,0 +1,23 @@
+#include "src/analysis/burstiness.h"
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+double dispersion_index(const trace::TraceDatabase& db,
+                        std::span<const trace::Ticket* const> failures,
+                        const Scope& scope, Granularity granularity) {
+  // Counts per bucket = rate series times the (constant) server count.
+  const auto rates = failure_rate_series(db, failures, scope, granularity);
+  const auto servers = static_cast<double>(scope_server_count(db, scope));
+  std::vector<double> counts(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    counts[i] = rates[i] * servers;
+  }
+  const double mean = stats::mean(counts);
+  require(mean > 0.0, "dispersion_index: no failures in scope");
+  return stats::variance(counts) / mean;
+}
+
+}  // namespace fa::analysis

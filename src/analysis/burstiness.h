@@ -1,0 +1,19 @@
+// Temporal burstiness of the failure process: the index of dispersion
+// (variance-to-mean ratio) of per-bucket failure counts. A Poisson
+// (memoryless) failure process gives ~1; the clustered failures the paper
+// reports (recurrence, multi-server incidents) push it well above 1.
+#pragma once
+
+#include <span>
+
+#include "src/analysis/failure_rates.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+// Variance / mean of the in-scope failure counts per time bucket.
+double dispersion_index(const trace::TraceDatabase& db,
+                        std::span<const trace::Ticket* const> failures,
+                        const Scope& scope, Granularity granularity);
+
+}  // namespace fa::analysis

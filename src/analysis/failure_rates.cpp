@@ -1,0 +1,68 @@
+#include "src/analysis/failure_rates.h"
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+namespace {
+
+int bucket_count(const ObservationWindow& w, Granularity g) {
+  switch (g) {
+    case Granularity::kDaily:
+      return w.day_count();
+    case Granularity::kWeekly:
+      return w.week_count();
+    case Granularity::kMonthly:
+      return w.month_count();
+  }
+  throw Error("bucket_count: invalid granularity");
+}
+
+int bucket_index(const ObservationWindow& w, Granularity g, TimePoint t) {
+  switch (g) {
+    case Granularity::kDaily:
+      return w.day_index(t);
+    case Granularity::kWeekly:
+      return w.week_index(t);
+    case Granularity::kMonthly:
+      return w.month_index(t);
+  }
+  throw Error("bucket_index: invalid granularity");
+}
+
+}  // namespace
+
+std::size_t scope_server_count(const trace::TraceDatabase& db,
+                               const Scope& scope) {
+  std::size_t n = 0;
+  for (const trace::ServerRecord& s : db.servers()) n += scope.matches(s);
+  return n;
+}
+
+std::vector<double> failure_rate_series(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    Granularity granularity) {
+  const ObservationWindow& w = db.window();
+  const int buckets = bucket_count(w, granularity);
+  std::vector<double> counts(static_cast<std::size_t>(buckets), 0.0);
+  for (const trace::Ticket* t : failures) {
+    require(t->is_crash, "failure_rate_series: non-crash ticket in failures");
+    if (!scope.matches(db.server(t->server))) continue;
+    const int b = bucket_index(w, granularity, t->opened);
+    if (b >= 0) counts[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const std::size_t servers = scope_server_count(db, scope);
+  require(servers > 0, "failure_rate_series: empty scope");
+  for (double& c : counts) c /= static_cast<double>(servers);
+  return counts;
+}
+
+stats::Summary failure_rate_summary(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    Granularity granularity) {
+  const auto series = failure_rate_series(db, failures, scope, granularity);
+  return stats::summarize(series);
+}
+
+}  // namespace fa::analysis

@@ -1,0 +1,47 @@
+// Failure-rate computation (paper Sections III-B and IV-A).
+//
+// The failure rate of a bucket (day/week/month) is the number of failures in
+// that bucket divided by the number of servers in scope; Fig. 2 reports the
+// mean weekly rate with 25th/75th percentile whiskers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+enum class Granularity { kDaily, kWeekly, kMonthly };
+
+// Scope filter: machine type and/or subsystem (nullopt = all).
+struct Scope {
+  std::optional<trace::MachineType> type;
+  std::optional<trace::Subsystem> subsystem;
+
+  bool matches(const trace::ServerRecord& s) const {
+    return (!type || s.type == *type) &&
+           (!subsystem || s.subsystem == *subsystem);
+  }
+};
+
+// Per-bucket failure rates over the observation year for the given scope.
+// `failures` must be crash tickets; tickets on out-of-scope servers are
+// skipped. Returns one rate per time bucket.
+std::vector<double> failure_rate_series(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    Granularity granularity);
+
+// Mean + percentile summary of the per-bucket rates (the Fig. 2 bars).
+stats::Summary failure_rate_summary(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    Granularity granularity);
+
+// Number of in-scope servers.
+std::size_t scope_server_count(const trace::TraceDatabase& db,
+                               const Scope& scope);
+
+}  // namespace fa::analysis

@@ -1,0 +1,84 @@
+#include "src/analysis/interfailure.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+namespace {
+
+// Failure timestamps grouped per in-scope server, each list sorted.
+std::unordered_map<trace::ServerId, std::vector<TimePoint>> times_by_server(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    const trace::FailureClass* cls, const ClassLookup* class_of) {
+  std::unordered_map<trace::ServerId, std::vector<TimePoint>> by_server;
+  for (const trace::Ticket* t : failures) {
+    require(t->is_crash, "interfailure: non-crash ticket");
+    if (!scope.matches(db.server(t->server))) continue;
+    if (cls != nullptr && (*class_of)(*t) != *cls) continue;
+    by_server[t->server].push_back(t->opened);
+  }
+  for (auto& [id, times] : by_server) std::sort(times.begin(), times.end());
+  return by_server;
+}
+
+std::vector<double> gaps_from(
+    const std::unordered_map<trace::ServerId, std::vector<TimePoint>>&
+        by_server) {
+  std::vector<double> gaps;
+  for (const auto& [id, times] : by_server) {
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(to_days(times[i] - times[i - 1]));
+    }
+  }
+  std::sort(gaps.begin(), gaps.end());
+  return gaps;
+}
+
+}  // namespace
+
+std::vector<double> per_server_interfailure_days(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope) {
+  return gaps_from(times_by_server(db, failures, scope, nullptr, nullptr));
+}
+
+std::vector<double> per_server_interfailure_days(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    trace::FailureClass cls, const ClassLookup& class_of) {
+  return gaps_from(times_by_server(db, failures, scope, &cls, &class_of));
+}
+
+std::vector<double> operator_interfailure_days(
+    std::span<const trace::Ticket* const> failures, trace::FailureClass cls,
+    const ClassLookup& class_of) {
+  std::vector<TimePoint> times;
+  for (const trace::Ticket* t : failures) {
+    if (class_of(*t) == cls) times.push_back(t->opened);
+  }
+  std::sort(times.begin(), times.end());
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(to_days(times[i] - times[i - 1]));
+  }
+  return gaps;
+}
+
+FailureCensus failure_census(const trace::TraceDatabase& db,
+                             std::span<const trace::Ticket* const> failures,
+                             const Scope& scope) {
+  FailureCensus census;
+  census.servers = scope_server_count(db, scope);
+  const auto by_server =
+      times_by_server(db, failures, scope, nullptr, nullptr);
+  census.failing_servers = by_server.size();
+  for (const auto& [id, times] : by_server) {
+    census.single_failure_servers += times.size() == 1;
+  }
+  return census;
+}
+
+}  // namespace fa::analysis

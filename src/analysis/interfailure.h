@@ -1,0 +1,52 @@
+// Inter-failure time analysis (paper Section IV-B, Fig. 3, Table III).
+//
+// Two views: the single-server view (gaps between consecutive failures of
+// the same machine; servers failing once contribute nothing) and the
+// operator view (gaps between consecutive failures of a class anywhere in
+// the datacenter).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/analysis/failure_rates.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+// Maps a crash ticket to its (predicted) failure class.
+using ClassLookup = std::function<trace::FailureClass(const trace::Ticket&)>;
+
+// Gaps in days between consecutive failures of each in-scope server, pooled
+// across servers.
+std::vector<double> per_server_interfailure_days(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope);
+
+// Same, restricted to failures of one class (Table III, bottom).
+std::vector<double> per_server_interfailure_days(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    trace::FailureClass cls, const ClassLookup& class_of);
+
+// Operator view: gaps between consecutive failures of `cls` across the whole
+// population (Table III, top).
+std::vector<double> operator_interfailure_days(
+    std::span<const trace::Ticket* const> failures, trace::FailureClass cls,
+    const ClassLookup& class_of);
+
+// Failure-count census: how many in-scope servers failed at all, and how
+// many failed exactly once (Section IV-B notes ~60% of failing VMs fail
+// only once).
+struct FailureCensus {
+  std::size_t servers = 0;
+  std::size_t failing_servers = 0;
+  std::size_t single_failure_servers = 0;
+};
+
+FailureCensus failure_census(const trace::TraceDatabase& db,
+                             std::span<const trace::Ticket* const> failures,
+                             const Scope& scope);
+
+}  // namespace fa::analysis

@@ -1,0 +1,72 @@
+#include "src/analysis/management.h"
+
+namespace fa::analysis {
+
+std::optional<double> average_consolidation(const trace::TraceDatabase& db,
+                                            trace::ServerId id) {
+  const auto snapshots = db.snapshots_for(id);
+  if (snapshots.empty()) return std::nullopt;
+  double total = 0.0;
+  for (const trace::MonthlySnapshot& s : snapshots) {
+    total += static_cast<double>(s.consolidation);
+  }
+  return total / static_cast<double>(snapshots.size());
+}
+
+std::optional<double> measured_onoff_per_month(const trace::TraceDatabase& db,
+                                               trace::ServerId id) {
+  if (db.server(id).type != trace::MachineType::kVirtual) return std::nullopt;
+  const ObservationWindow& window = db.onoff_tracking();
+  std::size_t off_transitions = 0;
+  for (const trace::PowerEvent& e : db.power_events_for(id)) {
+    if (window.contains(e.at) && !e.powered_on) ++off_transitions;
+  }
+  const double months =
+      static_cast<double>(window.length()) / kMinutesPerMonth;
+  return static_cast<double>(off_transitions) / months;
+}
+
+std::optional<double> measured_onoff_from_series(
+    const trace::TraceDatabase& db, trace::ServerId id) {
+  if (db.server(id).type != trace::MachineType::kVirtual) return std::nullopt;
+  const ObservationWindow& window = db.onoff_tracking();
+  const auto series = db.power_series_for(id, window);
+  std::size_t off_transitions = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    off_transitions += series[i - 1] && !series[i];
+  }
+  const double months =
+      static_cast<double>(window.length()) / kMinutesPerMonth;
+  return static_cast<double>(off_transitions) / months;
+}
+
+BinnedRates consolidation_binned_rates(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures) {
+  // Power-of-two bins 1,2,3-4,5-8,9-16,17-32, like the Fig. 9 x-axis.
+  auto spec = stats::BinSpec::from_edges({1, 2, 3, 5, 9, 17, 33});
+  Scope scope{trace::MachineType::kVirtual, std::nullopt};
+  return capacity_binned_rates(
+      db, failures, scope,
+      [&db](const trace::ServerRecord& s) {
+        return average_consolidation(db, s.id);
+      },
+      std::move(spec));
+}
+
+BinnedRates onoff_binned_rates(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures) {
+  // Bins: 0, ~1, ~2, ~4, and everything beyond (Poisson sampling of a
+  // nominal 8/month rate over two months can measure well above 8).
+  auto spec = stats::BinSpec::from_edges({0.0, 0.25, 1.25, 2.25, 4.5, 25.0});
+  Scope scope{trace::MachineType::kVirtual, std::nullopt};
+  return capacity_binned_rates(
+      db, failures, scope,
+      [&db](const trace::ServerRecord& s) {
+        return measured_onoff_per_month(db, s.id);
+      },
+      std::move(spec));
+}
+
+}  // namespace fa::analysis

@@ -1,0 +1,42 @@
+// VM-management analysis (paper Section VI, Figs. 9 and 10): the impact of
+// consolidation level and on/off frequency on VM failure rates.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "src/analysis/capacity_usage.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+// Average monthly consolidation level of a VM over the observation year
+// (mean of its monthly snapshots), or nullopt for PMs / VMs without
+// snapshots.
+std::optional<double> average_consolidation(const trace::TraceDatabase& db,
+                                            trace::ServerId id);
+
+// Average monthly on/off frequency measured from the power events inside
+// the fine-grained tracking window (off-transition count / window months);
+// nullopt for PMs. The paper extrapolates this two-month measurement to the
+// whole year.
+std::optional<double> measured_onoff_per_month(const trace::TraceDatabase& db,
+                                               trace::ServerId id);
+
+// The same measurement the way the paper actually performs it: screening
+// the 15-minute monitoring samples for on->off transitions. Agrees with
+// measured_onoff_per_month whenever no off period is shorter than one
+// sampling interval.
+std::optional<double> measured_onoff_from_series(
+    const trace::TraceDatabase& db, trace::ServerId id);
+
+// Weekly VM failure rates binned by average consolidation level (Fig. 9).
+BinnedRates consolidation_binned_rates(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures);
+
+// Weekly VM failure rates binned by measured on/off frequency (Fig. 10).
+BinnedRates onoff_binned_rates(const trace::TraceDatabase& db,
+                               std::span<const trace::Ticket* const> failures);
+
+}  // namespace fa::analysis

@@ -1,0 +1,31 @@
+#include "src/analysis/pipeline.h"
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::analysis {
+
+AnalysisPipeline::AnalysisPipeline(const trace::TraceDatabase& db,
+                                   std::uint64_t seed,
+                                   ClassifierOptions options)
+    : db_(&db) {
+  failures_ = extract_crash_tickets(db);
+  require(!failures_.empty(), "AnalysisPipeline: no crash tickets in trace");
+  Rng rng(seed);
+  classification_ = classify_tickets(failures_, options, rng);
+  predicted_ = prediction_map(failures_, classification_);
+}
+
+trace::FailureClass AnalysisPipeline::class_of(
+    const trace::Ticket& ticket) const {
+  const auto it = predicted_.find(ticket.id);
+  require(it != predicted_.end(),
+          "AnalysisPipeline::class_of: ticket was not classified");
+  return it->second;
+}
+
+ClassLookup AnalysisPipeline::class_lookup() const {
+  return [this](const trace::Ticket& t) { return class_of(t); };
+}
+
+}  // namespace fa::analysis

@@ -1,0 +1,44 @@
+// End-to-end analysis pipeline: crash extraction + ticket classification run
+// once over a trace database, with the derived lookups every downstream
+// analysis (and every bench binary) consumes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/classification.h"
+#include "src/analysis/interfailure.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+class AnalysisPipeline {
+ public:
+  // Runs crash extraction and classification; `seed` controls the k-means
+  // restarts and the labeled-subset draw.
+  explicit AnalysisPipeline(const trace::TraceDatabase& db,
+                            std::uint64_t seed = 7,
+                            ClassifierOptions options = {});
+
+  const trace::TraceDatabase& db() const { return *db_; }
+  // Extracted crash tickets (the paper's "server failures").
+  const std::vector<const trace::Ticket*>& failures() const {
+    return failures_;
+  }
+  const ClassificationResult& classification() const {
+    return classification_;
+  }
+
+  // Predicted class of a crash ticket.
+  trace::FailureClass class_of(const trace::Ticket& ticket) const;
+  // The same, as a reusable lookup for the analysis APIs.
+  ClassLookup class_lookup() const;
+
+ private:
+  const trace::TraceDatabase* db_;
+  std::vector<const trace::Ticket*> failures_;
+  ClassificationResult classification_;
+  std::unordered_map<trace::TicketId, trace::FailureClass> predicted_;
+};
+
+}  // namespace fa::analysis

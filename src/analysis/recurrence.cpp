@@ -1,0 +1,74 @@
+#include "src/analysis/recurrence.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+double recurrent_probability(const trace::TraceDatabase& db,
+                             std::span<const trace::Ticket* const> failures,
+                             const Scope& scope, Duration window) {
+  require(window > 0, "recurrent_probability: window must be positive");
+  std::unordered_map<trace::ServerId, std::vector<TimePoint>> by_server;
+  for (const trace::Ticket* t : failures) {
+    if (!scope.matches(db.server(t->server))) continue;
+    by_server[t->server].push_back(t->opened);
+  }
+  const TimePoint end = db.window().end;
+  std::size_t eligible = 0;
+  std::size_t recurred = 0;
+  for (auto& [id, times] : by_server) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (times[i] + window > end) break;  // censored
+      ++eligible;
+      if (i + 1 < times.size() && times[i + 1] - times[i] <= window) {
+        ++recurred;
+      }
+    }
+  }
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(recurred) / static_cast<double>(eligible);
+}
+
+double random_failure_probability(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope,
+    Granularity granularity) {
+  const std::size_t servers = scope_server_count(db, scope);
+  if (servers == 0) return 0.0;
+  const ObservationWindow& w = db.window();
+  const int buckets = granularity == Granularity::kDaily ? w.day_count()
+                      : granularity == Granularity::kWeekly
+                          ? w.week_count()
+                          : w.month_count();
+  std::vector<std::unordered_set<trace::ServerId>> failing(
+      static_cast<std::size_t>(buckets));
+  for (const trace::Ticket* t : failures) {
+    if (!scope.matches(db.server(t->server))) continue;
+    const int b = granularity == Granularity::kDaily ? w.day_index(t->opened)
+                  : granularity == Granularity::kWeekly
+                      ? w.week_index(t->opened)
+                      : w.month_index(t->opened);
+    if (b >= 0) failing[static_cast<std::size_t>(b)].insert(t->server);
+  }
+  double total = 0.0;
+  for (const auto& set : failing) {
+    total += static_cast<double>(set.size()) / static_cast<double>(servers);
+  }
+  return total / static_cast<double>(buckets);
+}
+
+double recurrence_ratio(const trace::TraceDatabase& db,
+                        std::span<const trace::Ticket* const> failures,
+                        const Scope& scope) {
+  const double random =
+      random_failure_probability(db, failures, scope, Granularity::kWeekly);
+  if (random <= 0.0) return 0.0;
+  return recurrent_probability(db, failures, scope, kMinutesPerWeek) / random;
+}
+
+}  // namespace fa::analysis

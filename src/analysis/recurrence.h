@@ -1,0 +1,34 @@
+// Recurrent vs. random failure probabilities (paper Sections III-B, IV-D;
+// Fig. 5 and Table V).
+//
+//   random failure probability (weekly): probability that any in-scope
+//     server experiences at least one failure within a week — averaged over
+//     the weeks of the observation year;
+//   recurrent failure probability (window W): given an in-scope failure,
+//     probability that the same server fails again within W. Failures whose
+//     window extends past the observation end are excluded (censoring).
+#pragma once
+
+#include <span>
+
+#include "src/analysis/failure_rates.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+double recurrent_probability(const trace::TraceDatabase& db,
+                             std::span<const trace::Ticket* const> failures,
+                             const Scope& scope, Duration window);
+
+double random_failure_probability(const trace::TraceDatabase& db,
+                                  std::span<const trace::Ticket* const> failures,
+                                  const Scope& scope,
+                                  Granularity granularity);
+
+// Table V's headline metric: recurrent(1 week) / random(weekly). Returns 0
+// when the random probability is 0 (e.g. Sys II VMs).
+double recurrence_ratio(const trace::TraceDatabase& db,
+                        std::span<const trace::Ticket* const> failures,
+                        const Scope& scope);
+
+}  // namespace fa::analysis

@@ -1,0 +1,68 @@
+#include "src/analysis/reliability.h"
+
+#include <cmath>
+
+#include "src/analysis/interfailure.h"
+#include "src/analysis/repair_times.h"
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+ReliabilityReport reliability_report(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope) {
+  ReliabilityReport report;
+  report.servers = scope_server_count(db, scope);
+  require(report.servers > 0, "reliability_report: empty scope");
+
+  // Total exposure (server-days) accounting for VM creation dates.
+  const ObservationWindow& year = db.window();
+  double exposure_days = 0.0;
+  for (const trace::ServerRecord& s : db.servers()) {
+    if (!scope.matches(s)) continue;
+    const TimePoint start = std::max(s.first_record, year.begin);
+    if (start < year.end) exposure_days += to_days(year.end - start);
+  }
+
+  const auto hours = repair_hours(db, failures, scope);
+  report.failures = hours.size();
+  if (report.failures > 0) {
+    double total_hours = 0.0;
+    for (double h : hours) total_hours += h;
+    report.mttr_hours = total_hours / static_cast<double>(report.failures);
+    report.mtbf_days =
+        exposure_days / static_cast<double>(report.failures);
+    report.annualized_failure_rate =
+        static_cast<double>(report.failures) / (exposure_days / 365.0);
+    const double mtbf_hours = report.mtbf_days * 24.0;
+    report.availability = mtbf_hours / (mtbf_hours + report.mttr_hours);
+  } else {
+    report.availability = 1.0;
+    report.mtbf_days = exposure_days;  // no failure observed
+  }
+
+  const auto gaps = per_server_interfailure_days(db, failures, scope);
+  if (!gaps.empty()) {
+    double total = 0.0;
+    for (double g : gaps) total += g;
+    report.mean_interfailure_days = total / static_cast<double>(gaps.size());
+  }
+  // Fits need positive samples of reasonable size.
+  const auto positive = [](std::span<const double> xs) {
+    for (double x : xs) {
+      if (x <= 0.0) return false;
+    }
+    return xs.size() >= 30;
+  };
+  if (positive(gaps)) report.interfailure_fit = stats::fit_best(gaps);
+  if (positive(hours)) report.repair_fit = stats::fit_best(hours);
+  return report;
+}
+
+double survival_probability(const ReliabilityReport& report, double days) {
+  require(days >= 0.0, "survival_probability: negative horizon");
+  if (report.mtbf_days <= 0.0) return 0.0;
+  return std::exp(-days / report.mtbf_days);
+}
+
+}  // namespace fa::analysis

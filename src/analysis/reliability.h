@@ -1,0 +1,50 @@
+// Reliability metrics derived from the failure trace: MTBF, MTTR,
+// annualized failure rates, steady-state availability, and the fitted
+// distributions needed for reliability modelling (the paper's Section IV
+// motivates exactly this use: "understanding the inter-failure times is
+// crucial for reliability modeling and the design of fault-tolerant
+// systems").
+#pragma once
+
+#include <optional>
+
+#include "src/analysis/failure_rates.h"
+#include "src/stats/fitting.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+struct ReliabilityReport {
+  std::size_t servers = 0;
+  std::size_t failures = 0;
+
+  // Exposure-based MTBF: total in-scope server-uptime divided by the number
+  // of failures (well-defined even when most servers never fail).
+  double mtbf_days = 0.0;
+  // Mean per-server gap between consecutive failures (only servers with
+  // >= 2 failures contribute); nullopt when no server failed twice.
+  std::optional<double> mean_interfailure_days;
+  // Mean repair (down) time.
+  double mttr_hours = 0.0;
+  // Failures per server-year.
+  double annualized_failure_rate = 0.0;
+  // Steady-state availability MTBF / (MTBF + MTTR).
+  double availability = 0.0;
+
+  // Best-fit distributions (by log-likelihood) for per-server inter-failure
+  // days and repair hours; empty optionals when the samples are too small.
+  std::optional<stats::FitResult> interfailure_fit;
+  std::optional<stats::FitResult> repair_fit;
+};
+
+// Computes the full report for the in-scope machines. `failures` are crash
+// tickets (e.g. AnalysisPipeline::failures()).
+ReliabilityReport reliability_report(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures, const Scope& scope);
+
+// P(a server survives `days` without failing), from the exposure-based
+// failure rate under a Poisson approximation.
+double survival_probability(const ReliabilityReport& report, double days);
+
+}  // namespace fa::analysis

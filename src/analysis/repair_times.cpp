@@ -1,0 +1,37 @@
+#include "src/analysis/repair_times.h"
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+namespace {
+
+std::vector<double> collect(const trace::TraceDatabase& db,
+                            std::span<const trace::Ticket* const> failures,
+                            const Scope& scope, const trace::FailureClass* cls,
+                            const ClassLookup* class_of) {
+  std::vector<double> hours;
+  for (const trace::Ticket* t : failures) {
+    require(t->is_crash, "repair_hours: non-crash ticket");
+    if (!scope.matches(db.server(t->server))) continue;
+    if (cls != nullptr && (*class_of)(*t) != *cls) continue;
+    hours.push_back(to_hours(t->repair_time()));
+  }
+  return hours;
+}
+
+}  // namespace
+
+std::vector<double> repair_hours(const trace::TraceDatabase& db,
+                                 std::span<const trace::Ticket* const> failures,
+                                 const Scope& scope) {
+  return collect(db, failures, scope, nullptr, nullptr);
+}
+
+std::vector<double> repair_hours(const trace::TraceDatabase& db,
+                                 std::span<const trace::Ticket* const> failures,
+                                 const Scope& scope, trace::FailureClass cls,
+                                 const ClassLookup& class_of) {
+  return collect(db, failures, scope, &cls, &class_of);
+}
+
+}  // namespace fa::analysis

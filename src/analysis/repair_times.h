@@ -1,0 +1,25 @@
+// Repair-time analysis (paper Section IV-C, Fig. 4, Table IV): repair time
+// is the difference between ticket issuing and closing time, in hours.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/analysis/failure_rates.h"
+#include "src/analysis/interfailure.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+// Repair hours for in-scope crash tickets.
+std::vector<double> repair_hours(const trace::TraceDatabase& db,
+                                 std::span<const trace::Ticket* const> failures,
+                                 const Scope& scope);
+
+// Repair hours restricted to one (predicted) failure class.
+std::vector<double> repair_hours(const trace::TraceDatabase& db,
+                                 std::span<const trace::Ticket* const> failures,
+                                 const Scope& scope, trace::FailureClass cls,
+                                 const ClassLookup& class_of);
+
+}  // namespace fa::analysis

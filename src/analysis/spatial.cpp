@@ -1,0 +1,81 @@
+#include "src/analysis/spatial.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+double IncidentTypeBreakdown::dependency_fraction() const {
+  const double involved = one + two_or_more;
+  return involved > 0.0 ? two_or_more / involved : 0.0;
+}
+
+SpatialAnalysis analyze_spatial(const trace::TraceDatabase& db,
+                                const ClassLookup& class_of) {
+  SpatialAnalysis result;
+  const auto incidents = db.incidents();
+  result.incident_count = incidents.size();
+  require(result.incident_count > 0, "analyze_spatial: no incidents");
+
+  std::array<std::size_t, 3> all_counts{};      // 0, 1, >=2 (index capped)
+  std::array<std::size_t, 3> pm_counts{};
+  std::array<std::size_t, 3> vm_counts{};
+  std::array<double, trace::kFailureClassCount> size_sum{};
+
+  for (const auto& tickets : incidents) {
+    std::unordered_set<trace::ServerId> servers;
+    std::size_t pm = 0;
+    std::size_t vm = 0;
+    // Majority class vote, earliest ticket wins ties.
+    std::array<int, trace::kFailureClassCount> votes{};
+    const trace::Ticket* earliest = tickets.front();
+    for (const trace::Ticket* t : tickets) {
+      if (t->opened < earliest->opened) earliest = t;
+      ++votes[static_cast<std::size_t>(class_of(*t))];
+      if (servers.insert(t->server).second) {
+        (db.server(t->server).type == trace::MachineType::kPhysical ? pm
+                                                                    : vm)++;
+      }
+    }
+    auto cls = static_cast<std::size_t>(class_of(*earliest));
+    for (std::size_t c = 0; c < votes.size(); ++c) {
+      if (votes[c] > votes[cls]) cls = c;
+    }
+
+    const auto size = servers.size();
+    ++all_counts[std::min<std::size_t>(size, 2)];
+    ++pm_counts[std::min<std::size_t>(pm, 2)];
+    ++vm_counts[std::min<std::size_t>(vm, 2)];
+    result.max_servers_in_incident =
+        std::max(result.max_servers_in_incident, static_cast<int>(size));
+
+    ClassIncidentSize& entry = result.by_class[cls];
+    ++entry.incidents;
+    size_sum[cls] += static_cast<double>(size);
+    entry.max = std::max(entry.max, static_cast<int>(size));
+  }
+
+  const auto to_breakdown = [&](const std::array<std::size_t, 3>& counts) {
+    IncidentTypeBreakdown b;
+    const auto n = static_cast<double>(result.incident_count);
+    b.zero = static_cast<double>(counts[0]) / n;
+    b.one = static_cast<double>(counts[1]) / n;
+    b.two_or_more = static_cast<double>(counts[2]) / n;
+    return b;
+  };
+  result.all = to_breakdown(all_counts);
+  result.pm_only = to_breakdown(pm_counts);
+  result.vm_only = to_breakdown(vm_counts);
+
+  for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+    if (result.by_class[c].incidents > 0) {
+      result.by_class[c].mean =
+          size_sum[c] / static_cast<double>(result.by_class[c].incidents);
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::analysis

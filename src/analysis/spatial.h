@@ -1,0 +1,47 @@
+// Spatial (in)dependency of failures (paper Section IV-E, Tables VI/VII):
+// groups crash tickets by failure incident and studies how many distinct
+// servers — and of which machine type — each incident affects.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "src/analysis/interfailure.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+struct IncidentTypeBreakdown {
+  // Fractions of incidents involving zero, exactly one, and >= 2 servers of
+  // the given view (all servers / PMs only / VMs only) — Table VI rows.
+  double zero = 0.0;
+  double one = 0.0;
+  double two_or_more = 0.0;
+
+  // Paper's dependency metric: two_or_more / (one + two_or_more).
+  double dependency_fraction() const;
+};
+
+struct ClassIncidentSize {
+  double mean = 0.0;
+  int max = 0;
+  std::size_t incidents = 0;
+};
+
+struct SpatialAnalysis {
+  std::size_t incident_count = 0;
+  IncidentTypeBreakdown all;      // Table VI row "PM and VM"
+  IncidentTypeBreakdown pm_only;  // Table VI row "PM only"
+  IncidentTypeBreakdown vm_only;  // Table VI row "VM only"
+  // Distinct-server counts per (predicted) class — Table VII. Indexed by
+  // FailureClass (including kOther).
+  std::array<ClassIncidentSize, trace::kFailureClassCount> by_class;
+  int max_servers_in_incident = 0;
+};
+
+// Incident class = majority predicted class among the incident's tickets
+// (ties broken toward the earliest ticket's class).
+SpatialAnalysis analyze_spatial(const trace::TraceDatabase& db,
+                                const ClassLookup& class_of);
+
+}  // namespace fa::analysis

@@ -1,0 +1,62 @@
+#include "src/analysis/transitions.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/error.h"
+
+namespace fa::analysis {
+
+double TransitionAnalysis::self_transition(trace::FailureClass cls) const {
+  return probability[static_cast<std::size_t>(cls)]
+                    [static_cast<std::size_t>(cls)];
+}
+
+TransitionAnalysis analyze_transitions(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures,
+    const ClassLookup& class_of, Duration window) {
+  require(window > 0, "analyze_transitions: window must be positive");
+  TransitionAnalysis result;
+
+  // Per-server failure sequences ordered by time.
+  std::unordered_map<trace::ServerId,
+                     std::vector<std::pair<TimePoint, trace::FailureClass>>>
+      by_server;
+  for (const trace::Ticket* t : failures) {
+    require(t->is_crash, "analyze_transitions: non-crash ticket");
+    by_server[t->server].emplace_back(t->opened, class_of(*t));
+  }
+
+  std::array<int, trace::kFailureClassCount> eligible{};
+  const TimePoint end = db.window().end;
+  for (auto& [server, events] : by_server) {
+    std::sort(events.begin(), events.end());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const auto [at, cls] = events[i];
+      if (at + window > end) break;  // censored
+      ++eligible[static_cast<std::size_t>(cls)];
+      if (i + 1 < events.size() && events[i + 1].first - at <= window) {
+        ++result.counts[static_cast<std::size_t>(cls)]
+                       [static_cast<std::size_t>(events[i + 1].second)];
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < trace::kFailureClassCount; ++i) {
+    int row_total = 0;
+    for (int c : result.counts[i]) row_total += c;
+    if (eligible[i] > 0) {
+      result.followup_probability[i] =
+          static_cast<double>(row_total) / eligible[i];
+    }
+    if (row_total == 0) continue;
+    for (std::size_t j = 0; j < trace::kFailureClassCount; ++j) {
+      result.probability[i][j] =
+          static_cast<double>(result.counts[i][j]) / row_total;
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::analysis

@@ -1,0 +1,42 @@
+// Follow-on failure class transitions.
+//
+// The paper's related work (El-Sayed & Schroeder, DSN'13) reports high
+// correlation among failure classes — e.g. power failures induce follow-on
+// failures "of any kind". This extension measures that on the trace: given
+// a server failure of class i, the distribution over classes of the
+// server's *next* failure within a window.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "src/analysis/interfailure.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+struct TransitionAnalysis {
+  // counts[i][j]: failures of class i whose same-server follow-up within
+  // the window had class j.
+  std::array<std::array<int, trace::kFailureClassCount>,
+             trace::kFailureClassCount>
+      counts{};
+  // Row-normalized transition probabilities; rows without any follow-up
+  // stay all-zero.
+  std::array<std::array<double, trace::kFailureClassCount>,
+             trace::kFailureClassCount>
+      probability{};
+  // P(follow-up within the window | failure of class i).
+  std::array<double, trace::kFailureClassCount> followup_probability{};
+
+  // Probability the follow-up repeats the class, conditioned on a follow-up
+  // happening. Returns 0 for rows without data.
+  double self_transition(trace::FailureClass cls) const;
+};
+
+TransitionAnalysis analyze_transitions(
+    const trace::TraceDatabase& db,
+    std::span<const trace::Ticket* const> failures,
+    const ClassLookup& class_of, Duration window);
+
+}  // namespace fa::analysis

@@ -1,0 +1,44 @@
+// Paper-vs-measured comparison formatting shared by the bench binaries:
+// every experiment prints rows of (metric, paper value, measured value) plus
+// a PASS/CHECK verdict on the qualitative "shape" criteria.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fa::paperref {
+
+class Comparison {
+ public:
+  // `title` e.g. "Table V -- random vs recurrent failure probabilities".
+  explicit Comparison(std::string title);
+
+  void add(const std::string& metric, double paper, double measured,
+           int precision = 4);
+  void add_text(const std::string& metric, const std::string& paper,
+                const std::string& measured);
+
+  // Records a qualitative shape check ("PM rate > VM rate", ...).
+  void check(const std::string& description, bool passed);
+
+  // Renders the table, the checks, and the overall verdict.
+  std::string render() const;
+  bool all_checks_passed() const;
+  int failed_checks() const;
+
+ private:
+  struct Row {
+    std::string metric;
+    std::string paper;
+    std::string measured;
+  };
+  struct Check {
+    std::string description;
+    bool passed;
+  };
+  std::string title_;
+  std::vector<Row> rows_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace fa::paperref

@@ -1,0 +1,211 @@
+#include "src/sim/failures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+// Number of extra servers when an incident is multi-server: discretized
+// Pareto clamped to [1, max_extra] (see IncidentSizeSpec).
+int sample_extra_count(const IncidentSizeSpec& spec, Rng& rng) {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  const double x = std::pow(u, -1.0 / spec.pareto_alpha);
+  const int k = static_cast<int>(x);
+  return std::clamp(k, 1, spec.max_extra);
+}
+
+trace::FailureClass sample_real_class(const std::array<double, 5>& mix,
+                                      Rng& rng) {
+  const std::vector<double> weights(mix.begin(), mix.end());
+  return static_cast<trace::FailureClass>(rng.weighted_index(weights));
+}
+
+// Related servers an incident of `recorded` class can spread to, ordered by
+// plausibility: box siblings for host-level causes, application-group peers
+// for software, the power domain for electrical/network causes.
+std::vector<trace::ServerId> related_servers(const Fleet& fleet,
+                                             trace::ServerId root,
+                                             trace::FailureClass recorded) {
+  const trace::ServerRecord& server = fleet.server(root);
+  const MachineProfile& profile = fleet.profile(root);
+  std::vector<trace::ServerId> pool;
+  const auto add_box_siblings = [&] {
+    if (!server.host_box.valid()) return;
+    for (trace::ServerId id :
+         fleet.box_members[static_cast<std::size_t>(server.host_box.value)]) {
+      if (id != root) pool.push_back(id);
+    }
+  };
+  const auto add_app_group = [&] {
+    if (profile.app_group < 0) return;
+    for (trace::ServerId id :
+         fleet
+             .app_group_members[static_cast<std::size_t>(profile.app_group)]) {
+      if (id != root) pool.push_back(id);
+    }
+  };
+  const auto add_power_domain = [&] {
+    for (trace::ServerId id :
+         fleet.power_domain_members[static_cast<std::size_t>(
+             profile.power_domain)]) {
+      if (id != root) pool.push_back(id);
+    }
+  };
+
+  switch (recorded) {
+    case trace::FailureClass::kPower:
+      add_power_domain();
+      break;
+    case trace::FailureClass::kReboot:
+    case trace::FailureClass::kHardware:
+      // Host-level causes: co-hosted VMs first, then the shared domain.
+      add_box_siblings();
+      add_power_domain();
+      break;
+    case trace::FailureClass::kSoftware:
+      // Virtualized application stacks co-locate service tiers with their
+      // middleware: co-hosted VMs are the most likely co-victims.
+      if (server.type == trace::MachineType::kVirtual) {
+        add_box_siblings();
+        add_app_group();
+      } else {
+        add_app_group();
+        add_box_siblings();
+      }
+      break;
+    case trace::FailureClass::kNetwork:
+      add_power_domain();  // shared rack/switch proxy
+      break;
+    case trace::FailureClass::kOther:
+      add_box_siblings();
+      add_app_group();
+      add_power_domain();
+      break;
+  }
+  // De-duplicate while preserving plausibility order.
+  std::vector<trace::ServerId> unique;
+  for (trace::ServerId id : pool) {
+    if (std::find(unique.begin(), unique.end(), id) == unique.end()) {
+      unique.push_back(id);
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
+                                            const Fleet& fleet,
+                                            const HazardModel& hazard,
+                                            trace::TraceDatabase& db,
+                                            Rng& rng) {
+  const ObservationWindow year = ticket_window();
+  std::vector<FailureEvent> events;
+
+  const auto emit_with_aftershocks = [&](trace::ServerId server,
+                                         trace::IncidentId incident,
+                                         trace::FailureClass recorded,
+                                         trace::FailureClass cause,
+                                         TimePoint at,
+                                         const AftershockSpec& shock,
+                                         const std::array<double, 5>& mix) {
+    events.push_back({server, incident, recorded, cause, at, false});
+    const bool vague = recorded == trace::FailureClass::kOther;
+    TimePoint t = at;
+    while (rng.bernoulli(shock.probability)) {
+      const double delay_minutes =
+          shock.delay_median_minutes *
+          std::exp(shock.delay_sigma * rng.normal());
+      t += std::max<Duration>(1, static_cast<Duration>(delay_minutes));
+      if (t >= year.end) break;
+      if (!rng.bernoulli(shock.same_class_probability[static_cast<std::size_t>(
+              cause)])) {
+        cause = sample_real_class(mix, rng);
+      }
+      // Vague incidents stay vague: the same poorly-documented problem
+      // keeps producing poorly-documented tickets.
+      events.push_back(
+          {server, incident, vague ? trace::FailureClass::kOther : cause,
+           cause, t, true});
+    }
+  };
+
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const PopulationSpec& pop = config.systems[sys];
+    for (int ti = 0; ti < trace::kMachineTypeCount; ++ti) {
+      const auto type = static_cast<trace::MachineType>(ti);
+      const auto mix = class_distribution(config, sys, type);
+      const int n = hazard.primary_incident_count(sys, type);
+
+      for (int i = 0; i < n; ++i) {
+        const trace::ServerId root = hazard.sample_root(sys, type, rng);
+        if (!root.valid()) break;
+        const MachineProfile& root_profile = fleet.profile(root);
+
+        // Failure instant: uniform within the root's exposure window.
+        const TimePoint start = std::max(root_profile.creation, year.begin);
+        const TimePoint at = start + static_cast<Duration>(rng.uniform(
+                                         0.0, static_cast<double>(
+                                                  year.end - 1 - start)));
+
+        const trace::FailureClass cause = sample_real_class(mix, rng);
+        const trace::FailureClass recorded =
+            rng.bernoulli(pop.other_fraction) ? trace::FailureClass::kOther
+                                              : cause;
+
+        const trace::IncidentId incident = db.new_incident();
+
+        // Spatial expansion.
+        std::vector<trace::ServerId> affected = {root};
+        const IncidentSizeSpec& size_spec =
+            config.incident_size_for(type, recorded);
+        if (rng.bernoulli(size_spec.multi_probability)) {
+          const int extra = sample_extra_count(size_spec, rng);
+          // Propagation follows the physical cause, even when the tickets
+          // end up recorded as "other".
+          auto pool = related_servers(fleet, root, cause);
+          // Keep plausibility order but randomize ties within the pool by a
+          // light shuffle of the tail beyond the most plausible few.
+          if (pool.size() > 3) {
+            std::vector<trace::ServerId> tail(pool.begin() + 3, pool.end());
+            rng.shuffle(tail);
+            std::copy(tail.begin(), tail.end(), pool.begin() + 3);
+          }
+          for (trace::ServerId id : pool) {
+            if (static_cast<int>(affected.size()) > extra) break;
+            // Only machines that already exist can fail.
+            if (fleet.profile(id).creation <= at) affected.push_back(id);
+          }
+        }
+
+        for (std::size_t a = 0; a < affected.size(); ++a) {
+          // Co-affected servers fail within minutes of the root.
+          const TimePoint t =
+              a == 0 ? at
+                     : std::min<TimePoint>(
+                           year.end - 1,
+                           at + static_cast<Duration>(rng.uniform(0.0, 30.0)));
+          const trace::ServerRecord& s = fleet.server(affected[a]);
+          const AftershockSpec& shock =
+              s.type == trace::MachineType::kPhysical ? config.pm_aftershock
+                                                      : config.vm_aftershock;
+          emit_with_aftershocks(affected[a], incident, recorded, cause, t,
+                                shock, mix);
+        }
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.server < b.server;
+            });
+  return events;
+}
+
+}  // namespace fa::sim

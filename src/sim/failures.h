@@ -1,0 +1,44 @@
+// Failure-event generation.
+//
+// Primary incidents are drawn per (subsystem, machine-type) stratum with
+// hazard-weighted root selection; each incident may spread to related
+// servers (same hosting box, power domain, or application group, depending
+// on the root cause), and every affected server spawns a geometric chain of
+// aftershock failures with heavy-tailed delays. Aftershocks share the
+// incident id of the originating incident: they are follow-on failures of
+// the same underlying problem, so they drive the recurrence statistics
+// (Table V / Fig. 5) without inflating incident sizes (Tables VI / VII).
+#pragma once
+
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/fleet.h"
+#include "src/sim/hazard.h"
+#include "src/trace/database.h"
+#include "src/util/rng.h"
+
+namespace fa::sim {
+
+struct FailureEvent {
+  trace::ServerId server;
+  trace::IncidentId incident;
+  // The class a support engineer would record: one of the five real causes,
+  // or kOther when the ticket is written too vaguely to attribute.
+  trace::FailureClass recorded_class = trace::FailureClass::kOther;
+  // The true underlying root cause (never kOther). Repair effort follows
+  // the cause even when the ticket text is too vague to name it.
+  trace::FailureClass cause_class = trace::FailureClass::kSoftware;
+  TimePoint at = 0;
+  bool is_aftershock = false;
+};
+
+// Generates all failure events of the observation year, sorted by time.
+// Incident ids are allocated from `db`.
+std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
+                                            const Fleet& fleet,
+                                            const HazardModel& hazard,
+                                            trace::TraceDatabase& db,
+                                            Rng& rng);
+
+}  // namespace fa::sim

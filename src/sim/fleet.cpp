@@ -1,0 +1,189 @@
+#include "src/sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+double sample_discrete(const DiscreteSpec& spec, Rng& rng) {
+  require(spec.values.size() == spec.weights.size() && !spec.values.empty(),
+          "sample_discrete: malformed DiscreteSpec");
+  return spec.values[rng.weighted_index(spec.weights)];
+}
+
+// Mean usage around a mixture component center, jittered within the band so
+// usage values are not artificially discrete.
+double sample_usage_mean(const DiscreteSpec& spec, Rng& rng) {
+  const double center = sample_discrete(spec, rng);
+  const double jittered = center * rng.uniform(0.75, 1.25);
+  return std::clamp(jittered, 0.5, 99.0);
+}
+
+constexpr int kPowerDomainSize = 40;  // servers sharing electrical feed
+constexpr int kAppGroupMin = 2;
+constexpr int kAppGroupMax = 8;
+constexpr double kAppGroupMembership = 0.35;
+
+}  // namespace
+
+Fleet build_fleet(const SimulationConfig& config, Rng& rng) {
+  Fleet fleet;
+  const ObservationWindow monitoring = monitoring_window();
+  const ObservationWindow year = ticket_window();
+
+  int next_power_domain = 0;
+  int next_app_group = 0;
+
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const PopulationSpec& pop = config.systems[sys];
+
+    // Per-system power domains are filled round-robin as servers are built.
+    // Stand-alone PMs and virtualization boxes live in separate rack rows,
+    // so domains are type-pure (this also matches the paper's Sys II, whose
+    // 52 VMs saw no crash tickets at all).
+    int domain_fill = kPowerDomainSize;  // force a fresh domain per system
+    bool domain_virtual = false;
+    const auto assign_domain = [&](bool virtual_side) {
+      if (domain_fill >= kPowerDomainSize || domain_virtual != virtual_side) {
+        ++next_power_domain;
+        fleet.power_domain_members.emplace_back();
+        domain_fill = 0;
+        domain_virtual = virtual_side;
+      }
+      ++domain_fill;
+      return next_power_domain - 1;
+    };
+
+    // ---- physical machines ----
+    for (int i = 0; i < pop.pm_count; ++i) {
+      trace::ServerRecord s;
+      s.id = trace::ServerId{static_cast<std::int32_t>(fleet.servers.size())};
+      s.type = trace::MachineType::kPhysical;
+      s.subsystem = sys;
+      s.cpu_count = static_cast<int>(sample_discrete(config.pm_cpu_count, rng));
+      s.memory_gb = sample_discrete(config.pm_memory_gb, rng);
+      // The paper's dataset has no disk information for PMs.
+      s.first_record = monitoring.begin;
+
+      MachineProfile p;
+      p.mean_cpu_util = sample_usage_mean(config.cpu_util_mixture, rng);
+      p.mean_mem_util = sample_usage_mean(config.pm_mem_util_mixture, rng);
+      p.creation = monitoring.begin;
+      p.power_domain = assign_domain(false);
+      fleet.power_domain_members[static_cast<std::size_t>(p.power_domain)]
+          .push_back(s.id);
+
+      fleet.servers.push_back(s);
+      fleet.profiles.push_back(p);
+    }
+
+    // ---- hosting boxes and virtual machines ----
+    // Boxes are drawn by capacity until they can hold all VMs; VMs fill
+    // boxes completely so a VM's consolidation level equals its box's
+    // capacity, reproducing the population shares of Fig. 9.
+    int remaining = pop.vm_count;
+    while (remaining > 0) {
+      const int capacity =
+          static_cast<int>(sample_discrete(config.box_capacity, rng));
+      const int members = std::min(capacity, remaining);
+      remaining -= members;
+
+      const trace::BoxId box{
+          static_cast<std::int32_t>(fleet.box_members.size())};
+      fleet.box_members.emplace_back();
+      const int box_domain = assign_domain(true);
+
+      for (int i = 0; i < members; ++i) {
+        trace::ServerRecord s;
+        s.id =
+            trace::ServerId{static_cast<std::int32_t>(fleet.servers.size())};
+        s.type = trace::MachineType::kVirtual;
+        s.subsystem = sys;
+        s.cpu_count =
+            static_cast<int>(sample_discrete(config.vm_cpu_count, rng));
+        s.memory_gb = sample_discrete(config.vm_memory_gb, rng);
+        s.disk_gb = sample_discrete(config.vm_disk_gb, rng);
+        s.disk_count =
+            static_cast<int>(sample_discrete(config.vm_disk_count, rng));
+        s.host_box = box;
+
+        MachineProfile p;
+        p.mean_cpu_util = sample_usage_mean(config.cpu_util_mixture, rng);
+        p.mean_mem_util = sample_usage_mean(config.vm_mem_util_mixture, rng);
+        p.mean_disk_util = sample_usage_mean(config.vm_disk_util_mixture, rng);
+        p.mean_net_kbps =
+            sample_discrete(config.vm_net_kbps_mixture, rng) *
+            rng.uniform(0.75, 1.25);
+        p.onoff_per_month = sample_discrete(config.vm_onoff_per_month, rng);
+        p.consolidation = capacity;
+        // VM creation: a fraction predates the monitoring DB (left-censored
+        // ages); the rest appear uniformly through the monitoring window,
+        // but early enough to have some exposure in the ticket year.
+        if (rng.bernoulli(config.vm_precreated_fraction)) {
+          p.creation =
+              monitoring.begin - from_days(rng.uniform(1.0, 540.0));
+        } else {
+          // Creations are front-loaded (the virtualized fleet grew early;
+          // the paper notes batch-style creation), so the age distribution
+          // at failure time skews old: u^1.6 biases toward the window
+          // start.
+          const double u = std::pow(rng.uniform(), 1.6);
+          p.creation = monitoring.begin +
+                       static_cast<Duration>(
+                           u * static_cast<double>(year.end -
+                                                   60 * kMinutesPerDay -
+                                                   monitoring.begin));
+        }
+        p.power_domain = box_domain;
+
+        s.first_record = std::max(p.creation, monitoring.begin);
+
+        fleet.power_domain_members[static_cast<std::size_t>(p.power_domain)]
+            .push_back(s.id);
+        fleet.box_members.back().push_back(s.id);
+        fleet.servers.push_back(s);
+        fleet.profiles.push_back(p);
+      }
+    }
+
+    // ---- application groups (multi-tier software spanning servers) ----
+    // A share of this system's servers is partitioned into small groups;
+    // software incidents propagate within a group. Groups are type-
+    // homogeneous: an application is deployed either on VMs or on PMs.
+    for (int ti = 0; ti < trace::kMachineTypeCount; ++ti) {
+      std::vector<trace::ServerId> pool;
+      for (const trace::ServerRecord& s : fleet.servers) {
+        if (s.subsystem == sys &&
+            s.type == static_cast<trace::MachineType>(ti) &&
+            rng.bernoulli(kAppGroupMembership)) {
+          pool.push_back(s.id);
+        }
+      }
+      rng.shuffle(pool);
+      std::size_t cursor = 0;
+      while (pool.size() - cursor >= kAppGroupMin) {
+        const auto size = static_cast<std::size_t>(
+            rng.uniform_int(kAppGroupMin, kAppGroupMax));
+        const auto take = std::min(size, pool.size() - cursor);
+        if (take < kAppGroupMin) break;
+        fleet.app_group_members.emplace_back();
+        for (std::size_t i = 0; i < take; ++i) {
+          const trace::ServerId id = pool[cursor++];
+          fleet.profiles[static_cast<std::size_t>(id.value)].app_group =
+              next_app_group;
+          fleet.app_group_members.back().push_back(id);
+        }
+        ++next_app_group;
+      }
+    }
+  }
+
+  require(fleet.servers.size() == fleet.profiles.size(),
+          "build_fleet: servers/profiles desynchronized");
+  return fleet;
+}
+
+}  // namespace fa::sim

@@ -1,0 +1,54 @@
+// Builds the simulated machine population: server configurations sampled
+// from the paper's reported distributions, the virtualization topology
+// (hosting boxes and consolidation levels), and the latent structure the
+// failure engine propagates through (power domains, multi-tier app groups).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/trace/records.h"
+#include "src/util/rng.h"
+
+namespace fa::sim {
+
+// Latent per-machine state not visible in the trace schema.
+struct MachineProfile {
+  // Static mean resource usage driving both the recorded weekly series and
+  // the hazard model.
+  double mean_cpu_util = 5.0;
+  double mean_mem_util = 10.0;
+  std::optional<double> mean_disk_util;  // VMs only
+  std::optional<double> mean_net_kbps;   // VMs only
+
+  double onoff_per_month = 0.0;  // VMs: average on/off cycles per month
+  int consolidation = 1;         // VMs: co-located VM count on the box
+  // True creation time (may precede the monitoring DB window).
+  TimePoint creation = 0;
+  int power_domain = 0;  // latent: shared electrical infrastructure
+  int app_group = -1;    // latent: multi-tier application membership, or -1
+};
+
+struct Fleet {
+  // servers[i].id.value == i; profiles is parallel to servers.
+  std::vector<trace::ServerRecord> servers;
+  std::vector<MachineProfile> profiles;
+  // VM members per hosting box, indexed by BoxId value.
+  std::vector<std::vector<trace::ServerId>> box_members;
+  // Server members per power domain (global domain index).
+  std::vector<std::vector<trace::ServerId>> power_domain_members;
+  // Server members per application group (global group index).
+  std::vector<std::vector<trace::ServerId>> app_group_members;
+
+  const trace::ServerRecord& server(trace::ServerId id) const {
+    return servers[static_cast<std::size_t>(id.value)];
+  }
+  const MachineProfile& profile(trace::ServerId id) const {
+    return profiles[static_cast<std::size_t>(id.value)];
+  }
+};
+
+Fleet build_fleet(const SimulationConfig& config, Rng& rng);
+
+}  // namespace fa::sim

@@ -1,0 +1,163 @@
+#include "src/sim/hazard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+// Age (days) of a VM at the middle of the ticket year, used as the static
+// stand-in for the slowly varying age multiplier.
+double midyear_age_days(const MachineProfile& profile) {
+  const ObservationWindow year = ticket_window();
+  const TimePoint mid = year.begin + year.length() / 2;
+  return std::max(0.0, to_days(mid - profile.creation));
+}
+
+}  // namespace
+
+double exposure_fraction(const trace::ServerRecord& server,
+                         const MachineProfile& profile) {
+  if (server.type == trace::MachineType::kPhysical) return 1.0;
+  const ObservationWindow year = ticket_window();
+  const TimePoint start = std::max(profile.creation, year.begin);
+  if (start >= year.end) return 0.0;
+  return static_cast<double>(year.end - start) /
+         static_cast<double>(year.length());
+}
+
+double machine_weight(const SimulationConfig& config,
+                      const trace::ServerRecord& server,
+                      const MachineProfile& profile) {
+  double w = 1.0;
+  if (server.type == trace::MachineType::kPhysical) {
+    w *= config.pm_cpu_curve.at(server.cpu_count);
+    w *= config.pm_mem_curve.at(server.memory_gb);
+    w *= config.pm_cpu_util_curve.at(profile.mean_cpu_util);
+    w *= config.pm_mem_util_curve.at(profile.mean_mem_util);
+  } else {
+    w *= config.vm_cpu_curve.at(server.cpu_count);
+    w *= config.vm_mem_curve.at(server.memory_gb);
+    if (server.disk_gb) w *= config.vm_disk_cap_curve.at(*server.disk_gb);
+    if (server.disk_count) {
+      w *= config.vm_disk_count_curve.at(*server.disk_count);
+    }
+    w *= config.vm_cpu_util_curve.at(profile.mean_cpu_util);
+    w *= config.vm_mem_util_curve.at(profile.mean_mem_util);
+    if (profile.mean_disk_util) {
+      w *= config.vm_disk_util_curve.at(*profile.mean_disk_util);
+    }
+    if (profile.mean_net_kbps) {
+      w *= config.vm_net_curve.at(*profile.mean_net_kbps);
+    }
+    w *= config.vm_consolidation_curve.at(profile.consolidation);
+    w *= config.vm_onoff_curve.at(profile.onoff_per_month);
+    w *= config.vm_age_curve.at(midyear_age_days(profile));
+  }
+  return w * exposure_fraction(server, profile);
+}
+
+std::array<double, 5> class_distribution(const SimulationConfig& config,
+                                         trace::Subsystem sys,
+                                         trace::MachineType type) {
+  require(sys < trace::kSubsystemCount, "class_distribution: bad subsystem");
+  const auto& boost = type == trace::MachineType::kPhysical
+                          ? config.pm_class_boost
+                          : config.vm_class_boost;
+  std::array<double, 5> dist{};
+  double total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    dist[i] = config.systems[sys].class_mix[i] * boost[i];
+    total += dist[i];
+  }
+  require(total > 0.0, "class_distribution: degenerate class mix");
+  for (double& d : dist) d /= total;
+  return dist;
+}
+
+HazardModel::HazardModel(const SimulationConfig& config, const Fleet& fleet) {
+  for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
+    const trace::ServerRecord& s = fleet.servers[i];
+    const double w = machine_weight(config, s, fleet.profiles[i]);
+    if (w <= 0.0) continue;
+    Stratum& st =
+        strata_[s.subsystem][static_cast<std::size_t>(s.type)];
+    st.members.push_back(s.id);
+    const double prev =
+        st.cumulative_weight.empty() ? 0.0 : st.cumulative_weight.back();
+    st.cumulative_weight.push_back(prev + w);
+  }
+
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+      const auto type = static_cast<trace::MachineType>(t);
+      Stratum& st = strata_[sys][static_cast<std::size_t>(t)];
+
+      // Expected tickets per primary incident: expected distinct servers per
+      // incident (over the recorded-class mix, including the vague "other"
+      // share) divided by (1 - aftershock probability), since every affected
+      // server spawns a geometric chain of follow-up failures.
+      const PopulationSpec& pop = config.systems[sys];
+      const auto real_mix = class_distribution(config, sys, type);
+      double expected_size =
+          pop.other_fraction *
+          config.incident_size_for(type, trace::FailureClass::kOther)
+              .expected_size();
+      for (std::size_t c = 0; c < 5; ++c) {
+        expected_size +=
+            (1.0 - pop.other_fraction) * real_mix[c] *
+            config.incident_size_for(type, static_cast<trace::FailureClass>(c))
+                .expected_size();
+      }
+      const AftershockSpec& shock = type == trace::MachineType::kPhysical
+                                        ? config.pm_aftershock
+                                        : config.vm_aftershock;
+      st.inflation = expected_size / (1.0 - shock.probability);
+
+      const int target = type == trace::MachineType::kPhysical
+                             ? pop.pm_crash_tickets
+                             : pop.vm_crash_tickets;
+      const double boost = type == trace::MachineType::kPhysical
+                               ? config.pm_calibration_boost[sys]
+                               : config.vm_calibration_boost[sys];
+      st.primary_count = static_cast<int>(
+          std::lround(boost * static_cast<double>(target) / st.inflation));
+      if (st.members.empty()) st.primary_count = 0;
+    }
+  }
+}
+
+const HazardModel::Stratum& HazardModel::stratum(
+    trace::Subsystem sys, trace::MachineType type) const {
+  require(sys < trace::kSubsystemCount, "HazardModel: bad subsystem");
+  return strata_[sys][static_cast<std::size_t>(type)];
+}
+
+int HazardModel::primary_incident_count(trace::Subsystem sys,
+                                        trace::MachineType type) const {
+  return stratum(sys, type).primary_count;
+}
+
+double HazardModel::ticket_inflation(trace::Subsystem sys,
+                                     trace::MachineType type) const {
+  return stratum(sys, type).inflation;
+}
+
+trace::ServerId HazardModel::sample_root(trace::Subsystem sys,
+                                         trace::MachineType type,
+                                         Rng& rng) const {
+  const Stratum& st = stratum(sys, type);
+  if (st.members.empty()) return trace::ServerId{};
+  const double total = st.cumulative_weight.back();
+  const double r = rng.uniform() * total;
+  const auto it = std::upper_bound(st.cumulative_weight.begin(),
+                                   st.cumulative_weight.end(), r);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - st.cumulative_weight.begin(),
+                               static_cast<std::ptrdiff_t>(st.members.size()) - 1));
+  return st.members[idx];
+}
+
+}  // namespace fa::sim

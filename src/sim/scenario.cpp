@@ -1,0 +1,116 @@
+#include "src/sim/scenario.h"
+
+#include <cmath>
+
+#include "src/sim/fleet.h"
+#include "src/sim/hazard.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+MultiplierCurve flat() {
+  return {{0.0, 1e12}, {1.0}};
+}
+
+}  // namespace
+
+std::string_view to_string(Ablation ablation) {
+  switch (ablation) {
+    case Ablation::kNoAftershocks:
+      return "no-aftershocks";
+    case Ablation::kNoPropagation:
+      return "no-propagation";
+    case Ablation::kFlatCovariates:
+      return "flat-covariates";
+  }
+  throw Error("to_string: invalid Ablation");
+}
+
+SimulationConfig apply_ablation(SimulationConfig config, Ablation ablation) {
+  switch (ablation) {
+    case Ablation::kNoAftershocks:
+      config.pm_aftershock.probability = 0.0;
+      config.vm_aftershock.probability = 0.0;
+      break;
+    case Ablation::kNoPropagation:
+      for (auto& spec : config.incident_size) spec.multi_probability = 0.0;
+      for (auto& spec : config.incident_size_vm) spec.multi_probability = 0.0;
+      break;
+    case Ablation::kFlatCovariates:
+      config.pm_cpu_curve = flat();
+      config.vm_cpu_curve = flat();
+      config.pm_mem_curve = flat();
+      config.vm_mem_curve = flat();
+      config.vm_disk_cap_curve = flat();
+      config.vm_disk_count_curve = flat();
+      config.pm_cpu_util_curve = flat();
+      config.vm_cpu_util_curve = flat();
+      config.pm_mem_util_curve = flat();
+      config.vm_mem_util_curve = flat();
+      config.vm_disk_util_curve = flat();
+      config.vm_net_curve = flat();
+      config.vm_consolidation_curve = flat();
+      config.vm_onoff_curve = flat();
+      config.vm_age_curve = flat();
+      break;
+  }
+  return config;
+}
+
+SimulationConfig with_vm_refresh(SimulationConfig config,
+                                 double max_age_days) {
+  require(max_age_days > 0.0, "with_vm_refresh: horizon must be positive");
+  // Refreshed VMs never progress along the age curve beyond the refresh
+  // horizon: clamp the curve there.
+  MultiplierCurve& curve = config.vm_age_curve;
+  if (max_age_days >= curve.edges.back()) return config;  // no-op horizon
+  MultiplierCurve clamped;
+  clamped.edges.push_back(curve.edges.front());
+  for (std::size_t i = 0; i < curve.multipliers.size(); ++i) {
+    const double hi = curve.edges[i + 1];
+    if (hi >= max_age_days) break;
+    clamped.edges.push_back(hi);
+    clamped.multipliers.push_back(curve.multipliers[i]);
+  }
+  clamped.edges.push_back(curve.edges.back());
+  clamped.multipliers.push_back(curve.at(max_age_days));
+  // Handle a horizon before the first edge: one flat segment.
+  if (clamped.multipliers.empty()) {
+    clamped = {{curve.edges.front(), curve.edges.back()},
+               {curve.at(max_age_days)}};
+  }
+  config.vm_age_curve = clamped;
+  return config;
+}
+
+SimulationConfig rescale_vm_targets(SimulationConfig modified,
+                                    const SimulationConfig& baseline) {
+  require(modified.seed == baseline.seed,
+          "rescale_vm_targets: configurations must share the seed");
+  // The fleet depends only on population specs and samplers, which what-if
+  // scenarios do not touch; the same seed therefore yields the same
+  // machines under both configurations.
+  Rng rng_a(baseline.seed);
+  Rng fleet_rng = rng_a.fork(1);
+  const Fleet fleet = build_fleet(baseline, fleet_rng);
+
+  std::array<double, trace::kSubsystemCount> base_weight{}, mod_weight{};
+  for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
+    const trace::ServerRecord& s = fleet.servers[i];
+    if (s.type != trace::MachineType::kVirtual) continue;
+    base_weight[s.subsystem] +=
+        machine_weight(baseline, s, fleet.profiles[i]);
+    mod_weight[s.subsystem] +=
+        machine_weight(modified, s, fleet.profiles[i]);
+  }
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    if (base_weight[sys] <= 0.0) continue;
+    const double ratio = mod_weight[sys] / base_weight[sys];
+    modified.systems[sys].vm_crash_tickets = static_cast<int>(std::lround(
+        modified.systems[sys].vm_crash_tickets * ratio));
+  }
+  return modified;
+}
+
+}  // namespace fa::sim

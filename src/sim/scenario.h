@@ -1,0 +1,52 @@
+// What-if scenarios and ablations over the simulation configuration.
+//
+// The ablations switch off one generative mechanism at a time so the
+// ablation benches can demonstrate that each measured phenomenon (recurrence
+// ratios, spatial dependency, covariate trends) is driven by the
+// corresponding mechanism and not an artifact of the analysis pipeline.
+// The what-if scenarios implement the management actions the paper's
+// conclusions suggest (e.g. periodically refreshing VM instances).
+#pragma once
+
+#include <string_view>
+
+#include "src/sim/config.h"
+
+namespace fa::sim {
+
+enum class Ablation {
+  // Disable the self-exciting aftershock process: failures become
+  // independent primaries. Table V's recurrent/random ratio must collapse.
+  kNoAftershocks,
+  // Every incident affects exactly one server. Table VI's >= 2-server
+  // share must drop to zero.
+  kNoPropagation,
+  // All hazard multiplier curves flattened to 1: failure rates become
+  // independent of capacity/usage/management covariates; Fig. 7-10 factors
+  // must collapse toward 1x.
+  kFlatCovariates,
+};
+
+std::string_view to_string(Ablation ablation);
+
+// Returns a copy of `config` with the ablated mechanism switched off.
+SimulationConfig apply_ablation(SimulationConfig config, Ablation ablation);
+
+// What-if: VMs are re-created from fresh images every `max_age_days`, so no
+// VM accumulates age-related risk beyond that point (the paper's suggestion
+// that periodic snapshots + re-instantiation can reduce VM failures).
+SimulationConfig with_vm_refresh(SimulationConfig config,
+                                 double max_age_days);
+
+// Converts a covariate what-if into an absolute failure-volume change.
+//
+// The simulator calibrates each stratum's incident count to its configured
+// crash-ticket target, so editing a hazard curve alone only *redistributes*
+// failures. For what-if scenarios the edited hazard must also rescale the
+// targets: this builds the fleet once under both configurations (same seed,
+// hence identical machines) and scales each stratum's VM crash target by
+// the ratio of total hazard weight modified/baseline.
+SimulationConfig rescale_vm_targets(SimulationConfig modified,
+                                    const SimulationConfig& baseline);
+
+}  // namespace fa::sim

@@ -1,0 +1,40 @@
+#include "src/sim/simulator.h"
+
+#include "src/sim/failures.h"
+#include "src/sim/fleet.h"
+#include "src/sim/hazard.h"
+#include "src/sim/ticketing.h"
+#include "src/sim/workload.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+
+trace::TraceDatabase simulate(const SimulationConfig& config) {
+  Rng rng(config.seed);
+  Rng fleet_rng = rng.fork(1);
+  Rng failure_rng = rng.fork(2);
+  Rng ticket_rng = rng.fork(3);
+  Rng workload_rng = rng.fork(4);
+
+  const Fleet fleet = build_fleet(config, fleet_rng);
+
+  trace::TraceDatabase db;
+  for (const trace::ServerRecord& s : fleet.servers) {
+    const trace::ServerId assigned = db.add_server(s);
+    require(assigned == s.id, "simulate: fleet/database id mismatch");
+  }
+
+  const HazardModel hazard(config, fleet);
+  auto events = generate_failures(config, fleet, hazard, db, failure_rng);
+  emit_crash_tickets(config, std::move(events), db, ticket_rng);
+  emit_background_tickets(config, fleet, db, ticket_rng);
+
+  emit_weekly_usage(config, fleet, db, workload_rng);
+  emit_monthly_snapshots(fleet, db);
+  emit_power_events(fleet, db, workload_rng);
+
+  db.finalize();
+  return db;
+}
+
+}  // namespace fa::sim

@@ -1,0 +1,16 @@
+// Top-level simulation entry point: turns a SimulationConfig into a fully
+// populated, finalized TraceDatabase — the synthetic stand-in for the
+// paper's joined ticket/inventory/monitoring data sources.
+#pragma once
+
+#include "src/sim/config.h"
+#include "src/trace/database.h"
+
+namespace fa::sim {
+
+// Runs the full pipeline: fleet construction, hazard calibration, failure
+// generation, ticketing (crash + background), and monitoring-DB content.
+// Deterministic for a given config (including its seed).
+trace::TraceDatabase simulate(const SimulationConfig& config);
+
+}  // namespace fa::sim

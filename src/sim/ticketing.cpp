@@ -1,0 +1,119 @@
+#include "src/sim/ticketing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/stats/lognormal.h"
+#include "src/text/ticket_text.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+stats::LogNormal repair_distribution(const RepairSpec& spec) {
+  return stats::LogNormal::from_mean_median(spec.mean_hours,
+                                            spec.median_hours);
+}
+
+}  // namespace
+
+void emit_crash_tickets(const SimulationConfig& config,
+                        std::vector<FailureEvent> events,
+                        trace::TraceDatabase& db, Rng& rng) {
+  // Distinct servers per incident, to decide monitoring-loss eligibility.
+  std::unordered_map<trace::IncidentId,
+                     std::unordered_set<trace::ServerId>>
+      incident_servers;
+  for (const FailureEvent& e : events) {
+    incident_servers[e.incident].insert(e.server);
+  }
+  std::unordered_set<trace::IncidentId> incident_seen;
+
+  std::vector<stats::LogNormal> repair;
+  repair.reserve(trace::kFailureClassCount);
+  for (const auto& spec : config.repair) {
+    repair.push_back(repair_distribution(spec));
+  }
+
+  for (const FailureEvent& e : events) {
+    const bool first_of_incident = incident_seen.insert(e.incident).second;
+    const bool large_incident =
+        static_cast<int>(incident_servers[e.incident].size()) >=
+        config.monitoring_loss_min_size;
+    if (!first_of_incident && large_incident &&
+        rng.bernoulli(config.monitoring_loss_probability)) {
+      continue;  // the monitoring server itself was down; ticket never filed
+    }
+
+    trace::Ticket t;
+    t.incident = e.incident;
+    t.server = e.server;
+    t.subsystem = db.server(e.server).subsystem;
+    t.is_crash = true;
+    t.true_class = e.recorded_class;
+    t.opened = e.at;
+    // Repair effort follows the true cause; a vaguely-written ticket still
+    // took however long its real problem took to fix. The down time also
+    // includes the (short) queueing interval before the repair starts.
+    const double queue_hours =
+        config.queueing.median_hours *
+        std::exp(config.queueing.sigma * rng.normal());
+    const double repair_hours =
+        repair[static_cast<std::size_t>(e.cause_class)].sample(rng);
+    t.closed =
+        e.at + std::max<Duration>(1, from_hours(queue_hours + repair_hours));
+    auto text =
+        text::generate_crash_text(e.recorded_class, config.text_style, rng);
+    t.description = std::move(text.description);
+    t.resolution = std::move(text.resolution);
+    db.add_ticket(std::move(t));
+  }
+}
+
+void emit_background_tickets(const SimulationConfig& config,
+                             const Fleet& fleet, trace::TraceDatabase& db,
+                             Rng& rng) {
+  // Crash tickets already present, per subsystem.
+  std::array<int, trace::kSubsystemCount> crash_count{};
+  for (const trace::Ticket& t : db.tickets()) {
+    if (t.is_crash) ++crash_count[t.subsystem];
+  }
+
+  // Index servers per subsystem for cheap random targeting.
+  std::array<std::vector<trace::ServerId>, trace::kSubsystemCount> by_system;
+  for (const trace::ServerRecord& s : fleet.servers) {
+    by_system[s.subsystem].push_back(s.id);
+  }
+
+  const ObservationWindow year = ticket_window();
+  const auto background_repair =
+      stats::LogNormal::from_mean_median(48.0, 8.0);
+
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const int remaining =
+        config.systems[sys].all_tickets - crash_count[sys];
+    require(!by_system[sys].empty() || remaining <= 0,
+            "emit_background_tickets: subsystem without servers");
+    for (int i = 0; i < remaining; ++i) {
+      trace::Ticket t;
+      t.server = by_system[sys][static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(by_system[sys].size()) - 1))];
+      t.subsystem = sys;
+      t.is_crash = false;
+      t.true_class = trace::FailureClass::kOther;
+      t.opened = year.begin + static_cast<Duration>(rng.uniform(
+                                  0.0, static_cast<double>(year.length() - 1)));
+      t.closed =
+          t.opened + std::max<Duration>(
+                         1, from_hours(background_repair.sample(rng)));
+      auto text = text::generate_background_text(rng);
+      t.description = std::move(text.description);
+      t.resolution = std::move(text.resolution);
+      db.add_ticket(std::move(t));
+    }
+  }
+}
+
+}  // namespace fa::sim

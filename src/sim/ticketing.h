@@ -1,0 +1,30 @@
+// The ticketing system: renders failure events into crash problem tickets
+// (free text + repair durations) and generates the background volume of
+// non-crash problem tickets that dominates the ticket database (Table II).
+#pragma once
+
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/failures.h"
+#include "src/sim/fleet.h"
+#include "src/trace/database.h"
+#include "src/util/rng.h"
+
+namespace fa::sim {
+
+// Emits one crash ticket per failure event, with class-specific LogNormal
+// repair times (Table IV) and class-conditioned ticket text. Large incidents
+// can lose tickets when the monitoring server itself is affected
+// (Section IV-E); the incident's first event is never lost.
+void emit_crash_tickets(const SimulationConfig& config,
+                        std::vector<FailureEvent> events,
+                        trace::TraceDatabase& db, Rng& rng);
+
+// Emits non-crash background tickets so each subsystem's total ticket count
+// matches its Table II volume.
+void emit_background_tickets(const SimulationConfig& config,
+                             const Fleet& fleet, trace::TraceDatabase& db,
+                             Rng& rng);
+
+}  // namespace fa::sim

@@ -1,0 +1,121 @@
+#include "src/sim/validation.h"
+
+#include <cmath>
+
+#include "src/util/strings.h"
+
+namespace fa::sim {
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "trace validation: OK\n";
+  std::string out = "trace validation: " + std::to_string(issues.size()) +
+                    " issue(s)\n";
+  for (const ValidationIssue& issue : issues) {
+    out += "  [" + issue.check + "] " + issue.message + "\n";
+  }
+  return out;
+}
+
+ValidationReport validate_trace(const trace::TraceDatabase& db,
+                                const SimulationConfig& config,
+                                double crash_tolerance) {
+  ValidationReport report;
+  const auto add = [&](std::string check, std::string message) {
+    report.issues.push_back({std::move(check), std::move(message)});
+  };
+  const ObservationWindow& year = db.window();
+
+  // Populations and ticket volumes.
+  std::array<std::array<int, 2>, trace::kSubsystemCount> crash_counts{};
+  for (const trace::Ticket& t : db.tickets()) {
+    if (t.is_crash) {
+      ++crash_counts[t.subsystem]
+                    [static_cast<int>(db.server(t.server).type)];
+      if (!year.contains(t.opened)) {
+        add("ticket.window", "crash ticket " + std::to_string(t.id.value) +
+                                 " outside the observation year");
+      }
+      if (t.repair_time() <= 0) {
+        add("ticket.repair", "crash ticket " + std::to_string(t.id.value) +
+                                 " has non-positive repair time");
+      }
+    }
+  }
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const PopulationSpec& pop = config.systems[sys];
+    const auto name = std::string(trace::subsystem_name(sys));
+    if (db.server_count(trace::MachineType::kPhysical, sys) !=
+        static_cast<std::size_t>(pop.pm_count)) {
+      add("population." + name + ".pm", "PM population mismatch");
+    }
+    if (db.server_count(trace::MachineType::kVirtual, sys) !=
+        static_cast<std::size_t>(pop.vm_count)) {
+      add("population." + name + ".vm", "VM population mismatch");
+    }
+    if (db.ticket_count(sys) != static_cast<std::size_t>(pop.all_tickets)) {
+      add("tickets." + name,
+          "total ticket volume " + std::to_string(db.ticket_count(sys)) +
+              " != target " + std::to_string(pop.all_tickets));
+    }
+    const auto check_crash = [&](int type_index, int target,
+                                 const char* label) {
+      const int measured = crash_counts[sys][type_index];
+      if (target == 0) {
+        if (measured != 0) {
+          add("crash." + name + "." + label,
+              "expected zero crash tickets, measured " +
+                  std::to_string(measured));
+        }
+        return;
+      }
+      // Absolute slack floor: tiny strata (a target of 10 tickets has
+      // Poisson noise of ~3) must not trip the relative tolerance.
+      const double slack =
+          std::max(crash_tolerance * target,
+                   3.0 * std::sqrt(static_cast<double>(target)) + 1.0);
+      if (std::fabs(measured - target) > slack) {
+        add("crash." + name + "." + label,
+            "crash tickets " + std::to_string(measured) +
+                " deviate beyond +-" + format_double(slack, 1) +
+                " from target " + std::to_string(target));
+      }
+    };
+    check_crash(0, pop.pm_crash_tickets, "pm");
+    check_crash(1, pop.vm_crash_tickets, "vm");
+  }
+
+  // Schema expectations per machine type.
+  const ObservationWindow& onoff = db.onoff_tracking();
+  for (const trace::ServerRecord& s : db.servers()) {
+    const bool is_vm = s.type == trace::MachineType::kVirtual;
+    if (is_vm != s.disk_gb.has_value() || is_vm != s.disk_count.has_value() ||
+        is_vm != s.host_box.valid()) {
+      add("schema.server." + std::to_string(s.id.value),
+          "disk/box fields inconsistent with machine type");
+    }
+    if (s.first_record < year.end && db.weekly_usage_for(s.id).empty()) {
+      add("monitoring.server." + std::to_string(s.id.value),
+          "exposed server has no weekly usage rows");
+    }
+    const auto events = db.power_events_for(s.id);
+    if (!is_vm && !events.empty()) {
+      add("power.server." + std::to_string(s.id.value),
+          "PM carries power events");
+    }
+    for (const trace::PowerEvent& e : events) {
+      if (!onoff.contains(e.at)) {
+        add("power.window." + std::to_string(s.id.value),
+            "power event outside the on/off tracking window");
+        break;
+      }
+    }
+    if (is_vm && db.snapshots_for(s.id).empty() &&
+        s.first_record < year.end) {
+      add("snapshots.server." + std::to_string(s.id.value),
+          "exposed VM has no monthly snapshots");
+    }
+  }
+  return report;
+}
+
+}  // namespace fa::sim

@@ -1,0 +1,40 @@
+// Self-validation of a simulated trace against its configuration: the
+// invariants every correctly generated TraceDatabase must satisfy,
+// independent of seed. Used by the test suite and by `fa_trace simulate`
+// as a post-generation doctor, and useful when editing calibration
+// parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/trace/database.h"
+
+namespace fa::sim {
+
+struct ValidationIssue {
+  std::string check;    // short identifier, e.g. "population.sys2.vm"
+  std::string message;  // human-readable description
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+// Checks, per subsystem and machine type:
+//   * populations match the config exactly;
+//   * total ticket volumes match Table II targets exactly;
+//   * crash-ticket counts within `crash_tolerance` (relative) of targets;
+//   * every crash ticket lies in the observation year with positive repair;
+//   * VM records carry disk/box data, PM records do not;
+//   * monitoring rows exist for every exposed server;
+//   * power events only for VMs, inside the on/off window.
+ValidationReport validate_trace(const trace::TraceDatabase& db,
+                                const SimulationConfig& config,
+                                double crash_tolerance = 0.35);
+
+}  // namespace fa::sim

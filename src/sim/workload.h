@@ -1,0 +1,28 @@
+// Monitoring-database content: weekly resource-usage rollups for every
+// machine, monthly placement snapshots for VMs, and the power on/off events
+// a 15-min sampler would record during the paper's two-month fine-grained
+// window (March-April 2013).
+#pragma once
+
+#include "src/sim/config.h"
+#include "src/sim/fleet.h"
+#include "src/trace/database.h"
+#include "src/util/rng.h"
+
+namespace fa::sim {
+
+// Weekly usage rows over the ticket year, jittered around each machine's
+// static mean profile. Disk/network columns are filled for VMs only,
+// mirroring the gaps in the paper's dataset.
+void emit_weekly_usage(const SimulationConfig& config, const Fleet& fleet,
+                       trace::TraceDatabase& db, Rng& rng);
+
+// Monthly (box, consolidation) snapshots for every VM existing that month.
+void emit_monthly_snapshots(const Fleet& fleet, trace::TraceDatabase& db);
+
+// Power off/on event pairs for VMs inside the fine-grained on/off window,
+// with Poisson cycle counts matching each VM's monthly on/off frequency.
+void emit_power_events(const Fleet& fleet, trace::TraceDatabase& db,
+                       Rng& rng);
+
+}  // namespace fa::sim

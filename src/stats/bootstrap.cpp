@@ -1,0 +1,39 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace fa::stats {
+
+BootstrapInterval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, int replicates, double confidence) {
+  require(!xs.empty(), "bootstrap_ci: empty sample");
+  require(replicates >= 10, "bootstrap_ci: need at least 10 replicates");
+  require(confidence > 0.0 && confidence < 1.0,
+          "bootstrap_ci: confidence must be in (0, 1)");
+
+  BootstrapInterval result;
+  result.point = statistic(xs);
+
+  std::vector<double> resample(xs.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(replicates));
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (auto& v : resample) {
+      v = xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  result.lo = percentile(stats, 100.0 * alpha);
+  result.hi = percentile(stats, 100.0 * (1.0 - alpha));
+  return result;
+}
+
+}  // namespace fa::stats

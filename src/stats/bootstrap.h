@@ -1,0 +1,24 @@
+// Percentile bootstrap confidence intervals, used to attach uncertainty to
+// the failure-rate and probability estimates reported by the benches.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/util/rng.h"
+
+namespace fa::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// statistic must accept any non-empty sample of the same size as xs.
+BootstrapInterval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, int replicates = 1000, double confidence = 0.95);
+
+}  // namespace fa::stats

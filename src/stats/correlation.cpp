@@ -1,0 +1,114 @@
+#include "src/stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+void check_pair(std::span<const double> xs, std::span<const double> ys,
+                const char* who) {
+  require(xs.size() == ys.size(), std::string(who) + ": size mismatch");
+  require(xs.size() >= 2, std::string(who) + ": need at least two points");
+}
+
+// Mid-ranks (ties share the average rank).
+std::vector<double> ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> rank(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  check_pair(xs, ys, "pearson_correlation");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0 && syy > 0.0,
+          "pearson_correlation: zero-variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  check_pair(xs, ys, "spearman_correlation");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson_correlation(rx, ry);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  check_pair(xs, ys, "linear_fit");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  require(denom != 0.0, "linear_fit: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1.0;  // constant y perfectly "explained"
+  }
+  return fit;
+}
+
+double monotonic_trend(std::span<const double> ys) {
+  require(ys.size() >= 2, "monotonic_trend: need at least two points");
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    for (std::size_t j = i + 1; j < ys.size(); ++j) {
+      if (ys[j] > ys[i]) ++concordant;
+      if (ys[j] < ys[i]) ++discordant;
+    }
+  }
+  const auto pairs =
+      static_cast<double>(ys.size() * (ys.size() - 1)) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,33 @@
+// Correlation and trend statistics used to quantify the covariate
+// relationships of Sections V and VI (e.g. "failure rates show a positive
+// correlation with the number of processors").
+#pragma once
+
+#include <span>
+
+namespace fa::stats {
+
+// Pearson product-moment correlation; requires two samples of equal size
+// >= 2 with non-zero variance.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+// Spearman rank correlation (Pearson over mid-ranks; ties averaged).
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys);
+
+// Least-squares slope and intercept of y over x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  // Coefficient of determination.
+  double r_squared = 0.0;
+};
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Kendall-style monotonic-trend score of a series: (concordant -
+// discordant) / total pairs, in [-1, 1]. +1 = strictly increasing.
+double monotonic_trend(std::span<const double> ys);
+
+}  // namespace fa::stats

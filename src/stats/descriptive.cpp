@@ -1,0 +1,76 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean: empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require(xs.size() >= 2, "variance: need at least two observations");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+double min(std::span<const double> xs) {
+  require(!xs.empty(), "min: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  require(!xs.empty(), "max: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  require(!xs.empty(), "percentile: empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) {
+  return percentile(xs, 50.0);
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  require(m != 0.0, "coefficient_of_variation: zero mean");
+  return stddev(xs) / m;
+}
+
+Summary summarize(std::span<const double> xs) {
+  require(!xs.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.p75 = percentile(xs, 75.0);
+  s.min = min(xs);
+  s.max = max(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  return s;
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,38 @@
+// Descriptive statistics used throughout the analysis: means, medians,
+// percentiles (the paper reports mean + 25th/75th percentile bars in all
+// failure-rate figures), and coefficient of variation (Section IV-C).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fa::stats {
+
+double mean(std::span<const double> xs);
+// Unbiased sample variance (n-1 denominator); requires n >= 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+// Linear-interpolation percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+// Coefficient of variation: stddev / mean.
+double coefficient_of_variation(std::span<const double> xs);
+
+// The five-number style summary the paper plots as bars with whiskers.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace fa::stats

@@ -1,0 +1,11 @@
+#include "src/stats/distribution.h"
+
+namespace fa::stats {
+
+double Distribution::log_likelihood(std::span<const double> xs) const {
+  double total = 0.0;
+  for (double x : xs) total += log_pdf(x);
+  return total;
+}
+
+}  // namespace fa::stats

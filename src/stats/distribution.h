@@ -1,0 +1,41 @@
+// Abstract interface for the continuous distributions used in the paper's
+// reliability modelling (Section IV fits inter-failure times with Gamma and
+// repair times with LogNormal, selected by log-likelihood among
+// Weibull/Gamma/LogNormal).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace fa::stats {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // Family name, e.g. "gamma".
+  virtual std::string name() const = 0;
+  // Human-readable parameterization, e.g. "Gamma(shape=0.57, scale=65.2)".
+  virtual std::string describe() const = 0;
+
+  virtual double pdf(double x) const = 0;
+  virtual double log_pdf(double x) const = 0;
+  virtual double cdf(double x) const = 0;
+  // Inverse CDF for p in [0, 1).
+  virtual double quantile(double p) const = 0;
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+
+  double median() const { return quantile(0.5); }
+
+  // Sum of log_pdf over the sample.
+  double log_likelihood(std::span<const double> xs) const;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace fa::stats

@@ -1,0 +1,45 @@
+#include "src/stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  require(!sorted_.empty(), "Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  require(p > 0.0 && p <= 1.0, "Ecdf::quantile: p must be in (0, 1]");
+  const auto n = sorted_.size();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(n))) - 1;
+  return sorted_[std::min(idx, n - 1)];
+}
+
+std::vector<Ecdf::Point> Ecdf::curve(std::size_t max_points) const {
+  require(max_points >= 2, "Ecdf::curve: need at least two points");
+  const std::size_t n = sorted_.size();
+  std::vector<Point> pts;
+  const std::size_t count = std::min(max_points, n);
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Pick evenly spaced order statistics, always including the maximum.
+    const std::size_t idx =
+        count == 1 ? n - 1 : (i * (n - 1)) / (count - 1);
+    pts.push_back({sorted_[idx], static_cast<double>(idx + 1) /
+                                     static_cast<double>(n)});
+  }
+  return pts;
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,34 @@
+// Empirical CDF — the workhorse behind the paper's Figs. 3, 4 and 6.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fa::stats {
+
+class Ecdf {
+ public:
+  // Copies and sorts the sample; requires a non-empty sample.
+  explicit Ecdf(std::span<const double> xs);
+
+  // F_n(x) = fraction of observations <= x (right-continuous step function).
+  double operator()(double x) const;
+
+  // Empirical quantile (inverse CDF) for p in (0, 1].
+  double quantile(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_values() const { return sorted_; }
+
+  // (x, F_n(x)) pairs subsampled to at most max_points, for plotting/reports.
+  struct Point {
+    double x;
+    double p;
+  };
+  std::vector<Point> curve(std::size_t max_points = 128) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace fa::stats

@@ -1,0 +1,41 @@
+#include "src/stats/exponential.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::stats {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require(rate > 0.0, "Exponential: rate must be positive");
+}
+
+std::string Exponential::describe() const {
+  return "Exponential(rate=" + format_double(rate_, 6) + ")";
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(rate_) - rate_ * x;
+}
+
+double Exponential::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "Exponential::quantile: p must be in [0, 1)");
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(Rng& rng) const {
+  return rng.exponential(rate_);
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/stats/distribution.h"
+
+namespace fa::stats {
+
+// Exponential(rate): the memoryless baseline the paper's related work rejects
+// for inter-failure times; included so the fitters can demonstrate that
+// Gamma/Weibull/LogNormal beat it on likelihood.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+
+  double rate() const { return rate_; }
+
+  std::string name() const override { return "exponential"; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+
+ private:
+  double rate_;
+};
+
+}  // namespace fa::stats

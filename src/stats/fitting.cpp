@@ -1,0 +1,143 @@
+#include "src/stats/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/ks.h"
+#include "src/stats/special.h"
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+void check_positive(std::span<const double> xs, const char* who) {
+  require(xs.size() >= 2, std::string(who) + ": need at least two samples");
+  for (double x : xs) {
+    require(x > 0.0, std::string(who) + ": samples must be positive");
+  }
+}
+
+double sample_mean(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double mean_log(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+Exponential fit_exponential(std::span<const double> xs) {
+  check_positive(xs, "fit_exponential");
+  return Exponential(1.0 / sample_mean(xs));
+}
+
+LogNormal fit_lognormal(std::span<const double> xs) {
+  check_positive(xs, "fit_lognormal");
+  const double mu = mean_log(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / static_cast<double>(xs.size()));
+  require(sigma > 0.0, "fit_lognormal: degenerate sample (all equal)");
+  return LogNormal(mu, sigma);
+}
+
+GammaDist fit_gamma(std::span<const double> xs) {
+  check_positive(xs, "fit_gamma");
+  const double m = sample_mean(xs);
+  const double s = std::log(m) - mean_log(xs);
+  require(s > 0.0, "fit_gamma: degenerate sample (all equal)");
+  // Minka's closed-form initializer, then Newton on
+  // f(k) = ln k - digamma(k) - s.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+             (12.0 * s);
+  if (!(k > 0.0) || !std::isfinite(k)) k = 0.5 / s;
+  for (int i = 0; i < 100; ++i) {
+    const double f = std::log(k) - digamma(k) - s;
+    const double fp = 1.0 / k - trigamma(k);
+    double next = k - f / fp;
+    if (!(next > 0.0) || !std::isfinite(next)) next = k / 2.0;
+    if (std::fabs(next - k) <= 1e-12 * k) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  return GammaDist(k, m / k);
+}
+
+Weibull fit_weibull(std::span<const double> xs) {
+  check_positive(xs, "fit_weibull");
+  const double mlog = mean_log(xs);
+  // Profile-likelihood equation for the shape:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0,
+  // g is increasing in k; bracket then bisect with Newton-like midpoints.
+  const auto g = [&](double k) {
+    double num = 0.0, den = 0.0;
+    for (double x : xs) {
+      const double xk = std::pow(x, k);
+      num += xk * std::log(x);
+      den += xk;
+    }
+    return num / den - 1.0 / k - mlog;
+  };
+  double lo = 1e-3, hi = 1.0;
+  while (g(hi) < 0.0 && hi < 1e6) hi *= 2.0;
+  while (g(lo) > 0.0 && lo > 1e-9) lo /= 2.0;
+  require(g(lo) <= 0.0 && g(hi) >= 0.0,
+          "fit_weibull: failed to bracket the shape root");
+  double k = 0.5 * (lo + hi);
+  for (int i = 0; i < 200; ++i) {
+    k = 0.5 * (lo + hi);
+    const double v = g(k);
+    if (std::fabs(v) < 1e-13 || (hi - lo) < 1e-12 * k) break;
+    (v < 0.0 ? lo : hi) = k;
+  }
+  double sum_xk = 0.0;
+  for (double x : xs) sum_xk += std::pow(x, k);
+  const double scale =
+      std::pow(sum_xk / static_cast<double>(xs.size()), 1.0 / k);
+  return Weibull(k, scale);
+}
+
+std::vector<FitResult> fit_candidates(std::span<const double> xs) {
+  check_positive(xs, "fit_candidates");
+  std::vector<FitResult> results;
+  const auto add = [&](DistributionPtr dist, int n_params) {
+    FitResult r;
+    r.log_likelihood = dist->log_likelihood(xs);
+    r.aic = 2.0 * n_params - 2.0 * r.log_likelihood;
+    r.ks_statistic = ks_statistic(xs, *dist);
+    r.dist = std::move(dist);
+    results.push_back(std::move(r));
+  };
+  add(std::make_unique<Exponential>(fit_exponential(xs)), 1);
+  // Degenerate samples (all values equal) fit exponential only.
+  try {
+    add(std::make_unique<Weibull>(fit_weibull(xs)), 2);
+    add(std::make_unique<GammaDist>(fit_gamma(xs)), 2);
+    add(std::make_unique<LogNormal>(fit_lognormal(xs)), 2);
+  } catch (const Error&) {
+    // Keep whatever families fitted successfully.
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.log_likelihood > b.log_likelihood;
+            });
+  return results;
+}
+
+FitResult fit_best(std::span<const double> xs) {
+  auto results = fit_candidates(xs);
+  require(!results.empty(), "fit_best: no family fitted");
+  return std::move(results.front());
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,44 @@
+// Maximum-likelihood fitting and model selection.
+//
+// The paper fits inter-failure times and repair times with Weibull, Gamma and
+// LogNormal and picks the family by log-likelihood (Gamma wins for
+// inter-failure times, LogNormal for repair times). These routines implement
+// the MLE for each family plus the selection step.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/stats/distribution.h"
+#include "src/stats/exponential.h"
+#include "src/stats/gamma_dist.h"
+#include "src/stats/lognormal.h"
+#include "src/stats/weibull.h"
+
+namespace fa::stats {
+
+// All samples must be strictly positive; fitters throw fa::Error otherwise.
+Exponential fit_exponential(std::span<const double> xs);
+LogNormal fit_lognormal(std::span<const double> xs);
+// Newton iteration on the shape via digamma/trigamma.
+GammaDist fit_gamma(std::span<const double> xs);
+// Safeguarded Newton/bisection on the profile likelihood shape equation.
+Weibull fit_weibull(std::span<const double> xs);
+
+struct FitResult {
+  DistributionPtr dist;
+  double log_likelihood = 0.0;
+  double aic = 0.0;  // 2k - 2 lnL
+  double ks_statistic = 0.0;
+};
+
+// Fits the candidate families used in the paper (Exponential, Weibull,
+// Gamma, LogNormal) and returns results sorted by descending log-likelihood;
+// the first entry is the selected model.
+std::vector<FitResult> fit_candidates(std::span<const double> xs);
+
+// Convenience: the best FitResult from fit_candidates.
+FitResult fit_best(std::span<const double> xs);
+
+}  // namespace fa::stats

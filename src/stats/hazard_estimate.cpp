@@ -1,0 +1,74 @@
+#include "src/stats/hazard_estimate.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+
+std::vector<HazardPoint> nelson_aalen(std::span<const double> durations) {
+  require(!durations.empty(), "nelson_aalen: empty sample");
+  std::vector<double> sorted(durations.begin(), durations.end());
+  std::sort(sorted.begin(), sorted.end());
+  require(sorted.front() >= 0.0, "nelson_aalen: negative duration");
+
+  std::vector<HazardPoint> curve;
+  double cumulative = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto deaths = static_cast<double>(j - i + 1);
+    const auto at_risk = static_cast<double>(sorted.size() - i);
+    cumulative += deaths / at_risk;
+    curve.push_back({sorted[i], cumulative});
+    i = j + 1;
+  }
+  return curve;
+}
+
+std::vector<double> binned_hazard_rate(std::span<const double> durations,
+                                       std::span<const double> edges) {
+  require(edges.size() >= 2, "binned_hazard_rate: need at least two edges");
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    require(edges[i] > edges[i - 1],
+            "binned_hazard_rate: edges must be increasing");
+  }
+  const auto curve = nelson_aalen(durations);
+  // Cumulative hazard evaluated at x (step function, right-continuous).
+  const auto hazard_at = [&](double x) {
+    double h = 0.0;
+    for (const HazardPoint& p : curve) {
+      if (p.time > x) break;
+      h = p.cumulative_hazard;
+    }
+    return h;
+  };
+  const double max_time = curve.back().time;
+  std::vector<double> rates;
+  rates.reserve(edges.size() - 1);
+  for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+    if (edges[b] >= max_time) {
+      rates.push_back(0.0);
+      continue;
+    }
+    const double hi = std::min(edges[b + 1], max_time);
+    rates.push_back((hazard_at(hi) - hazard_at(edges[b])) /
+                    (edges[b + 1] - edges[b]));
+  }
+  return rates;
+}
+
+double hazard_decrease_factor(std::span<const double> durations,
+                              std::span<const double> edges) {
+  const auto rates = binned_hazard_rate(durations, edges);
+  double first = 0.0, last = 0.0;
+  for (double r : rates) {
+    if (r <= 0.0) continue;
+    if (first == 0.0) first = r;
+    last = r;
+  }
+  return last > 0.0 ? first / last : 0.0;
+}
+
+}  // namespace fa::stats

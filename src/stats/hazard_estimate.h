@@ -1,0 +1,33 @@
+// Non-parametric hazard estimation for duration samples (inter-failure
+// times, repair times): the Nelson-Aalen cumulative hazard and a binned
+// hazard-rate view. A decreasing hazard rate is the signature of the
+// clustered, non-memoryless failures the paper reports; an exponential
+// sample would show a flat one.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fa::stats {
+
+struct HazardPoint {
+  double time = 0.0;               // duration value
+  double cumulative_hazard = 0.0;  // H(t) estimate at this value
+};
+
+// Nelson-Aalen estimator over a complete (uncensored) duration sample:
+// H(t) = sum_{t_i <= t} d_i / n_i with d_i deaths at t_i and n_i at risk.
+std::vector<HazardPoint> nelson_aalen(std::span<const double> durations);
+
+// Average hazard rate within [edges[i], edges[i+1]): the increment of the
+// cumulative hazard across the bin divided by the bin width. Bins beyond
+// the largest observation report 0.
+std::vector<double> binned_hazard_rate(std::span<const double> durations,
+                                       std::span<const double> edges);
+
+// Convenience: ratio of the average hazard in the first and last populated
+// bins; >> 1 indicates a decreasing hazard (clustered failures).
+double hazard_decrease_factor(std::span<const double> durations,
+                              std::span<const double> edges);
+
+}  // namespace fa::stats

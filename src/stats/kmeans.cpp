@@ -1,0 +1,135 @@
+#include "src/stats/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+std::vector<std::vector<double>> seed_plus_plus(
+    std::span<const std::vector<double>> points, int k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  const auto n = static_cast<std::int64_t>(points.size());
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult run_once(std::span<const std::vector<double>> points,
+                      const KMeansOptions& options, Rng& rng) {
+  const std::size_t dim = points.front().size();
+  KMeansResult result;
+  result.centroids = seed_plus_plus(points, options.k, rng);
+  result.assignment.assign(points.size(), -1);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < options.k; ++c) {
+        const double d =
+            squared_distance(points[i], result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(options.k), std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(options.k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < sums.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(points.size()) - 1))];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - inertia <=
+        options.tolerance * std::max(prev_inertia, 1e-300)) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const std::vector<double>> points,
+                    const KMeansOptions& options, Rng& rng) {
+  require(options.k >= 1, "kmeans: k must be >= 1");
+  require(points.size() >= static_cast<std::size_t>(options.k),
+          "kmeans: need at least k points");
+  require(options.restarts >= 1, "kmeans: need at least one restart");
+  const std::size_t dim = points.front().size();
+  require(dim >= 1, "kmeans: zero-dimensional points");
+  for (const auto& p : points) {
+    require(p.size() == dim, "kmeans: inconsistent point dimensionality");
+  }
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < options.restarts; ++r) {
+    KMeansResult run = run_once(points, options, rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace fa::stats

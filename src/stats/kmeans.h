@@ -1,0 +1,35 @@
+// Dense k-means (k-means++ seeding, Lloyd iterations).
+//
+// Section III-A of the paper classifies problem tickets by running k-means on
+// the description and resolution text; this is the clustering engine behind
+// fa::analysis::TicketClassifier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace fa::stats {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // k x dim
+  std::vector<int> assignment;                 // one entry per point
+  double inertia = 0.0;                        // sum of squared distances
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 100;
+  // Restarts with different seedings; the lowest-inertia run is returned.
+  int restarts = 4;
+  double tolerance = 1e-7;  // relative inertia improvement to keep iterating
+};
+
+// points: n rows, all with the same dimensionality >= 1. Requires n >= k.
+KMeansResult kmeans(std::span<const std::vector<double>> points,
+                    const KMeansOptions& options, Rng& rng);
+
+}  // namespace fa::stats

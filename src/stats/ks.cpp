@@ -1,0 +1,50 @@
+#include "src/stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+
+double ks_statistic(std::span<const double> xs, const Distribution& dist) {
+  require(!xs.empty(), "ks_statistic: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = dist.cdf(sorted[i]);
+    const double lower = static_cast<double>(i) / n;
+    const double upper = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lower), std::fabs(upper - f)));
+  }
+  return d;
+}
+
+double ks_p_value(double statistic, std::size_t n) {
+  require(statistic >= 0.0, "ks_p_value: negative statistic");
+  require(n > 0, "ks_p_value: empty sample");
+  // Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2), with the
+  // standard small-sample correction lambda = (sqrt(n)+0.12+0.11/sqrt(n)) D.
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;
+  if (lambda < 1e-8) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs, const Distribution& dist) {
+  const double d = ks_statistic(xs, dist);
+  return {d, ks_p_value(d, xs.size())};
+}
+
+}  // namespace fa::stats

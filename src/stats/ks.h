@@ -1,0 +1,25 @@
+// Kolmogorov-Smirnov goodness-of-fit machinery used to validate the
+// distribution fits of Figs. 3 and 4.
+#pragma once
+
+#include <span>
+
+#include "src/stats/distribution.h"
+
+namespace fa::stats {
+
+// One-sample KS statistic: sup_x |F_n(x) - F(x)|.
+double ks_statistic(std::span<const double> xs, const Distribution& dist);
+
+// Asymptotic p-value for the one-sample KS test (Kolmogorov distribution),
+// evaluated at sqrt(n) * D. Conservative for small n.
+double ks_p_value(double statistic, std::size_t n);
+
+struct KsResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+};
+
+KsResult ks_test(std::span<const double> xs, const Distribution& dist);
+
+}  // namespace fa::stats

@@ -1,0 +1,68 @@
+#include "src/stats/lognormal.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/stats/special.h"
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::stats {
+
+namespace {
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;  // ln sqrt(2 pi)
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "LogNormal: sigma must be positive");
+}
+
+LogNormal LogNormal::from_mean_median(double mean, double median) {
+  require(median > 0.0, "LogNormal::from_mean_median: median must be positive");
+  require(mean > median,
+          "LogNormal::from_mean_median: mean must exceed median");
+  const double mu = std::log(median);
+  const double sigma = std::sqrt(2.0 * std::log(mean / median));
+  return LogNormal(mu, sigma);
+}
+
+std::string LogNormal::describe() const {
+  return "LogNormal(mu=" + format_double(mu_, 4) +
+         ", sigma=" + format_double(sigma_, 4) + ")";
+}
+
+double LogNormal::pdf(double x) const {
+  return x <= 0.0 ? 0.0 : std::exp(log_pdf(x));
+}
+
+double LogNormal::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x * sigma_) - kLogSqrt2Pi;
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "LogNormal::quantile: p must be in [0, 1)");
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+}  // namespace fa::stats

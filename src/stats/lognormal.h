@@ -1,0 +1,36 @@
+#pragma once
+
+#include "src/stats/distribution.h"
+
+namespace fa::stats {
+
+// LogNormal(mu, sigma) of the underlying normal; the family the paper finds
+// best-fitting for repair times (Fig. 4). Note median = exp(mu) and
+// mean = exp(mu + sigma^2/2), which lets the simulator solve (mu, sigma)
+// exactly from the paper's reported per-class mean/median repair times.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  // Solves (mu, sigma) from a target mean and median (mean > median > 0).
+  static LogNormal from_mean_median(double mean, double median);
+
+  std::string name() const override { return "lognormal"; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace fa::stats

@@ -1,0 +1,59 @@
+#include "src/stats/pareto.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::stats {
+
+Pareto::Pareto(double x_min, double alpha) : x_min_(x_min), alpha_(alpha) {
+  require(x_min > 0.0, "Pareto: x_min must be positive");
+  require(alpha > 0.0, "Pareto: alpha must be positive");
+}
+
+std::string Pareto::describe() const {
+  return "Pareto(x_min=" + format_double(x_min_, 4) +
+         ", alpha=" + format_double(alpha_, 4) + ")";
+}
+
+double Pareto::pdf(double x) const {
+  if (x < x_min_) return 0.0;
+  return alpha_ * std::pow(x_min_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::log_pdf(double x) const {
+  if (x < x_min_) return -std::numeric_limits<double>::infinity();
+  return std::log(alpha_) + alpha_ * std::log(x_min_) -
+         (alpha_ + 1.0) * std::log(x);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= x_min_) return 0.0;
+  return 1.0 - std::pow(x_min_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "Pareto::quantile: p must be in [0, 1)");
+  return x_min_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+double Pareto::sample(Rng& rng) const {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return x_min_ / std::pow(u, 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_min_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double m = x_min_ / (alpha_ - 1.0);
+  return m * m * alpha_ / (alpha_ - 2.0);
+}
+
+}  // namespace fa::stats

@@ -1,0 +1,165 @@
+#include "src/stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+// Series expansion of P(a, x), converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction (Lentz) for Q(a, x), converges quickly for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEpsilon;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  require(a > 0.0, "gamma_p: shape must be positive");
+  require(x >= 0.0, "gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  require(a > 0.0, "gamma_q: shape must be positive");
+  require(x >= 0.0, "gamma_q: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double gamma_p_inv(double a, double p) {
+  require(a > 0.0, "gamma_p_inv: shape must be positive");
+  require(p >= 0.0 && p < 1.0, "gamma_p_inv: p must be in [0, 1)");
+  if (p == 0.0) return 0.0;
+
+  // Initial guess (Wilson-Hilferty), then safeguarded Newton.
+  double x = 0.0;
+  {
+    const double g = normal_quantile(p);
+    const double t = 1.0 - 1.0 / (9.0 * a) + g / (3.0 * std::sqrt(a));
+    x = a * t * t * t;
+    if (x <= 0.0) x = a * std::exp((std::log(p) + std::lgamma(a + 1.0)) / a);
+    if (!(x > 0.0) || !std::isfinite(x)) x = a;
+  }
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 200; ++i) {
+    const double f = gamma_p(a, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    const double log_pdf = -x + (a - 1.0) * std::log(x) - std::lgamma(a);
+    const double pdf = std::exp(log_pdf);
+    double next = x - f / (pdf > 0.0 ? pdf : kEpsilon);
+    if (!(next > lo) || !(next < hi) || !std::isfinite(next)) {
+      next = std::isfinite(hi) ? 0.5 * (lo + hi) : 2.0 * x;
+    }
+    if (std::fabs(next - x) <= 1e-12 * (std::fabs(x) + 1e-300)) return next;
+    x = next;
+  }
+  return x;
+}
+
+double digamma(double x) {
+  require(x > 0.0, "digamma: x must be positive");
+  double result = 0.0;
+  // Recurrence to push x into the asymptotic regime.
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Asymptotic expansion: ln x - 1/(2x) - sum B_{2n} / (2n x^{2n}).
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+  return result;
+}
+
+double trigamma(double x) {
+  require(x > 0.0, "trigamma: x must be positive");
+  double result = 0.0;
+  while (x < 12.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += inv * (1.0 +
+                   inv * (0.5 +
+                          inv * (1.0 / 6.0 -
+                                 inv2 * (1.0 / 30.0 -
+                                         inv2 * (1.0 / 42.0 - inv2 / 30.0)))));
+  return result;
+}
+
+double erf_inv(double y) {
+  require(y > -1.0 && y < 1.0, "erf_inv: argument must be in (-1, 1)");
+  if (y == 0.0) return 0.0;
+  // Winitzki's approximation as the initial guess, refined by Newton steps
+  // against std::erf to full double accuracy.
+  constexpr double kA = 0.147;
+  constexpr double kPi = 3.14159265358979323846;
+  const double ln1my2 = std::log1p(-y * y);
+  const double term = 2.0 / (kPi * kA) + 0.5 * ln1my2;
+  double x = std::sqrt(std::sqrt(term * term - ln1my2 / kA) - term);
+  if (y < 0.0) x = -x;
+  // Newton refinement: f(x) = erf(x) - y, f'(x) = 2/sqrt(pi) exp(-x^2).
+  constexpr double kTwoOverSqrtPi = 1.1283791670955125739;
+  for (int i = 0; i < 4; ++i) {
+    const double err = std::erf(x) - y;
+    x -= err / (kTwoOverSqrtPi * std::exp(-x * x));
+  }
+  return x;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  require(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+  return std::sqrt(2.0) * erf_inv(2.0 * p - 1.0);
+}
+
+}  // namespace fa::stats

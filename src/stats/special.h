@@ -1,0 +1,32 @@
+// Special functions needed by the distribution layer: regularized incomplete
+// gamma (Gamma CDF), digamma/trigamma (Gamma MLE), inverse error function
+// (Normal/LogNormal quantiles). Implementations follow the classical series /
+// continued-fraction expansions (Abramowitz & Stegun; Numerical Recipes).
+#pragma once
+
+namespace fa::stats {
+
+// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+// Domain: a > 0, x >= 0. P is the CDF of Gamma(shape=a, scale=1).
+double gamma_p(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+// Inverse of P(a, .) : returns x with P(a, x) = p, for p in [0, 1).
+double gamma_p_inv(double a, double p);
+
+// Digamma (psi) function, valid for x > 0.
+double digamma(double x);
+
+// Trigamma (psi') function, valid for x > 0.
+double trigamma(double x);
+
+// Inverse error function: erf(erf_inv(y)) = y for y in (-1, 1).
+double erf_inv(double y);
+
+// Standard normal CDF and quantile.
+double normal_cdf(double z);
+double normal_quantile(double p);
+
+}  // namespace fa::stats

@@ -1,0 +1,65 @@
+#include "src/stats/weibull.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::stats {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "Weibull: shape must be positive");
+  require(scale > 0.0, "Weibull: scale must be positive");
+}
+
+std::string Weibull::describe() const {
+  return "Weibull(shape=" + format_double(shape_, 4) +
+         ", scale=" + format_double(scale_, 4) + ")";
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::exp(log_pdf(x));
+}
+
+double Weibull::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = x / scale_;
+  return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) -
+         std::pow(z, shape_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "Weibull::quantile: p must be in [0, 1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::sample(Rng& rng) const {
+  // Inverse transform: scale * (-ln U)^{1/shape}.
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const {
+  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+}  // namespace fa::stats

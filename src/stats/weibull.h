@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/stats/distribution.h"
+
+namespace fa::stats {
+
+// Weibull(shape k, scale lambda); pdf (k/l)(x/l)^{k-1} exp(-(x/l)^k).
+// Shape < 1 captures the "bursty" inter-failure times reported for HPC
+// systems; one of the three candidate families in the paper's fits.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  std::string name() const override { return "weibull"; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace fa::stats

@@ -1,0 +1,71 @@
+#include "src/text/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::text {
+
+Vectorizer Vectorizer::fit(std::span<const std::string> documents,
+                           const VectorizerOptions& options) {
+  require(!documents.empty(), "Vectorizer::fit: empty corpus");
+  require(options.min_document_frequency >= 1,
+          "Vectorizer::fit: min_document_frequency must be >= 1");
+
+  // Document frequency per word; std::map keeps the vocabulary ordering
+  // deterministic across platforms.
+  std::map<std::string, int> doc_freq;
+  for (const std::string& doc : documents) {
+    auto words = fa::tokenize_words(doc);
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (auto& w : words) ++doc_freq[w];
+  }
+
+  Vectorizer v;
+  v.options_ = options;
+  for (const auto& [word, df] : doc_freq) {
+    if (df < options.min_document_frequency) continue;
+    v.index_.emplace(word, v.vocabulary_.size());
+    v.vocabulary_.push_back(word);
+    // Smoothed IDF: ln((1+N)/(1+df)) + 1, never negative.
+    const double n = static_cast<double>(documents.size());
+    v.idf_.push_back(options.use_idf
+                         ? std::log((1.0 + n) / (1.0 + df)) + 1.0
+                         : 1.0);
+  }
+  require(!v.vocabulary_.empty(),
+          "Vectorizer::fit: no word passed the document-frequency filter");
+  return v;
+}
+
+std::vector<double> Vectorizer::transform(const std::string& document) const {
+  std::vector<double> vec(vocabulary_.size(), 0.0);
+  for (const std::string& w : fa::tokenize_words(document)) {
+    const auto it = index_.find(w);
+    if (it != index_.end()) vec[it->second] += 1.0;
+  }
+  for (std::size_t i = 0; i < vec.size(); ++i) vec[i] *= idf_[i];
+  if (options_.l2_normalize) {
+    double norm = 0.0;
+    for (double x : vec) norm += x * x;
+    if (norm > 0.0) {
+      norm = std::sqrt(norm);
+      for (double& x : vec) x /= norm;
+    }
+  }
+  return vec;
+}
+
+std::vector<std::vector<double>> Vectorizer::transform_all(
+    std::span<const std::string> documents) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(documents.size());
+  for (const std::string& doc : documents) out.push_back(transform(doc));
+  return out;
+}
+
+}  // namespace fa::text

@@ -1,0 +1,44 @@
+// Bag-of-words / TF-IDF feature extraction for ticket text, feeding the
+// k-means ticket classifier (paper Section III-A).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fa::text {
+
+struct VectorizerOptions {
+  // Drop words occurring in fewer than min_document_frequency documents.
+  int min_document_frequency = 2;
+  // Apply inverse-document-frequency weighting.
+  bool use_idf = true;
+  // L2-normalize each document vector.
+  bool l2_normalize = true;
+};
+
+// Learns a vocabulary from a corpus and maps documents to dense TF-IDF
+// vectors. Words unseen at fit() time are ignored at transform() time.
+class Vectorizer {
+ public:
+  static Vectorizer fit(std::span<const std::string> documents,
+                        const VectorizerOptions& options);
+
+  std::vector<double> transform(const std::string& document) const;
+  std::vector<std::vector<double>> transform_all(
+      std::span<const std::string> documents) const;
+
+  std::size_t dimension() const { return vocabulary_.size(); }
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  Vectorizer() = default;
+
+  VectorizerOptions options_;
+  std::vector<std::string> vocabulary_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<double> idf_;
+};
+
+}  // namespace fa::text

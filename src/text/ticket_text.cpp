@@ -1,0 +1,87 @@
+#include "src/text/ticket_text.h"
+
+#include <span>
+#include <string_view>
+
+#include "src/text/vocabulary.h"
+#include "src/util/error.h"
+
+namespace fa::text {
+namespace {
+
+std::string_view pick(std::span<const std::string_view> pool, Rng& rng) {
+  return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+}
+
+void append_word(std::string& s, std::string_view word) {
+  if (!s.empty()) s += ' ';
+  s += word;
+}
+
+trace::FailureClass random_real_class(Rng& rng) {
+  const auto& classes = trace::kClassifiedFailureClasses;
+  return classes[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(classes.size()) - 1))];
+}
+
+}  // namespace
+
+TicketText generate_crash_text(trace::FailureClass recorded,
+                               const TextStyleOptions& options, Rng& rng) {
+  require(options.signature_words >= 1,
+          "generate_crash_text: need at least one signature word");
+  TicketText text;
+
+  const auto sig_pool = signature_words(recorded);
+
+  // Description: crash symptom plus hint words.
+  text.description = std::string(pick(crash_symptoms(), rng));
+  for (int i = 0; i < (options.signature_words + 1) / 2; ++i) {
+    append_word(text.description, pick(sig_pool, rng));
+  }
+  for (int i = 0; i < options.generic_words / 2; ++i) {
+    append_word(text.description, pick(generic_words(), rng));
+  }
+
+  // Resolution: what the support group did.
+  text.resolution = std::string(pick(resolution_phrases(recorded), rng));
+  for (int i = 0; i < options.signature_words / 2; ++i) {
+    append_word(text.resolution, pick(sig_pool, rng));
+  }
+  for (int i = 0; i < (options.generic_words + 1) / 2; ++i) {
+    append_word(text.resolution, pick(generic_words(), rng));
+  }
+
+  // Cross-class confusion: some tickets describe a secondary symptom chain
+  // ("disk errors after the unexpected reboot") with as many foreign
+  // signature words as native ones, making them genuinely ambiguous and
+  // bounding classifier accuracy near the paper's 87%.
+  if (recorded != trace::FailureClass::kOther &&
+      rng.bernoulli(options.confusion_probability)) {
+    trace::FailureClass confusing = random_real_class(rng);
+    while (confusing == recorded) confusing = random_real_class(rng);
+    const auto confusing_pool = signature_words(confusing);
+    for (int i = 0; i < (options.signature_words + 1) / 2; ++i) {
+      append_word(text.description, pick(confusing_pool, rng));
+    }
+    for (int i = 0; i < options.signature_words / 2; ++i) {
+      append_word(text.resolution, pick(confusing_pool, rng));
+    }
+  }
+  return text;
+}
+
+TicketText generate_background_text(Rng& rng) {
+  TicketText text;
+  text.description = std::string(pick(background_phrases(), rng));
+  for (int i = 0; i < 3; ++i) {
+    append_word(text.description, pick(generic_words(), rng));
+  }
+  text.resolution = std::string(
+      pick(resolution_phrases(trace::FailureClass::kOther), rng));
+  append_word(text.resolution, pick(generic_words(), rng));
+  return text;
+}
+
+}  // namespace fa::text

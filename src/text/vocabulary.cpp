@@ -1,0 +1,129 @@
+#include "src/text/vocabulary.h"
+
+#include <array>
+
+#include "src/util/error.h"
+
+namespace fa::text {
+namespace {
+
+using std::string_view;
+
+constexpr std::array<string_view, 14> kHardwareWords = {
+    "disk",  "dimm",      "raid", "controller", "battery",
+    "cpu",   "mainboard", "fan",  "firmware",   "psu",
+    "smart", "sector",    "ecc",  "backplane"};
+
+constexpr std::array<string_view, 12> kNetworkWords = {
+    "switch", "vlan",    "router", "uplink", "nic",  "port",
+    "dns",    "gateway", "cable",  "subnet", "link", "packet"};
+
+constexpr std::array<string_view, 10> kPowerWords = {
+    "outage",  "ups",     "breaker", "electrical", "pdu",
+    "voltage", "circuit", "feed",    "generator",  "blackout"};
+
+constexpr std::array<string_view, 10> kRebootWords = {
+    "reboot", "restarted", "unexpected", "cycle",  "watchdog",
+    "panic",  "bootloop",  "cold",       "reset", "poweron"};
+
+constexpr std::array<string_view, 13> kSoftwareWords = {
+    "os",    "kernel", "application", "agent",   "patch", "hang", "process",
+    "memoryleak", "service",  "middleware", "daemon", "update", "config"};
+
+constexpr std::array<string_view, 12> kOtherWords = {
+    "issue",   "checked",  "unknown", "investigated", "ticket", "closed",
+    "noted",   "customer", "request", "escalated",    "review", "general"};
+
+constexpr std::array<string_view, 5> kHardwareResolutions = {
+    "replaced faulty disk",          "swapped failed dimm module",
+    "installed new raid controller", "replaced broken power supply unit",
+    "reseated backplane and fan"};
+
+constexpr std::array<string_view, 5> kNetworkResolutions = {
+    "reconfigured switch port",  "restored uplink connectivity",
+    "fixed vlan configuration",  "replaced faulty nic cable",
+    "corrected dns gateway entry"};
+
+constexpr std::array<string_view, 5> kPowerResolutions = {
+    "restored electrical feed after outage", "reset tripped breaker on pdu",
+    "replaced ups battery string",           "rebalanced power circuit",
+    "completed scheduled electrical maintenance"};
+
+constexpr std::array<string_view, 5> kRebootResolutions = {
+    "server recovered after unexpected reboot", "cleared watchdog reset",
+    "verified system after panic reboot",       "machine back after cycle",
+    "confirmed services after cold reset"};
+
+constexpr std::array<string_view, 5> kSoftwareResolutions = {
+    "restarted hanging os service",     "applied kernel patch",
+    "fixed application agent config",   "killed leaking middleware process",
+    "rolled back faulty software update"};
+
+constexpr std::array<string_view, 5> kOtherResolutions = {
+    "issue resolved",            "closed after review",
+    "no further action needed",  "customer confirmed resolution",
+    "ticket closed as resolved"};
+
+constexpr std::array<string_view, 16> kGenericWords = {
+    "server", "host",     "datacenter", "monitoring", "alert", "incident",
+    "team",   "support",  "production", "system",     "node",  "event",
+    "log",    "reported", "status",     "check"};
+
+constexpr std::array<string_view, 6> kCrashSymptoms = {
+    "server unresponsive",      "host unreachable",
+    "machine down",             "no response to ping",
+    "system not responding",    "monitoring lost contact with host"};
+
+constexpr std::array<string_view, 8> kBackgroundPhrases = {
+    "filesystem usage above threshold", "cpu utilization warning",
+    "backup job failed",                "certificate expiry notice",
+    "user access request",              "performance degradation reported",
+    "scheduled maintenance request",    "capacity upgrade request"};
+
+}  // namespace
+
+std::span<const string_view> signature_words(trace::FailureClass c) {
+  switch (c) {
+    case trace::FailureClass::kHardware:
+      return kHardwareWords;
+    case trace::FailureClass::kNetwork:
+      return kNetworkWords;
+    case trace::FailureClass::kPower:
+      return kPowerWords;
+    case trace::FailureClass::kReboot:
+      return kRebootWords;
+    case trace::FailureClass::kSoftware:
+      return kSoftwareWords;
+    case trace::FailureClass::kOther:
+      return kOtherWords;
+  }
+  throw Error("signature_words: invalid class");
+}
+
+std::span<const string_view> resolution_phrases(trace::FailureClass c) {
+  switch (c) {
+    case trace::FailureClass::kHardware:
+      return kHardwareResolutions;
+    case trace::FailureClass::kNetwork:
+      return kNetworkResolutions;
+    case trace::FailureClass::kPower:
+      return kPowerResolutions;
+    case trace::FailureClass::kReboot:
+      return kRebootResolutions;
+    case trace::FailureClass::kSoftware:
+      return kSoftwareResolutions;
+    case trace::FailureClass::kOther:
+      return kOtherResolutions;
+  }
+  throw Error("resolution_phrases: invalid class");
+}
+
+std::span<const string_view> generic_words() { return kGenericWords; }
+
+std::span<const string_view> crash_symptoms() { return kCrashSymptoms; }
+
+std::span<const string_view> background_phrases() {
+  return kBackgroundPhrases;
+}
+
+}  // namespace fa::text

@@ -1,0 +1,35 @@
+// Word pools for the synthetic ticket corpus.
+//
+// The paper classifies crash tickets by k-means over free-text description
+// and resolution fields written by support staff. To exercise that same code
+// path we synthesize ticket text from class-specific signature vocabularies
+// mixed with generic datacenter jargon; "other" tickets get deliberately
+// vague text, mirroring the 53% of tickets the paper could not classify.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "src/trace/types.h"
+
+namespace fa::text {
+
+// Words strongly indicative of one failure class (e.g. "dimm", "raid" for
+// hardware; "switch", "vlan" for network).
+std::span<const std::string_view> signature_words(trace::FailureClass c);
+
+// Class-specific resolution phrases ("replaced faulty disk", ...).
+std::span<const std::string_view> resolution_phrases(trace::FailureClass c);
+
+// Generic words appearing in tickets of any class (noise for the
+// classifier).
+std::span<const std::string_view> generic_words();
+
+// Crash symptom phrases: all crash tickets describe the server being
+// unresponsive/unreachable, whatever the root cause.
+std::span<const std::string_view> crash_symptoms();
+
+// Phrases for non-crash background tickets (capacity warnings, requests...).
+std::span<const std::string_view> background_phrases();
+
+}  // namespace fa::text

@@ -1,0 +1,284 @@
+#include "src/trace/csv_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/csv.h"
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::trace {
+namespace {
+
+std::string opt_to_field(const std::optional<double>& v, int precision) {
+  return v ? format_double(*v, precision) : "";
+}
+
+std::string opt_to_field(const std::optional<int>& v) {
+  return v ? std::to_string(*v) : "";
+}
+
+std::optional<double> field_to_opt_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  return parse_double(s);
+}
+
+std::optional<int> field_to_opt_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  return static_cast<int>(parse_int(s));
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "save_database: cannot open " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_database: cannot open " + path);
+  return in;
+}
+
+void expect_header(CsvReader& reader, const std::vector<std::string>& want,
+                   const std::string& path) {
+  std::vector<std::string> got;
+  require(reader.read_row(got) && got == want,
+          "load_database: unexpected header in " + path);
+}
+
+}  // namespace
+
+void save_database(const TraceDatabase& db, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+
+  {
+    // Observation windows travel with the trace: real exports do not share
+    // the paper's 2012-2013 spans.
+    auto out = open_out(directory + "/meta.csv");
+    CsvWriter w(out);
+    w.write_row({"window", "begin", "end"});
+    const auto window_row = [&](const char* name,
+                                const ObservationWindow& window) {
+      w.write_row({name, std::to_string(window.begin),
+                   std::to_string(window.end)});
+    };
+    window_row("ticket", db.window());
+    window_row("monitoring", db.monitoring());
+    window_row("onoff", db.onoff_tracking());
+  }
+  {
+    auto out = open_out(directory + "/servers.csv");
+    CsvWriter w(out);
+    w.write_row({"id", "type", "subsystem", "cpu_count", "memory_gb",
+                 "disk_gb", "disk_count", "host_box", "first_record"});
+    for (const ServerRecord& s : db.servers()) {
+      w.write_row({std::to_string(s.id.value), std::string(to_string(s.type)),
+                   std::to_string(s.subsystem), std::to_string(s.cpu_count),
+                   format_double(s.memory_gb, 3), opt_to_field(s.disk_gb, 1),
+                   opt_to_field(s.disk_count),
+                   s.host_box.valid() ? std::to_string(s.host_box.value) : "",
+                   std::to_string(s.first_record)});
+    }
+  }
+  {
+    auto out = open_out(directory + "/tickets.csv");
+    CsvWriter w(out);
+    w.write_row({"id", "incident", "server", "subsystem", "is_crash",
+                 "true_class", "opened", "closed", "description",
+                 "resolution"});
+    for (const Ticket& t : db.tickets()) {
+      w.write_row({std::to_string(t.id.value),
+                   t.incident.valid() ? std::to_string(t.incident.value) : "",
+                   t.server.valid() ? std::to_string(t.server.value) : "",
+                   std::to_string(t.subsystem), t.is_crash ? "1" : "0",
+                   std::string(to_string(t.true_class)),
+                   std::to_string(t.opened), std::to_string(t.closed),
+                   t.description, t.resolution});
+    }
+  }
+  {
+    auto out = open_out(directory + "/weekly_usage.csv");
+    CsvWriter w(out);
+    w.write_row({"server", "week", "cpu_util", "mem_util", "disk_util",
+                 "net_kbps"});
+    for (const ServerRecord& s : db.servers()) {
+      for (const WeeklyUsage& u : db.weekly_usage_for(s.id)) {
+        w.write_row({std::to_string(u.server.value), std::to_string(u.week),
+                     format_double(u.cpu_util, 4), format_double(u.mem_util, 4),
+                     opt_to_field(u.disk_util, 4),
+                     opt_to_field(u.net_kbps, 4)});
+      }
+    }
+  }
+  {
+    auto out = open_out(directory + "/power_events.csv");
+    CsvWriter w(out);
+    w.write_row({"server", "at", "powered_on"});
+    for (const ServerRecord& s : db.servers()) {
+      for (const PowerEvent& e : db.power_events_for(s.id)) {
+        w.write_row({std::to_string(e.server.value), std::to_string(e.at),
+                     e.powered_on ? "1" : "0"});
+      }
+    }
+  }
+  {
+    auto out = open_out(directory + "/snapshots.csv");
+    CsvWriter w(out);
+    w.write_row({"server", "month", "box", "consolidation"});
+    for (const ServerRecord& s : db.servers()) {
+      for (const MonthlySnapshot& snap : db.snapshots_for(s.id)) {
+        w.write_row({std::to_string(snap.server.value),
+                     std::to_string(snap.month),
+                     snap.box.valid() ? std::to_string(snap.box.value) : "",
+                     std::to_string(snap.consolidation)});
+      }
+    }
+  }
+}
+
+TraceDatabase load_database(const std::string& directory) {
+  TraceDatabase db;
+  std::vector<std::string> row;
+  std::int32_t max_incident = -1;
+
+  // meta.csv is optional for backward/hand-authored traces: absent, the
+  // paper's default windows apply.
+  if (std::filesystem::exists(directory + "/meta.csv")) {
+    const std::string path = directory + "/meta.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(r, {"window", "begin", "end"}, path);
+    ObservationWindow ticket = db.window();
+    ObservationWindow monitoring = db.monitoring();
+    ObservationWindow onoff = db.onoff_tracking();
+    while (r.read_row(row)) {
+      require(row.size() == 3, "load_database: bad row in " + path);
+      const ObservationWindow window{parse_int(row[1]), parse_int(row[2])};
+      if (row[0] == "ticket") {
+        ticket = window;
+      } else if (row[0] == "monitoring") {
+        monitoring = window;
+      } else if (row[0] == "onoff") {
+        onoff = window;
+      } else {
+        throw Error("load_database: unknown window '" + row[0] + "' in " +
+                    path);
+      }
+    }
+    db.set_windows(ticket, monitoring, onoff);
+  }
+
+  {
+    const std::string path = directory + "/servers.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(r,
+                  {"id", "type", "subsystem", "cpu_count", "memory_gb",
+                   "disk_gb", "disk_count", "host_box", "first_record"},
+                  path);
+    while (r.read_row(row)) {
+      require(row.size() == 9, "load_database: bad row in " + path);
+      ServerRecord s;
+      s.type = machine_type_from_string(row[1]);
+      s.subsystem = static_cast<Subsystem>(parse_int(row[2]));
+      s.cpu_count = static_cast<int>(parse_int(row[3]));
+      s.memory_gb = parse_double(row[4]);
+      s.disk_gb = field_to_opt_double(row[5]);
+      s.disk_count = field_to_opt_int(row[6]);
+      if (!row[7].empty()) {
+        s.host_box = BoxId{static_cast<std::int32_t>(parse_int(row[7]))};
+      }
+      s.first_record = parse_int(row[8]);
+      const ServerId assigned = db.add_server(s);
+      require(assigned.value == static_cast<std::int32_t>(parse_int(row[0])),
+              "load_database: non-contiguous server ids in " + path);
+    }
+  }
+  {
+    const std::string path = directory + "/tickets.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(r,
+                  {"id", "incident", "server", "subsystem", "is_crash",
+                   "true_class", "opened", "closed", "description",
+                   "resolution"},
+                  path);
+    while (r.read_row(row)) {
+      require(row.size() == 10, "load_database: bad row in " + path);
+      Ticket t;
+      if (!row[1].empty()) {
+        t.incident = IncidentId{static_cast<std::int32_t>(parse_int(row[1]))};
+        max_incident = std::max(max_incident, t.incident.value);
+      }
+      if (!row[2].empty()) {
+        t.server = ServerId{static_cast<std::int32_t>(parse_int(row[2]))};
+      }
+      t.subsystem = static_cast<Subsystem>(parse_int(row[3]));
+      t.is_crash = parse_int(row[4]) != 0;
+      t.true_class = failure_class_from_string(row[5]);
+      t.opened = parse_int(row[6]);
+      t.closed = parse_int(row[7]);
+      t.description = row[8];
+      t.resolution = row[9];
+      db.add_ticket(std::move(t));
+    }
+  }
+  {
+    const std::string path = directory + "/weekly_usage.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(
+        r, {"server", "week", "cpu_util", "mem_util", "disk_util", "net_kbps"},
+        path);
+    while (r.read_row(row)) {
+      require(row.size() == 6, "load_database: bad row in " + path);
+      WeeklyUsage u;
+      u.server = ServerId{static_cast<std::int32_t>(parse_int(row[0]))};
+      u.week = static_cast<int>(parse_int(row[1]));
+      u.cpu_util = parse_double(row[2]);
+      u.mem_util = parse_double(row[3]);
+      u.disk_util = field_to_opt_double(row[4]);
+      u.net_kbps = field_to_opt_double(row[5]);
+      db.add_weekly_usage(u);
+    }
+  }
+  {
+    const std::string path = directory + "/power_events.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(r, {"server", "at", "powered_on"}, path);
+    while (r.read_row(row)) {
+      require(row.size() == 3, "load_database: bad row in " + path);
+      PowerEvent e;
+      e.server = ServerId{static_cast<std::int32_t>(parse_int(row[0]))};
+      e.at = parse_int(row[1]);
+      e.powered_on = parse_int(row[2]) != 0;
+      db.add_power_event(e);
+    }
+  }
+  {
+    const std::string path = directory + "/snapshots.csv";
+    auto in = open_in(path);
+    CsvReader r(in);
+    expect_header(r, {"server", "month", "box", "consolidation"}, path);
+    while (r.read_row(row)) {
+      require(row.size() == 4, "load_database: bad row in " + path);
+      MonthlySnapshot s;
+      s.server = ServerId{static_cast<std::int32_t>(parse_int(row[0]))};
+      s.month = static_cast<int>(parse_int(row[1]));
+      if (!row[2].empty()) {
+        s.box = BoxId{static_cast<std::int32_t>(parse_int(row[2]))};
+      }
+      s.consolidation = static_cast<int>(parse_int(row[3]));
+      db.add_monthly_snapshot(s);
+    }
+  }
+
+  // Restore the incident counter past the highest loaded id.
+  for (std::int32_t i = 0; i <= max_incident; ++i) db.new_incident();
+  db.finalize();
+  return db;
+}
+
+}  // namespace fa::trace

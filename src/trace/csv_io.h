@@ -1,0 +1,19 @@
+// CSV persistence of a TraceDatabase: one file per table, mirroring flat
+// exports of the paper's ticket / inventory / monitoring databases. This is
+// also the adapter surface for running the analysis on real trace exports.
+#pragma once
+
+#include <string>
+
+#include "src/trace/database.h"
+
+namespace fa::trace {
+
+// Writes servers.csv, tickets.csv, weekly_usage.csv, power_events.csv and
+// snapshots.csv into `directory` (created if missing).
+void save_database(const TraceDatabase& db, const std::string& directory);
+
+// Loads the files written by save_database and returns a finalized database.
+TraceDatabase load_database(const std::string& directory);
+
+}  // namespace fa::trace

@@ -1,0 +1,69 @@
+#include "src/trace/filters.h"
+
+namespace fa::trace {
+
+TicketFilter& TicketFilter::crash_only(bool value) {
+  crash_only_ = value;
+  return *this;
+}
+
+TicketFilter& TicketFilter::subsystem(Subsystem sys) {
+  subsystem_ = sys;
+  return *this;
+}
+
+TicketFilter& TicketFilter::machine_type(MachineType type) {
+  machine_type_ = type;
+  return *this;
+}
+
+TicketFilter& TicketFilter::opened_between(TimePoint begin, TimePoint end) {
+  opened_begin_ = begin;
+  opened_end_ = end;
+  return *this;
+}
+
+TicketFilter& TicketFilter::repair_at_least(Duration duration) {
+  min_repair_ = duration;
+  return *this;
+}
+
+TicketFilter& TicketFilter::server(ServerId id) {
+  server_ = id;
+  return *this;
+}
+
+bool TicketFilter::matches(const TraceDatabase& db,
+                           const Ticket& ticket) const {
+  if (crash_only_ && !ticket.is_crash) return false;
+  if (subsystem_ && ticket.subsystem != *subsystem_) return false;
+  if (machine_type_) {
+    if (!ticket.server.valid()) return false;
+    if (db.server(ticket.server).type != *machine_type_) return false;
+  }
+  if (opened_begin_ && ticket.opened < *opened_begin_) return false;
+  if (opened_end_ && ticket.opened >= *opened_end_) return false;
+  if (min_repair_ && ticket.repair_time() < *min_repair_) return false;
+  if (server_ && ticket.server != *server_) return false;
+  return true;
+}
+
+std::vector<const Ticket*> TicketFilter::apply(
+    const TraceDatabase& db) const {
+  std::vector<const Ticket*> out;
+  for (const Ticket& t : db.tickets()) {
+    if (matches(db, t)) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Ticket*> TicketFilter::apply(
+    const TraceDatabase& db, std::span<const Ticket* const> tickets) const {
+  std::vector<const Ticket*> out;
+  for (const Ticket* t : tickets) {
+    if (matches(db, *t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace fa::trace

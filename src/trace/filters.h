@@ -1,0 +1,45 @@
+// Composable ticket filters: the small query language library consumers use
+// to slice a trace before handing it to the analysis functions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/trace/database.h"
+
+namespace fa::trace {
+
+class TicketFilter {
+ public:
+  TicketFilter() = default;
+
+  // All predicates are conjunctive; unset predicates match everything.
+  TicketFilter& crash_only(bool value = true);
+  TicketFilter& subsystem(Subsystem sys);
+  TicketFilter& machine_type(MachineType type);
+  // Tickets opened within [begin, end).
+  TicketFilter& opened_between(TimePoint begin, TimePoint end);
+  // Minimum repair duration.
+  TicketFilter& repair_at_least(Duration duration);
+  TicketFilter& server(ServerId id);
+
+  bool matches(const TraceDatabase& db, const Ticket& ticket) const;
+
+  // All matching tickets, in table order.
+  std::vector<const Ticket*> apply(const TraceDatabase& db) const;
+  // Filter an existing selection (e.g. pipeline.failures()).
+  std::vector<const Ticket*> apply(
+      const TraceDatabase& db,
+      std::span<const Ticket* const> tickets) const;
+
+ private:
+  bool crash_only_ = false;
+  std::optional<Subsystem> subsystem_;
+  std::optional<MachineType> machine_type_;
+  std::optional<TimePoint> opened_begin_;
+  std::optional<TimePoint> opened_end_;
+  std::optional<Duration> min_repair_;
+  std::optional<ServerId> server_;
+};
+
+}  // namespace fa::trace

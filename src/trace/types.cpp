@@ -1,0 +1,57 @@
+#include "src/trace/types.h"
+
+#include "src/util/error.h"
+
+namespace fa::trace {
+
+std::string_view to_string(MachineType type) {
+  switch (type) {
+    case MachineType::kPhysical:
+      return "PM";
+    case MachineType::kVirtual:
+      return "VM";
+  }
+  throw Error("to_string: invalid MachineType");
+}
+
+MachineType machine_type_from_string(std::string_view s) {
+  if (s == "PM") return MachineType::kPhysical;
+  if (s == "VM") return MachineType::kVirtual;
+  throw Error("machine_type_from_string: invalid value '" + std::string(s) +
+              "'");
+}
+
+std::string_view subsystem_name(Subsystem sys) {
+  static constexpr std::array<std::string_view, kSubsystemCount> kNames = {
+      "Sys I", "Sys II", "Sys III", "Sys IV", "Sys V"};
+  require(sys < kSubsystemCount, "subsystem_name: index out of range");
+  return kNames[sys];
+}
+
+std::string_view to_string(FailureClass c) {
+  switch (c) {
+    case FailureClass::kHardware:
+      return "hardware";
+    case FailureClass::kNetwork:
+      return "network";
+    case FailureClass::kPower:
+      return "power";
+    case FailureClass::kReboot:
+      return "reboot";
+    case FailureClass::kSoftware:
+      return "software";
+    case FailureClass::kOther:
+      return "other";
+  }
+  throw Error("to_string: invalid FailureClass");
+}
+
+FailureClass failure_class_from_string(std::string_view s) {
+  for (FailureClass c : kAllFailureClasses) {
+    if (to_string(c) == s) return c;
+  }
+  throw Error("failure_class_from_string: invalid value '" + std::string(s) +
+              "'");
+}
+
+}  // namespace fa::trace

@@ -1,0 +1,78 @@
+// Core vocabulary types of the failure dataset (Section III of the paper):
+// machine types, the five datacenter subsystems, the six failure classes, and
+// strongly typed record ids.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fa::trace {
+
+enum class MachineType : std::uint8_t {
+  kPhysical = 0,
+  kVirtual = 1,
+};
+
+inline constexpr int kMachineTypeCount = 2;
+
+std::string_view to_string(MachineType type);
+MachineType machine_type_from_string(std::string_view s);
+
+// The five commercial datacenter subsystems ("Sys I" .. "Sys V").
+using Subsystem = std::uint8_t;
+inline constexpr int kSubsystemCount = 5;
+std::string_view subsystem_name(Subsystem sys);
+
+// The six resolution-based crash classes of Section III-A.
+enum class FailureClass : std::uint8_t {
+  kHardware = 0,
+  kNetwork = 1,
+  kPower = 2,
+  kReboot = 3,
+  kSoftware = 4,
+  kOther = 5,
+};
+
+inline constexpr int kFailureClassCount = 6;
+// The five "classified" classes, excluding kOther (Fig. 1 excludes "other").
+inline constexpr std::array<FailureClass, 5> kClassifiedFailureClasses = {
+    FailureClass::kHardware, FailureClass::kNetwork, FailureClass::kPower,
+    FailureClass::kReboot, FailureClass::kSoftware};
+inline constexpr std::array<FailureClass, 6> kAllFailureClasses = {
+    FailureClass::kHardware, FailureClass::kNetwork, FailureClass::kPower,
+    FailureClass::kReboot,   FailureClass::kSoftware, FailureClass::kOther};
+
+std::string_view to_string(FailureClass c);
+FailureClass failure_class_from_string(std::string_view s);
+
+// Strongly typed ids. Distinct tag types prevent cross-assignment between,
+// say, a server id and a ticket id in the join-heavy analysis code.
+template <typename Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct ServerTag {};
+struct TicketTag {};
+struct IncidentTag {};
+struct BoxTag {};
+
+using ServerId = Id<ServerTag>;
+using TicketId = Id<TicketTag>;
+using IncidentId = Id<IncidentTag>;
+using BoxId = Id<BoxTag>;
+
+}  // namespace fa::trace
+
+// Hash support so ids can key unordered_map in the analysis joins.
+template <typename Tag>
+struct std::hash<fa::trace::Id<Tag>> {
+  std::size_t operator()(fa::trace::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,98 @@
+#include "src/util/csv.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "src/util/error.h"
+
+namespace fa {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  *out_ << '\n';
+}
+
+CsvReader::CsvReader(std::istream& in) : in_(&in) {}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int ch = 0;
+  while ((ch = in_->get()) != std::char_traits<char>::eof()) {
+    saw_any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_->peek() == '"') {
+          field += '"';
+          in_->get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (c == '\r') {
+      // Swallow; a following '\n' terminates the row.
+    } else {
+      field += c;
+    }
+  }
+  if (!saw_any) return false;
+  require(!in_quotes, "CsvReader: unterminated quoted field at end of input");
+  fields.push_back(std::move(field));
+  return true;
+}
+
+std::int64_t parse_int(const std::string& field) {
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  require(end != field.c_str() && *end == '\0',
+          "parse_int: invalid integer '" + field + "'");
+  return v;
+}
+
+double parse_double(const std::string& field) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  require(end != field.c_str() && *end == '\0',
+          "parse_double: invalid number '" + field + "'");
+  return v;
+}
+
+}  // namespace fa

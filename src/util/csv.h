@@ -1,0 +1,39 @@
+// Minimal CSV reader/writer (RFC-4180-style quoting) used to persist and
+// reload simulated traces, mirroring the paper's flat database exports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fa {
+
+class CsvWriter {
+ public:
+  // The writer does not own the stream; callers keep it alive.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in);
+
+  // Reads the next record (handles quoted fields with embedded commas,
+  // quotes and newlines). Returns false at end of input.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream* in_;
+};
+
+// Field conversion helpers; throw fa::Error with the offending text.
+std::int64_t parse_int(const std::string& field);
+double parse_double(const std::string& field);
+
+}  // namespace fa

@@ -1,0 +1,22 @@
+// Common error type for the failure-analysis library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fa {
+
+// Thrown on precondition violations and unrecoverable input errors
+// (malformed CSV, invalid distribution parameters, empty samples, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Precondition check used across the library. Unlike assert() it is active in
+// all build types: analysis code is routinely run on untrusted trace files.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(message);
+}
+
+}  // namespace fa

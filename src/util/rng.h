@@ -1,0 +1,63 @@
+// Deterministic, fast random number generation for simulation.
+//
+// xoshiro256** seeded via splitmix64. We implement our own engine (rather
+// than relying on std::mt19937_64) so that traces are bit-reproducible across
+// standard libraries and platforms -- a requirement for regenerating the
+// paper's tables deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fa {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derives an independent stream; used to give each simulated subsystem /
+  // machine its own generator so population changes don't shift other draws.
+  Rng fork(std::uint64_t stream_id);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via polar (Marsaglia) method.
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Exponential with given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  // Poisson(mean); Knuth for small means, PTRS-style normal approx fallback.
+  std::uint64_t poisson(double mean);
+
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Index drawn according to (unnormalized, non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace fa

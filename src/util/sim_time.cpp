@@ -1,0 +1,123 @@
+#include "src/util/sim_time.h"
+
+#include <cstdio>
+
+#include "src/util/error.h"
+
+namespace fa {
+namespace {
+
+// Days from civil date, Howard Hinnant's algorithm (public domain).
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<std::int64_t>(era) * 146097 +
+         static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yr = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp + (mp < 10 ? 3 : -9);
+  y = static_cast<int>(yr) + (m <= 2);
+}
+
+// Monitoring epoch: 2011-07-01 00:00 UTC.
+const std::int64_t kEpochDays = days_from_civil(2011, 7, 1);
+
+TimePoint at_date(int y, int m, int d) {
+  return (days_from_civil(y, m, d) - kEpochDays) * kMinutesPerDay;
+}
+
+int bucket_index(const ObservationWindow& w, TimePoint t, Duration width) {
+  if (!w.contains(t)) return -1;
+  return static_cast<int>((t - w.begin) / width);
+}
+
+int bucket_count(const ObservationWindow& w, Duration width) {
+  return static_cast<int>((w.length() + width - 1) / width);
+}
+
+}  // namespace
+
+double to_hours(Duration d) {
+  return static_cast<double>(d) / kMinutesPerHour;
+}
+
+double to_days(Duration d) {
+  return static_cast<double>(d) / kMinutesPerDay;
+}
+
+Duration from_hours(double hours) {
+  return static_cast<Duration>(hours * kMinutesPerHour + 0.5);
+}
+
+Duration from_days(double days) {
+  return static_cast<Duration>(days * kMinutesPerDay + 0.5);
+}
+
+int ObservationWindow::week_count() const {
+  return bucket_count(*this, kMinutesPerWeek);
+}
+
+int ObservationWindow::day_count() const {
+  return bucket_count(*this, kMinutesPerDay);
+}
+
+int ObservationWindow::month_count() const {
+  return bucket_count(*this, kMinutesPerMonth);
+}
+
+int ObservationWindow::week_index(TimePoint t) const {
+  return bucket_index(*this, t, kMinutesPerWeek);
+}
+
+int ObservationWindow::day_index(TimePoint t) const {
+  return bucket_index(*this, t, kMinutesPerDay);
+}
+
+int ObservationWindow::month_index(TimePoint t) const {
+  return bucket_index(*this, t, kMinutesPerMonth);
+}
+
+ObservationWindow monitoring_window() {
+  return {at_date(2011, 7, 1), at_date(2013, 7, 1)};
+}
+
+ObservationWindow ticket_window() {
+  return {at_date(2012, 7, 1), at_date(2013, 7, 1)};
+}
+
+ObservationWindow onoff_window() {
+  return {at_date(2013, 3, 1), at_date(2013, 5, 1)};
+}
+
+std::string format_time(TimePoint t) {
+  const std::int64_t day = (t >= 0 ? t : t - (kMinutesPerDay - 1)) / kMinutesPerDay;
+  const std::int64_t minute_of_day = t - day * kMinutesPerDay;
+  int y = 0;
+  unsigned m = 0, d = 0;
+  civil_from_days(day + kEpochDays, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02d:%02d", y, m, d,
+                static_cast<int>(minute_of_day / 60),
+                static_cast<int>(minute_of_day % 60));
+  return buf;
+}
+
+std::string format_date(TimePoint t) {
+  return format_time(t).substr(0, 10);
+}
+
+}  // namespace fa

@@ -1,0 +1,64 @@
+// Simulation time model.
+//
+// The paper's data sources use different observation windows:
+//   * server resource monitoring DB: two years, July 2011 - June 2013,
+//     recorded at 15 min / hourly / daily / weekly / monthly granularity;
+//   * ticket DB: one year, July 2012 - June 2013, recorded by events;
+//   * VM on/off tracking: 15-min data for March - April 2013 only.
+// We mirror that: TimePoint is minutes since the monitoring epoch
+// (2011-07-01 00:00 UTC), and the named windows below reproduce the paper's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fa {
+
+using TimePoint = std::int64_t;  // minutes since 2011-07-01 00:00
+using Duration = std::int64_t;   // minutes
+
+inline constexpr Duration kMinutesPerHour = 60;
+inline constexpr Duration kMinutesPerDay = 24 * kMinutesPerHour;
+inline constexpr Duration kMinutesPerWeek = 7 * kMinutesPerDay;
+// Fixed-width analysis month (the paper aggregates "monthly" statistics; we
+// use a 30-day window so month indices are well defined on a minute axis).
+inline constexpr Duration kMinutesPerMonth = 30 * kMinutesPerDay;
+inline constexpr Duration kMinutesPerSample = 15;  // monitoring granularity
+
+double to_hours(Duration d);
+double to_days(Duration d);
+Duration from_hours(double hours);
+Duration from_days(double days);
+
+// Half-open interval [begin, end).
+struct ObservationWindow {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  bool contains(TimePoint t) const { return t >= begin && t < end; }
+  Duration length() const { return end - begin; }
+  double days() const { return to_days(length()); }
+  double weeks() const { return static_cast<double>(length()) / kMinutesPerWeek; }
+  // Number of whole week-buckets covering the window.
+  int week_count() const;
+  int day_count() const;
+  int month_count() const;
+  // Bucket index of t within this window, -1 if outside.
+  int week_index(TimePoint t) const;
+  int day_index(TimePoint t) const;
+  int month_index(TimePoint t) const;
+};
+
+// The monitoring database coverage: 2011-07-01 .. 2013-07-01 (730 days).
+ObservationWindow monitoring_window();
+// The ticket/failure observation period: 2012-07-01 .. 2013-07-01 (365 days).
+ObservationWindow ticket_window();
+// The fine-grained on/off tracking period: 2013-03-01 .. 2013-05-01 (61 days).
+ObservationWindow onoff_window();
+
+// Calendar rendering of a TimePoint ("2012-07-01 00:00") for reports.
+std::string format_time(TimePoint t);
+// Calendar date only ("2012-07-01").
+std::string format_date(TimePoint t);
+
+}  // namespace fa

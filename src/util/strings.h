@@ -1,0 +1,23 @@
+// Small string helpers shared by the CSV layer, ticket-text processing and
+// report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+std::string trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Tokenize free text into lowercase alphanumeric words (ticket descriptions).
+std::vector<std::string> tokenize_words(std::string_view text);
+
+// Fixed-precision decimal rendering for report tables ("0.0062").
+std::string format_double(double v, int precision);
+
+}  // namespace fa

@@ -1,0 +1,93 @@
+#include "src/analysis/age.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(Age, CensoredVmsExcluded) {
+  fa::testing::TinyDbBuilder b;
+  // VM created exactly at DB start: censored. VM created 100 days in:
+  // observable.
+  const auto censored = b.add_vm(0, 2, 2.0, 128.0, 2, std::nullopt);
+  const auto young = b.add_vm(0, 2, 2.0, 128.0, 2, 100.0);
+  b.add_pm(0);  // PMs never enter age analysis
+  b.add_crash(censored, 10.0, 1.0);
+  b.add_crash(young, 50.0, 1.0);
+  const auto db = b.finish();
+
+  const auto result = analyze_vm_age(db, db.crash_tickets());
+  EXPECT_DOUBLE_EQ(result.observable_fraction, 0.5);
+  ASSERT_EQ(result.failure_age_days.size(), 1u);
+  // Ticket year starts 366 days after the monitoring DB; the VM appeared at
+  // day 100, so a failure 50 days into the ticket year is at age 366-100+50.
+  const double expected_age =
+      to_days(ticket_window().begin - monitoring_window().begin) - 100.0 +
+      50.0;
+  EXPECT_NEAR(result.failure_age_days[0], expected_age, 1e-9);
+}
+
+TEST(Age, UniformAgesHaveSmallKsDistance) {
+  fa::testing::TinyDbBuilder b;
+  // 50 observable VMs first seen just before the ticket year begins (the
+  // monitoring window starts 366 days earlier), failing at uniformly spread
+  // ages across the year.
+  const double offset =
+      to_days(ticket_window().begin - monitoring_window().begin);
+  std::vector<fa::trace::ServerId> vms;
+  for (int i = 0; i < 50; ++i) {
+    vms.push_back(b.add_vm(0, 2, 2.0, 128.0, 2, offset));
+  }
+  for (int i = 0; i < 50; ++i) {
+    b.add_crash(vms[static_cast<std::size_t>(i)], 7.0 * i + 1.0, 1.0);
+  }
+  const auto db = b.finish();
+  const auto result = analyze_vm_age(db, db.crash_tickets());
+  ASSERT_EQ(result.failure_age_days.size(), 50u);
+  EXPECT_LT(result.ks_distance_to_uniform, 0.12);
+}
+
+TEST(Age, IncreasingFailureCountsYieldPositiveSlope) {
+  fa::testing::TinyDbBuilder b;
+  const double offset =
+      to_days(ticket_window().begin - monitoring_window().begin);
+  std::vector<fa::trace::ServerId> vms;
+  for (int i = 0; i < 60; ++i) {
+    vms.push_back(b.add_vm(0, 2, 2.0, 128.0, 2, offset));
+  }
+  // Failure density grows with age: k failures in age bucket k.
+  std::size_t v = 0;
+  for (int bucket = 1; bucket <= 6; ++bucket) {
+    for (int k = 0; k < bucket * 2; ++k) {
+      b.add_crash(vms[v++ % vms.size()], 30.0 * bucket + k, 1.0);
+    }
+  }
+  const auto db = b.finish();
+  const auto result = analyze_vm_age(db, db.crash_tickets());
+  EXPECT_GT(result.pdf_trend_slope, 0.0);
+}
+
+TEST(Age, NoObservableFailuresYieldsEmptyResult) {
+  fa::testing::TinyDbBuilder b;
+  const auto censored = b.add_vm(0);
+  b.add_crash(censored, 10.0, 1.0);
+  const auto db = b.finish();
+  const auto result = analyze_vm_age(db, db.crash_tickets());
+  EXPECT_TRUE(result.failure_age_days.empty());
+  EXPECT_DOUBLE_EQ(result.observable_fraction, 0.0);
+}
+
+TEST(Age, SimulatedTraceMatchesPaperShape) {
+  const auto& db = fa::testing::small_simulated_db();
+  const auto result = analyze_vm_age(db, db.crash_tickets());
+  // ~75% of VMs observable (Fig. 6 prose).
+  EXPECT_NEAR(result.observable_fraction, 0.75, 0.08);
+  ASSERT_GT(result.failure_age_days.size(), 20u);
+  // No bathtub: CDF near the diagonal.
+  EXPECT_LT(result.ks_distance_to_uniform, 0.30);
+}
+
+}  // namespace
+}  // namespace fa::analysis

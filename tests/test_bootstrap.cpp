@@ -1,0 +1,66 @@
+#include "src/stats/bootstrap.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+std::vector<double> normal_sample(int n, double mean, double sd,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(Bootstrap, IntervalBracketsPointEstimate) {
+  const auto xs = normal_sample(500, 10.0, 2.0, 3);
+  Rng rng(4);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+  // CI half-width ~ 1.96 * 2/sqrt(500) ~ 0.18.
+  EXPECT_NEAR(ci.hi - ci.lo, 0.35, 0.15);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  const auto xs = normal_sample(300, 0.0, 1.0, 5);
+  Rng rng1(6), rng2(6);
+  const auto narrow = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, rng1, 1000,
+      0.80);
+  const auto wide = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, rng2, 1000,
+      0.99);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, DeterministicUnderSeed) {
+  const auto xs = normal_sample(100, 5.0, 1.0, 7);
+  Rng rng1(8), rng2(8);
+  const auto a = bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(s); }, rng1);
+  const auto b = bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(s); }, rng2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  Rng rng(9);
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap_ci({}, stat, rng), Error);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_ci(xs, stat, rng, 5), Error);
+  EXPECT_THROW(bootstrap_ci(xs, stat, rng, 100, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace fa::stats

@@ -1,0 +1,67 @@
+#include "src/analysis/burstiness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(Burstiness, PoissonProcessIsNearOne) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  Rng rng(3);
+  // Homogeneous Poisson arrivals over the year, ~4 per day.
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(4.0);
+    if (t >= 365.0) break;
+    b.add_crash(pm, t, 1.0);
+  }
+  const auto db = b.finish();
+  const double d = dispersion_index(db, db.crash_tickets(), {},
+                                    Granularity::kDaily);
+  EXPECT_NEAR(d, 1.0, 0.25);
+}
+
+TEST(Burstiness, ClusteredProcessWellAboveOne) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  Rng rng(5);
+  // Bursts: on 12 random days, 30 failures each; nothing otherwise.
+  for (int burst = 0; burst < 12; ++burst) {
+    const double day = rng.uniform(0.0, 360.0);
+    for (int k = 0; k < 30; ++k) {
+      b.add_crash(pm, day + rng.uniform(0.0, 0.9), 1.0);
+    }
+  }
+  const auto db = b.finish();
+  const double d = dispersion_index(db, db.crash_tickets(), {},
+                                    Granularity::kDaily);
+  EXPECT_GT(d, 10.0);
+}
+
+TEST(Burstiness, EmptyScopeThrows) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  const auto db = b.finish();
+  EXPECT_THROW(dispersion_index(db, {}, {}, Granularity::kWeekly), Error);
+}
+
+TEST(Burstiness, SimulatedTraceIsOverdispersed) {
+  const auto& db = fa::testing::small_simulated_db();
+  const auto failures = db.crash_tickets();
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    const Scope scope{static_cast<trace::MachineType>(t), std::nullopt};
+    const double d =
+        dispersion_index(db, failures, scope, Granularity::kDaily);
+    // Aftershocks + multi-server incidents make daily counts clearly
+    // super-Poissonian.
+    EXPECT_GT(d, 1.3) << "type " << t;
+  }
+}
+
+}  // namespace
+}  // namespace fa::analysis

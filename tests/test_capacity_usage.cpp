@@ -1,0 +1,144 @@
+#include "src/analysis/capacity_usage.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+const CapacityAttribute kCpuCount = [](const trace::ServerRecord& s) {
+  return std::optional<double>(s.cpu_count);
+};
+
+TEST(CapacityBinned, ExactRatesAndPopulation) {
+  fa::testing::TinyDbBuilder b;
+  const auto small1 = b.add_pm(0, 2);
+  const auto small2 = b.add_pm(0, 2);
+  const auto big = b.add_pm(0, 16);
+  b.add_crash(small1, 1.0, 1.0);
+  b.add_crash(big, 2.0, 1.0);
+  b.add_crash(big, 3.0, 1.0);
+  (void)small2;
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const auto result = capacity_binned_rates(
+      db, failures, {}, kCpuCount,
+      stats::BinSpec::from_edges({1.0, 8.0, 32.0}));
+
+  ASSERT_EQ(result.population.size(), 2u);
+  EXPECT_EQ(result.population[0], 2u);  // two 2-cpu machines
+  EXPECT_EQ(result.population[1], 1u);  // one 16-cpu machine
+  EXPECT_EQ(result.failure_count[0], 1u);
+  EXPECT_EQ(result.failure_count[1], 2u);
+
+  const int weeks = db.window().week_count();
+  EXPECT_NEAR(result.overall_rate[0], 1.0 / (2.0 * weeks), 1e-12);
+  EXPECT_NEAR(result.overall_rate[1], 2.0 / (1.0 * weeks), 1e-12);
+}
+
+TEST(CapacityBinned, MissingAttributeExcluded) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);   // no disk data
+  const auto vm = b.add_vm(0);   // disk_gb = 128
+  b.add_crash(pm, 1.0, 1.0);
+  b.add_crash(vm, 2.0, 1.0);
+  const auto db = b.finish();
+
+  const CapacityAttribute disk = [](const trace::ServerRecord& s) {
+    return s.disk_gb;
+  };
+  const auto result = capacity_binned_rates(
+      db, db.crash_tickets(), {}, disk,
+      stats::BinSpec::from_edges({0.0, 1000.0}));
+  EXPECT_EQ(result.population[0], 1u);     // only the VM counts
+  EXPECT_EQ(result.failure_count[0], 1u);  // the PM failure is excluded
+}
+
+TEST(CapacityBinned, MaxMinFactor) {
+  BinnedRates r{stats::BinSpec::from_edges({0.0, 1.0, 2.0, 3.0}),
+                {1, 1, 1},
+                {0, 0, 0},
+                {0.001, 0.0, 0.01},
+                {}};
+  EXPECT_DOUBLE_EQ(r.max_min_rate_factor(), 10.0);  // zero bins ignored
+  BinnedRates empty{stats::BinSpec::from_edges({0.0, 1.0}),
+                    {0}, {0}, {0.0}, {}};
+  EXPECT_DOUBLE_EQ(empty.max_min_rate_factor(), 0.0);
+}
+
+TEST(UsageBinned, ServerWeeksBinnedByWeeklyValue) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  // Week 0 at 5% CPU, week 1 at 50%.
+  b.raw().add_weekly_usage({pm, 0, 5.0, 20.0, {}, {}});
+  b.raw().add_weekly_usage({pm, 1, 50.0, 20.0, {}, {}});
+  // One failure in each week.
+  b.add_crash(pm, 1.0, 1.0);
+  b.add_crash(pm, 8.0, 1.0);
+  const auto db = b.finish();
+
+  const UsageAttribute cpu = [](const trace::WeeklyUsage& u) {
+    return std::optional<double>(u.cpu_util);
+  };
+  const auto result = usage_binned_rates(
+      db, db.crash_tickets(), {}, cpu,
+      stats::BinSpec::from_edges({0.0, 10.0, 100.0}));
+
+  ASSERT_EQ(result.population.size(), 2u);
+  EXPECT_EQ(result.population[0], 1u);  // one low-CPU server-week
+  EXPECT_EQ(result.population[1], 1u);
+  EXPECT_EQ(result.failure_count[0], 1u);
+  EXPECT_EQ(result.failure_count[1], 1u);
+  EXPECT_DOUBLE_EQ(result.overall_rate[0], 1.0);  // 1 failure / 1 server-week
+  EXPECT_DOUBLE_EQ(result.overall_rate[1], 1.0);
+}
+
+TEST(UsageBinned, FailureInWeekWithoutUsageRowIgnored) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.raw().add_weekly_usage({pm, 0, 5.0, 20.0, {}, {}});
+  b.add_crash(pm, 10.0, 1.0);  // week 1: no usage row
+  const auto db = b.finish();
+  const UsageAttribute cpu = [](const trace::WeeklyUsage& u) {
+    return std::optional<double>(u.cpu_util);
+  };
+  const auto result = usage_binned_rates(
+      db, db.crash_tickets(), {}, cpu,
+      stats::BinSpec::from_edges({0.0, 100.0}));
+  EXPECT_EQ(result.failure_count[0], 0u);
+  EXPECT_EQ(result.population[0], 1u);
+}
+
+TEST(UsageBinned, MissingOptionalUsageExcluded) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);  // PMs have no disk_util
+  b.raw().add_weekly_usage({pm, 0, 5.0, 20.0, {}, {}});
+  const auto db = b.finish();
+  const UsageAttribute disk = [](const trace::WeeklyUsage& u) {
+    return u.disk_util;
+  };
+  const auto result = usage_binned_rates(
+      db, db.crash_tickets(), {}, disk,
+      stats::BinSpec::from_edges({0.0, 100.0}));
+  EXPECT_EQ(result.population[0], 0u);
+}
+
+TEST(CapacityBinned, SimulatedTraceShowsDiskCountTrend) {
+  // Fig. 7d: VM failure rate increases with the number of virtual disks.
+  const auto& db = fa::testing::small_simulated_db();
+  const CapacityAttribute disks = [](const trace::ServerRecord& s) {
+    return s.disk_count ? std::optional<double>(*s.disk_count)
+                        : std::nullopt;
+  };
+  const auto result = capacity_binned_rates(
+      db, db.crash_tickets(), {trace::MachineType::kVirtual, std::nullopt},
+      disks, stats::BinSpec::from_edges({1.0, 2.0, 3.0, 7.0}));
+  // Rate for 1 disk < rate for 2 disks < rate for 3+ disks.
+  EXPECT_LT(result.overall_rate[0], result.overall_rate[1]);
+  EXPECT_LT(result.overall_rate[1], result.overall_rate[2]);
+}
+
+}  // namespace
+}  // namespace fa::analysis

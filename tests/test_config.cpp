@@ -1,0 +1,143 @@
+#include "src/sim/config.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/paper/reference.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+TEST(Config, PaperDefaultsMatchTable2Populations) {
+  const auto c = SimulationConfig::paper_defaults();
+  int pms = 0, vms = 0;
+  for (int s = 0; s < trace::kSubsystemCount; ++s) {
+    EXPECT_EQ(c.systems[s].pm_count, paperref::kTable2[s].pms);
+    EXPECT_EQ(c.systems[s].vm_count, paperref::kTable2[s].vms);
+    EXPECT_EQ(c.systems[s].all_tickets, paperref::kTable2[s].all_tickets);
+    pms += c.systems[s].pm_count;
+    vms += c.systems[s].vm_count;
+  }
+  EXPECT_EQ(pms, paperref::kTotalPms);
+  EXPECT_EQ(vms, paperref::kTotalVms);
+}
+
+TEST(Config, ClassMixesAreNormalized) {
+  const auto c = SimulationConfig::paper_defaults();
+  for (const auto& sys : c.systems) {
+    const double total = std::accumulate(sys.class_mix.begin(),
+                                         sys.class_mix.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 0.02);
+    EXPECT_GT(sys.other_fraction, 0.0);
+    EXPECT_LT(sys.other_fraction, 1.0);
+  }
+}
+
+TEST(Config, OtherFractionsMatchPaper) {
+  const auto c = SimulationConfig::paper_defaults();
+  for (int s = 0; s < trace::kSubsystemCount; ++s) {
+    EXPECT_NEAR(c.systems[s].other_fraction, paperref::kOtherShare[s], 1e-9);
+  }
+}
+
+TEST(Config, RepairSpecsMatchTable4) {
+  const auto c = SimulationConfig::paper_defaults();
+  for (std::size_t i = 0; i < paperref::kTable4.size(); ++i) {
+    EXPECT_NEAR(c.repair[i].mean_hours, paperref::kTable4[i].mean, 1e-9);
+    EXPECT_NEAR(c.repair[i].median_hours, paperref::kTable4[i].median, 1e-9);
+    EXPECT_GT(c.repair[i].mean_hours, c.repair[i].median_hours);
+  }
+}
+
+TEST(Config, IncidentSizesMatchTable7Means) {
+  const auto c = SimulationConfig::paper_defaults();
+  for (std::size_t i = 0; i < paperref::kTable7.size(); ++i) {
+    // Power is deliberately dialed above its Table VII mean because the
+    // realized sizes shrink (pool eligibility, monitoring losses); the
+    // other classes sit on the analytic target.
+    if (static_cast<trace::FailureClass>(i) == trace::FailureClass::kPower) {
+      EXPECT_GE(c.incident_size[i].expected_size(), paperref::kTable7[i].mean);
+      EXPECT_LE(c.incident_size[i].expected_size(),
+                paperref::kTable7[i].mean + 0.8);
+    } else {
+      EXPECT_NEAR(c.incident_size[i].expected_size(),
+                  paperref::kTable7[i].mean, 0.20)
+          << "class " << i;
+    }
+    EXPECT_EQ(c.incident_size[i].max_extra + 1, paperref::kTable7[i].max);
+  }
+  EXPECT_NEAR(c.incident_size[5].expected_size(), paperref::kTable7Other.mean,
+              0.12);
+}
+
+TEST(Config, ExpectedSizeMatchesHarmonicFormula) {
+  IncidentSizeSpec spec{0.5, 1.0, 4};
+  // H_4(1) = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+  EXPECT_NEAR(spec.expected_size(), 1.0 + 0.5 * 25.0 / 12.0, 1e-12);
+}
+
+TEST(Config, MultiplierCurveLookup) {
+  MultiplierCurve curve{{0.0, 1.0, 2.0}, {10.0, 20.0}};
+  EXPECT_DOUBLE_EQ(curve.at(-5.0), 10.0);  // below range: first value
+  EXPECT_DOUBLE_EQ(curve.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(curve.at(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(curve.at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(curve.at(5.0), 20.0);  // above range: last value
+}
+
+TEST(Config, MultiplierCurveRejectsMismatch) {
+  MultiplierCurve bad{{0.0, 1.0}, {1.0, 2.0}};
+  EXPECT_THROW(bad.at(0.5), Error);
+}
+
+TEST(Config, AllCurvesWellFormedAndPositive) {
+  const auto c = SimulationConfig::paper_defaults();
+  for (const MultiplierCurve* curve :
+       {&c.pm_cpu_curve, &c.vm_cpu_curve, &c.pm_mem_curve, &c.vm_mem_curve,
+        &c.vm_disk_cap_curve, &c.vm_disk_count_curve, &c.pm_cpu_util_curve,
+        &c.vm_cpu_util_curve, &c.pm_mem_util_curve, &c.vm_mem_util_curve,
+        &c.vm_disk_util_curve, &c.vm_net_curve, &c.vm_consolidation_curve,
+        &c.vm_onoff_curve, &c.vm_age_curve}) {
+    ASSERT_EQ(curve->edges.size(), curve->multipliers.size() + 1);
+    for (double m : curve->multipliers) EXPECT_GT(m, 0.0);
+    for (std::size_t i = 1; i < curve->edges.size(); ++i) {
+      EXPECT_GT(curve->edges[i], curve->edges[i - 1]);
+    }
+  }
+}
+
+TEST(Config, CurveShapesEncodePaperTrends) {
+  const auto c = SimulationConfig::paper_defaults();
+  // Fig. 7a: PM rate rises to 24 CPUs then drops at 32/64.
+  EXPECT_GT(c.pm_cpu_curve.at(24), c.pm_cpu_curve.at(1));
+  EXPECT_GT(c.pm_cpu_curve.at(24), c.pm_cpu_curve.at(32));
+  // Fig. 7d: VM disk-count trend is monotone increasing.
+  EXPECT_GT(c.vm_disk_count_curve.at(6), 5.0 * c.vm_disk_count_curve.at(1));
+  // Fig. 8a: VM CPU-utilization trend increases over 0-30%.
+  EXPECT_GT(c.vm_cpu_util_curve.at(25), c.vm_cpu_util_curve.at(5));
+  // Fig. 9: consolidation decreases failure rates.
+  EXPECT_LT(c.vm_consolidation_curve.at(32), c.vm_consolidation_curve.at(1));
+}
+
+TEST(Config, ScaledShrinksPopulations) {
+  const auto c = SimulationConfig::paper_defaults();
+  const auto half = c.scaled(0.5);
+  for (int s = 0; s < trace::kSubsystemCount; ++s) {
+    EXPECT_NEAR(half.systems[s].pm_count, c.systems[s].pm_count / 2.0, 1.0);
+    EXPECT_NEAR(half.systems[s].vm_count, c.systems[s].vm_count / 2.0, 1.0);
+  }
+  // Zero targets stay zero (Sys II VMs have no crash tickets).
+  EXPECT_EQ(half.systems[1].vm_crash_tickets, 0);
+}
+
+TEST(Config, ScaledRejectsBadFactor) {
+  const auto c = SimulationConfig::paper_defaults();
+  EXPECT_THROW(c.scaled(0.0), Error);
+  EXPECT_THROW(c.scaled(1.5), Error);
+}
+
+}  // namespace
+}  // namespace fa::sim

@@ -1,0 +1,116 @@
+#include "src/stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::stats {
+namespace {
+
+TEST(Correlation, PearsonPerfectLinear) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonIndependentNearZero) {
+  Rng rng(1);
+  std::vector<double> xs(20000), ys(20000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.03);
+}
+
+TEST(Correlation, PearsonInvariantToAffineTransforms) {
+  Rng rng(2);
+  std::vector<double> xs(500), ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = 0.5 * xs[i] + rng.normal();
+  }
+  const double base = pearson_correlation(xs, ys);
+  std::vector<double> scaled = ys;
+  for (double& y : scaled) y = 3.0 * y - 7.0;
+  EXPECT_NEAR(pearson_correlation(xs, scaled), base, 1e-12);
+}
+
+TEST(Correlation, PearsonRejectsDegenerate) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> constant = {5, 5, 5};
+  const std::vector<double> shorter = {1, 2};
+  EXPECT_THROW(pearson_correlation(xs, constant), Error);
+  EXPECT_THROW(pearson_correlation(xs, shorter), Error);
+  EXPECT_THROW(pearson_correlation({}, {}), Error);
+}
+
+TEST(Correlation, SpearmanCapturesMonotonicNonlinear) {
+  // y = exp(x) is monotone: Spearman must be 1 even though Pearson is not.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(0.5 * i));
+  }
+  EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(xs, ys), 0.95);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  const std::vector<double> ys = {1, 5, 5, 9};
+  EXPECT_NEAR(spearman_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 4.0);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-10);
+  EXPECT_NEAR(fit.intercept, -4.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Correlation, LinearFitNoisyRSquaredBelowOne) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.2 * i + rng.normal(0.0, 10.0));
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.2, 0.05);
+  EXPECT_GT(fit.r_squared, 0.3);
+  EXPECT_LT(fit.r_squared, 0.99);
+}
+
+TEST(Correlation, LinearFitRejectsConstantX) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_THROW(linear_fit(xs, ys), Error);
+}
+
+TEST(Correlation, MonotonicTrendExtremes) {
+  EXPECT_DOUBLE_EQ(monotonic_trend(std::vector<double>{1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(monotonic_trend(std::vector<double>{4, 3, 2, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(monotonic_trend(std::vector<double>{1, 1, 1}), 0.0);
+}
+
+TEST(Correlation, MonotonicTrendMixed) {
+  // 1,3,2: pairs (1,3)+ (1,2)+ (3,2)- => (2-1)/3.
+  EXPECT_NEAR(monotonic_trend(std::vector<double>{1, 3, 2}), 1.0 / 3.0,
+              1e-12);
+  EXPECT_THROW(monotonic_trend(std::vector<double>{1}), Error);
+}
+
+}  // namespace
+}  // namespace fa::stats

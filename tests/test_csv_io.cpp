@@ -1,0 +1,201 @@
+#include "src/trace/csv_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::trace {
+namespace {
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fa_csv_io_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvIoTest, RoundTripsSimulatedDatabase) {
+  auto config = fa::sim::SimulationConfig::paper_defaults().scaled(0.03);
+  const TraceDatabase original = fa::sim::simulate(config);
+  save_database(original, dir());
+  const TraceDatabase loaded = load_database(dir());
+
+  ASSERT_EQ(loaded.servers().size(), original.servers().size());
+  ASSERT_EQ(loaded.tickets().size(), original.tickets().size());
+
+  for (std::size_t i = 0; i < original.servers().size(); ++i) {
+    const ServerRecord& a = original.servers()[i];
+    const ServerRecord& b = loaded.servers()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.subsystem, b.subsystem);
+    EXPECT_EQ(a.cpu_count, b.cpu_count);
+    EXPECT_EQ(a.disk_count, b.disk_count);
+    EXPECT_EQ(a.host_box, b.host_box);
+    EXPECT_EQ(a.first_record, b.first_record);
+    EXPECT_EQ(a.disk_gb.has_value(), b.disk_gb.has_value());
+  }
+  for (std::size_t i = 0; i < original.tickets().size(); ++i) {
+    const Ticket& a = original.tickets()[i];
+    const Ticket& b = loaded.tickets()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.incident, b.incident);
+    EXPECT_EQ(a.server, b.server);
+    EXPECT_EQ(a.is_crash, b.is_crash);
+    EXPECT_EQ(a.true_class, b.true_class);
+    EXPECT_EQ(a.opened, b.opened);
+    EXPECT_EQ(a.closed, b.closed);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.resolution, b.resolution);
+  }
+
+  // Monitoring-table round trips, spot-checked per server.
+  for (const ServerRecord& s : original.servers()) {
+    EXPECT_EQ(loaded.weekly_usage_for(s.id).size(),
+              original.weekly_usage_for(s.id).size());
+    EXPECT_EQ(loaded.power_events_for(s.id).size(),
+              original.power_events_for(s.id).size());
+    EXPECT_EQ(loaded.snapshots_for(s.id).size(),
+              original.snapshots_for(s.id).size());
+  }
+
+  // Incident grouping identical.
+  EXPECT_EQ(loaded.incidents().size(), original.incidents().size());
+}
+
+TEST_F(CsvIoTest, LoadedDatabaseIsFinalized) {
+  auto config = fa::sim::SimulationConfig::paper_defaults().scaled(0.02);
+  const TraceDatabase original = fa::sim::simulate(config);
+  save_database(original, dir());
+  const TraceDatabase loaded = load_database(dir());
+  EXPECT_TRUE(loaded.finalized());
+  EXPECT_FALSE(loaded.crash_tickets().empty());
+}
+
+TEST_F(CsvIoTest, CustomWindowsRoundTrip) {
+  TraceDatabase db;
+  const ObservationWindow monitoring{0, 1000 * kMinutesPerDay};
+  const ObservationWindow ticket{100 * kMinutesPerDay,
+                                 600 * kMinutesPerDay};
+  const ObservationWindow onoff{200 * kMinutesPerDay, 260 * kMinutesPerDay};
+  db.set_windows(ticket, monitoring, onoff);
+  ServerRecord s;
+  s.type = MachineType::kPhysical;
+  db.add_server(s);
+  db.finalize();
+
+  save_database(db, dir());
+  const TraceDatabase loaded = load_database(dir());
+  EXPECT_EQ(loaded.window().begin, ticket.begin);
+  EXPECT_EQ(loaded.window().end, ticket.end);
+  EXPECT_EQ(loaded.monitoring().end, monitoring.end);
+  EXPECT_EQ(loaded.onoff_tracking().begin, onoff.begin);
+}
+
+TEST_F(CsvIoTest, MissingMetaFallsBackToPaperWindows) {
+  auto config = fa::sim::SimulationConfig::paper_defaults().scaled(0.02);
+  save_database(fa::sim::simulate(config), dir());
+  std::filesystem::remove(dir() + "/meta.csv");
+  const TraceDatabase loaded = load_database(dir());
+  EXPECT_EQ(loaded.window().begin, ticket_window().begin);
+  EXPECT_EQ(loaded.onoff_tracking().end, onoff_window().end);
+}
+
+TEST_F(CsvIoTest, SetWindowsValidation) {
+  TraceDatabase db;
+  const ObservationWindow monitoring{0, 100};
+  // Ticket window escaping monitoring coverage.
+  EXPECT_THROW(db.set_windows({50, 200}, monitoring, {60, 70}), Error);
+  // On/off window escaping the ticket window.
+  EXPECT_THROW(db.set_windows({10, 90}, monitoring, {80, 95}), Error);
+  // Empty window.
+  EXPECT_THROW(db.set_windows({50, 50}, monitoring, {60, 70}), Error);
+  // After finalize.
+  db.finalize();
+  EXPECT_THROW(db.set_windows({10, 90}, monitoring, {20, 30}), Error);
+}
+
+TEST_F(CsvIoTest, MissingDirectoryThrows) {
+  EXPECT_THROW(load_database(dir() + "/nonexistent"), Error);
+}
+
+class CsvInjectionTest : public CsvIoTest {
+ protected:
+  void SetUp() override {
+    CsvIoTest::SetUp();
+    auto config = fa::sim::SimulationConfig::paper_defaults().scaled(0.02);
+    save_database(fa::sim::simulate(config), dir());
+  }
+
+  // Appends a raw row to one of the CSV files.
+  void inject(const std::string& file, const std::string& row) {
+    std::ofstream out(dir() + "/" + file, std::ios::app);
+    out << row << "\n";
+  }
+};
+
+TEST_F(CsvInjectionTest, DanglingTicketServerRejected) {
+  inject("tickets.csv",
+         "999999,0,999999,0,1,software,1000,2000,server unresponsive,fixed");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, UnknownFailureClassRejected) {
+  inject("tickets.csv",
+         "999999,,0,0,0,gremlins,1000,2000,desc,res");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, ClosedBeforeOpenedRejected) {
+  inject("tickets.csv",
+         "999999,,0,0,0,other,2000,1000,desc,res");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, NonContiguousServerIdRejected) {
+  inject("servers.csv", "999999,PM,0,4,8.000,,,,0");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, MalformedNumberRejected) {
+  inject("weekly_usage.csv", "0,notaweek,10.0,10.0,,");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, ShortRowRejected) {
+  inject("snapshots.csv", "0,1");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvInjectionTest, InvalidConsolidationRejected) {
+  // Snapshot rows must carry consolidation >= 1 (finalize validation).
+  inject("snapshots.csv", "0,1,0,0");
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+TEST_F(CsvIoTest, CorruptHeaderThrows) {
+  auto config = fa::sim::SimulationConfig::paper_defaults().scaled(0.02);
+  const TraceDatabase original = fa::sim::simulate(config);
+  save_database(original, dir());
+  // Clobber the servers.csv header.
+  std::ofstream out(dir() + "/servers.csv");
+  out << "bogus,header\n";
+  out.close();
+  EXPECT_THROW(load_database(dir()), Error);
+}
+
+}  // namespace
+}  // namespace fa::trace

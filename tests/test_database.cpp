@@ -1,0 +1,164 @@
+#include "src/trace/database.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::trace {
+namespace {
+
+TEST(Database, AssignsContiguousIds) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s0 = b.add_pm(0);
+  const ServerId s1 = b.add_vm(1);
+  EXPECT_EQ(s0.value, 0);
+  EXPECT_EQ(s1.value, 1);
+}
+
+TEST(Database, QueriesBeforeFinalizeThrow) {
+  TraceDatabase db;
+  db.add_server(ServerRecord{});
+  EXPECT_THROW(db.crash_tickets(), Error);
+  EXPECT_THROW(db.weekly_usage_for(ServerId{0}), Error);
+}
+
+TEST(Database, MutationAfterFinalizeThrows) {
+  TraceDatabase db;
+  db.add_server(ServerRecord{});
+  db.finalize();
+  EXPECT_THROW(db.add_server(ServerRecord{}), Error);
+  EXPECT_THROW(db.finalize(), Error);
+}
+
+TEST(Database, FinalizeValidatesReferentialIntegrity) {
+  TraceDatabase db;
+  Ticket t;
+  t.is_crash = true;
+  t.server = ServerId{42};  // no such server
+  t.incident = db.new_incident();
+  t.closed = t.opened + 10;
+  db.add_ticket(std::move(t));
+  EXPECT_THROW(db.finalize(), Error);
+}
+
+TEST(Database, FinalizeRejectsNegativeRepair) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_pm(0);
+  Ticket t;
+  t.is_crash = true;
+  t.server = s;
+  t.incident = b.raw().new_incident();
+  t.opened = 100;
+  t.closed = 50;
+  b.raw().add_ticket(std::move(t));
+  EXPECT_THROW(b.raw().finalize(), Error);
+}
+
+TEST(Database, CrashTicketFiltersAndIndex) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId pm = b.add_pm(0);
+  const ServerId vm = b.add_vm(0);
+  b.add_crash(pm, 1.0, 2.0);
+  b.add_crash(pm, 5.0, 2.0);
+  b.add_crash(vm, 7.0, 1.0);
+  b.add_background(pm, 2.0);
+  const auto db = b.finish();
+
+  EXPECT_EQ(db.tickets().size(), 4u);
+  EXPECT_EQ(db.crash_tickets().size(), 3u);
+  EXPECT_EQ(db.crash_tickets_for(pm).size(), 2u);
+  EXPECT_EQ(db.crash_tickets_for(vm).size(), 1u);
+  EXPECT_TRUE(db.crash_tickets_for(ServerId{99}).empty());
+}
+
+TEST(Database, ServerCountsByTypeAndSubsystem) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  b.add_pm(0);
+  b.add_pm(1);
+  b.add_vm(0);
+  const auto db = b.finish();
+  EXPECT_EQ(db.server_count(MachineType::kPhysical), 3u);
+  EXPECT_EQ(db.server_count(MachineType::kVirtual), 1u);
+  EXPECT_EQ(db.server_count(MachineType::kPhysical, 0), 2u);
+  EXPECT_EQ(db.servers_of(MachineType::kPhysical, 1).size(), 1u);
+}
+
+TEST(Database, IncidentsGroupTickets) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s1 = b.add_pm(0);
+  const ServerId s2 = b.add_pm(0);
+  const auto shared = b.new_incident();
+  b.add_crash(s1, 1.0, 2.0, FailureClass::kPower, shared);
+  b.add_crash(s2, 1.0, 2.0, FailureClass::kPower, shared);
+  b.add_crash(s1, 9.0, 2.0);
+  const auto db = b.finish();
+  const auto incidents = db.incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  const std::size_t sizes[2] = {incidents[0].size(), incidents[1].size()};
+  EXPECT_EQ(sizes[0] + sizes[1], 3u);
+}
+
+TEST(Database, WeeklyUsageSortedSpan) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_pm(0);
+  b.raw().add_weekly_usage({s, 2, 30.0, 40.0, {}, {}});
+  b.raw().add_weekly_usage({s, 0, 10.0, 20.0, {}, {}});
+  const auto db = b.finish();
+  const auto usage = db.weekly_usage_for(s);
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].week, 0);
+  EXPECT_EQ(usage[1].week, 2);
+  EXPECT_TRUE(db.weekly_usage_for(ServerId{5}).empty());
+}
+
+TEST(Database, PowerSeriesReconstructsState) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_vm(0);
+  const auto window = onoff_window();
+  // Off for the second hour of the window.
+  b.raw().add_power_event({s, window.begin + 60, false});
+  b.raw().add_power_event({s, window.begin + 120, true});
+  const auto db = b.finish();
+  const ObservationWindow probe{window.begin, window.begin + 240};
+  const auto series = db.power_series_for(s, probe);
+  ASSERT_EQ(series.size(), 16u);  // 240 min / 15 min
+  EXPECT_TRUE(series[0]);         // on before the off event
+  EXPECT_FALSE(series[5]);        // 75 min: off
+  EXPECT_TRUE(series[8]);         // 120 min: back on
+  EXPECT_TRUE(series[15]);
+}
+
+TEST(Database, PowerSeriesDefaultsToOn) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_vm(0);
+  const auto db = b.finish();
+  const auto window = onoff_window();
+  const auto series = db.power_series_for(s, window);
+  for (bool on : series) EXPECT_TRUE(on);
+}
+
+TEST(Database, ConsolidationAtUsesMonthlySnapshot) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_vm(0);
+  b.raw().add_monthly_snapshot({s, 0, BoxId{0}, 8});
+  b.raw().add_monthly_snapshot({s, 1, BoxId{0}, 16});
+  const auto db = b.finish();
+  const TimePoint in_month0 = db.window().begin + from_days(10.0);
+  const TimePoint in_month1 = db.window().begin + from_days(40.0);
+  EXPECT_EQ(db.consolidation_at(s, in_month0), 8);
+  EXPECT_EQ(db.consolidation_at(s, in_month1), 16);
+  const TimePoint in_month2 = db.window().begin + from_days(70.0);
+  EXPECT_EQ(db.consolidation_at(s, in_month2), 0);  // no snapshot
+}
+
+TEST(Database, SnapshotConsolidationValidation) {
+  fa::testing::TinyDbBuilder b;
+  const ServerId s = b.add_vm(0);
+  b.raw().add_monthly_snapshot({s, 0, BoxId{0}, 0});  // invalid level
+  EXPECT_THROW(b.raw().finalize(), Error);
+}
+
+}  // namespace
+}  // namespace fa::trace

@@ -1,0 +1,83 @@
+#include "src/stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+const std::vector<double> kSample = {4.0, 1.0, 3.0, 2.0, 5.0};
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 3.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Descriptive, VarianceIsUnbiased) {
+  EXPECT_DOUBLE_EQ(variance(kSample), 2.5);  // sum sq dev 10 / (5-1)
+  EXPECT_THROW(variance(std::vector<double>{1.0}), Error);
+}
+
+TEST(Descriptive, StdDev) {
+  EXPECT_NEAR(stddev(kSample), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kSample), 1.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 5.0);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(kSample), 3.0);
+  const std::vector<double> even = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Descriptive, PercentileSingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Descriptive, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile(kSample, -1.0), Error);
+  EXPECT_THROW(percentile(kSample, 101.0), Error);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  EXPECT_NEAR(coefficient_of_variation(kSample), std::sqrt(2.5) / 3.0,
+              1e-12);
+}
+
+TEST(Descriptive, SummaryAggregatesEverything) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Descriptive, SummarySingleElementHasZeroStddev) {
+  const Summary s = summarize(std::vector<double>{2.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace fa::stats

@@ -1,0 +1,187 @@
+// Property-based checks shared by every distribution family, run over a
+// parameter grid via INSTANTIATE_TEST_SUITE_P: CDF monotonicity,
+// quantile/CDF inversion, pdf == d/dx CDF, log_pdf == ln pdf, and sample
+// moments against analytic moments.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/distribution.h"
+#include "src/stats/exponential.h"
+#include "src/stats/gamma_dist.h"
+#include "src/stats/lognormal.h"
+#include "src/stats/pareto.h"
+#include "src/stats/weibull.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::stats {
+namespace {
+
+struct DistCase {
+  std::string label;
+  std::function<DistributionPtr()> make;
+  bool finite_variance = true;
+};
+
+void PrintTo(const DistCase& c, std::ostream* os) { *os << c.label; }
+
+class DistributionProperties : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperties, CdfIsMonotoneFromZeroToOne) {
+  const auto dist = GetParam().make();
+  double prev = dist->cdf(0.0);
+  EXPECT_GE(prev, 0.0);
+  for (double x = 0.01; x < 1e4; x *= 1.7) {
+    const double c = dist->cdf(x);
+    EXPECT_GE(c, prev) << "x=" << x;
+    EXPECT_LE(c, 1.0) << "x=" << x;
+    prev = c;
+  }
+  EXPECT_NEAR(dist->cdf(1e12), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(dist->cdf(-1.0), 0.0);
+}
+
+TEST_P(DistributionProperties, QuantileInvertsCdf) {
+  const auto dist = GetParam().make();
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(dist->cdf(x), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionProperties, PdfMatchesCdfDerivative) {
+  const auto dist = GetParam().make();
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double x = dist->quantile(p);
+    const double h = std::max(1e-6, x * 1e-6);
+    const double numeric = (dist->cdf(x + h) - dist->cdf(x - h)) / (2.0 * h);
+    const double analytic = dist->pdf(x);
+    EXPECT_NEAR(numeric, analytic,
+                1e-4 * std::max(1.0, std::fabs(analytic)))
+        << "p=" << p << " x=" << x;
+  }
+}
+
+TEST_P(DistributionProperties, LogPdfConsistentWithPdf) {
+  const auto dist = GetParam().make();
+  for (double p : {0.05, 0.5, 0.95}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(std::exp(dist->log_pdf(x)), dist->pdf(x),
+                1e-10 * std::max(1.0, dist->pdf(x)));
+  }
+  EXPECT_EQ(dist->pdf(-5.0), 0.0);
+  EXPECT_TRUE(std::isinf(dist->log_pdf(-5.0)));
+}
+
+TEST_P(DistributionProperties, SampleMomentsMatchAnalytic) {
+  const auto dist = GetParam().make();
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist->sample(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, dist->mean(), 0.03 * dist->mean() + 1e-3);
+  if (GetParam().finite_variance) {
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(var, dist->variance(), 0.12 * dist->variance() + 1e-3);
+  }
+}
+
+TEST_P(DistributionProperties, MedianEqualsHalfQuantile) {
+  const auto dist = GetParam().make();
+  EXPECT_DOUBLE_EQ(dist->median(), dist->quantile(0.5));
+}
+
+TEST_P(DistributionProperties, QuantileRejectsOutOfRange) {
+  const auto dist = GetParam().make();
+  EXPECT_THROW(dist->quantile(-0.1), Error);
+  EXPECT_THROW(dist->quantile(1.0), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionProperties,
+    ::testing::Values(
+        DistCase{"exponential_rate_half",
+                 [] { return std::make_unique<Exponential>(0.5); }},
+        DistCase{"exponential_rate_3",
+                 [] { return std::make_unique<Exponential>(3.0); }},
+        DistCase{"weibull_shape_below_1",
+                 [] { return std::make_unique<Weibull>(0.7, 10.0); }},
+        DistCase{"weibull_shape_above_1",
+                 [] { return std::make_unique<Weibull>(2.5, 3.0); }},
+        DistCase{"gamma_shape_below_1",
+                 [] { return std::make_unique<GammaDist>(0.6, 40.0); }},
+        DistCase{"gamma_shape_above_1",
+                 [] { return std::make_unique<GammaDist>(4.0, 2.0); }},
+        DistCase{"lognormal_narrow",
+                 [] { return std::make_unique<LogNormal>(1.0, 0.5); }},
+        DistCase{"lognormal_wide",
+                 [] { return std::make_unique<LogNormal>(2.0, 1.5); }},
+        // alpha = 2.5 has finite variance but infinite kurtosis, so the
+        // sample-variance estimator converges too slowly to assert on.
+        DistCase{"pareto_heavy",
+                 [] { return std::make_unique<Pareto>(1.0, 2.5); },
+                 false},
+        DistCase{"pareto_infinite_variance",
+                 [] { return std::make_unique<Pareto>(2.0, 1.8); },
+                 false}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Distributions, InvalidParametersThrow) {
+  EXPECT_THROW(Exponential(0.0), Error);
+  EXPECT_THROW(Weibull(-1.0, 1.0), Error);
+  EXPECT_THROW(Weibull(1.0, 0.0), Error);
+  EXPECT_THROW(GammaDist(0.0, 1.0), Error);
+  EXPECT_THROW(LogNormal(0.0, 0.0), Error);
+  EXPECT_THROW(Pareto(0.0, 1.0), Error);
+}
+
+TEST(Distributions, LogNormalFromMeanMedianSolvesExactly) {
+  // Table IV hardware repair: mean 80.1 h, median 8.28 h.
+  const auto d = LogNormal::from_mean_median(80.1, 8.28);
+  EXPECT_NEAR(d.mean(), 80.1, 1e-9);
+  EXPECT_NEAR(d.median(), 8.28, 1e-9);
+  EXPECT_THROW(LogNormal::from_mean_median(5.0, 5.0), Error);
+  EXPECT_THROW(LogNormal::from_mean_median(5.0, -1.0), Error);
+}
+
+TEST(Distributions, GammaMeanVariance) {
+  const GammaDist g(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 12.0);
+}
+
+TEST(Distributions, WeibullShapeOneIsExponential) {
+  const Weibull w(1.0, 4.0);
+  const Exponential e(0.25);
+  for (double x : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+    EXPECT_NEAR(w.pdf(x), e.pdf(x), 1e-12);
+  }
+}
+
+TEST(Distributions, ParetoInfiniteMoments) {
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 0.9).mean()));
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 1.5).variance()));
+}
+
+TEST(Distributions, DescribeMentionsFamilyAndParameters) {
+  EXPECT_NE(GammaDist(0.57, 65.0).describe().find("Gamma"),
+            std::string::npos);
+  EXPECT_NE(LogNormal(1.0, 2.0).describe().find("sigma"), std::string::npos);
+  EXPECT_EQ(Exponential(2.0).name(), "exponential");
+}
+
+}  // namespace
+}  // namespace fa::stats

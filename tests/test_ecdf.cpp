@@ -1,0 +1,70 @@
+#include "src/stats/ecdf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 2.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);  // two ties at 2.0
+  EXPECT_DOUBLE_EQ(f(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 1.0);
+}
+
+TEST(Ecdf, EmptySampleThrows) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), Error);
+}
+
+TEST(Ecdf, QuantileReturnsOrderStatistics) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+  EXPECT_THROW(f.quantile(0.0), Error);
+}
+
+TEST(Ecdf, QuantileAndCdfAreConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Ecdf f(xs);
+  for (double p : {0.01, 0.2, 0.5, 0.77, 1.0}) {
+    EXPECT_GE(f(f.quantile(p)), p);
+  }
+}
+
+TEST(Ecdf, CurveIsMonotoneAndSpansRange) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(static_cast<double>(i % 37));
+  const Ecdf f(xs);
+  const auto pts = f.curve(50);
+  ASSERT_EQ(pts.size(), 50u);
+  EXPECT_DOUBLE_EQ(pts.back().p, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GE(pts[i].p, pts[i - 1].p);
+  }
+}
+
+TEST(Ecdf, CurveSmallerSampleThanPoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  const Ecdf f(xs);
+  const auto pts = f.curve(100);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 5.0);
+  EXPECT_DOUBLE_EQ(pts.back().p, 1.0);
+}
+
+}  // namespace
+}  // namespace fa::stats

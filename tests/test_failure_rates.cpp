@@ -1,0 +1,109 @@
+#include "src/analysis/failure_rates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(FailureRates, ExactRatesOnHandBuiltTrace) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  b.add_pm(0);  // never fails
+  b.add_vm(0);
+  b.add_crash(pm1, 0.5, 1.0);   // week 0
+  b.add_crash(pm1, 1.5, 1.0);   // week 0
+  b.add_crash(pm2, 8.0, 1.0);   // week 1
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const Scope pm_scope{trace::MachineType::kPhysical, std::nullopt};
+  const auto series =
+      failure_rate_series(db, failures, pm_scope, Granularity::kWeekly);
+  ASSERT_EQ(series.size(), static_cast<std::size_t>(db.window().week_count()));
+  EXPECT_DOUBLE_EQ(series[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.0);
+}
+
+TEST(FailureRates, ScopeFiltersTypeAndSubsystem) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm_sys0 = b.add_pm(0);
+  const auto vm_sys1 = b.add_vm(1);
+  b.add_crash(pm_sys0, 1.0, 1.0);
+  b.add_crash(vm_sys1, 1.0, 1.0);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const auto vm_rates = failure_rate_series(
+      db, failures, {trace::MachineType::kVirtual, std::nullopt},
+      Granularity::kWeekly);
+  EXPECT_DOUBLE_EQ(vm_rates[0], 1.0);  // one VM, one failure
+
+  const auto sys0 = failure_rate_series(
+      db, failures, {std::nullopt, trace::Subsystem{0}},
+      Granularity::kWeekly);
+  EXPECT_DOUBLE_EQ(sys0[0], 1.0);  // one server in sys 0
+
+  const auto all = failure_rate_series(db, failures, {}, Granularity::kWeekly);
+  EXPECT_DOUBLE_EQ(all[0], 1.0);  // 2 failures / 2 servers
+}
+
+TEST(FailureRates, GranularitiesHaveConsistentTotals) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 10.0, 1.0);
+  b.add_crash(pm, 100.0, 1.0);
+  b.add_crash(pm, 300.0, 1.0);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+  const Scope scope{};
+
+  for (auto g : {Granularity::kDaily, Granularity::kWeekly,
+                 Granularity::kMonthly}) {
+    const auto series = failure_rate_series(db, failures, scope, g);
+    double total = 0.0;
+    for (double r : series) total += r;
+    EXPECT_DOUBLE_EQ(total, 3.0);  // one server: rates sum to failure count
+  }
+}
+
+TEST(FailureRates, SummaryMatchesSeries) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 0.5, 1.0);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+  const auto summary = failure_rate_summary(db, failures, {},
+                                            Granularity::kWeekly);
+  EXPECT_EQ(summary.count,
+            static_cast<std::size_t>(db.window().week_count()));
+  EXPECT_NEAR(summary.mean, 1.0 / db.window().week_count(), 1e-12);
+  EXPECT_DOUBLE_EQ(summary.max, 1.0);
+}
+
+TEST(FailureRates, NonCrashTicketRejected) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_background(pm, 1.0);
+  const auto db = b.finish();
+  std::vector<const trace::Ticket*> bogus = {&db.tickets()[0]};
+  EXPECT_THROW(
+      failure_rate_series(db, bogus, {}, Granularity::kWeekly), Error);
+}
+
+TEST(FailureRates, EmptyScopeThrows) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  const auto db = b.finish();
+  const Scope vm_scope{trace::MachineType::kVirtual, std::nullopt};
+  EXPECT_EQ(scope_server_count(db, vm_scope), 0u);
+  EXPECT_THROW(
+      failure_rate_series(db, {}, vm_scope, Granularity::kWeekly), Error);
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,150 @@
+#include "src/sim/failures.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace fa::sim {
+namespace {
+
+class FailuresTest : public ::testing::Test {
+ protected:
+  static const SimulationConfig& config() {
+    static const SimulationConfig c =
+        SimulationConfig::paper_defaults().scaled(0.3);
+    return c;
+  }
+  static const Fleet& fleet() {
+    static const Fleet f = [] {
+      Rng rng(5);
+      return build_fleet(config(), rng);
+    }();
+    return f;
+  }
+  static const std::vector<FailureEvent>& events() {
+    static const std::vector<FailureEvent> e = [] {
+      const HazardModel hazard(config(), fleet());
+      trace::TraceDatabase db;
+      for (const auto& s : fleet().servers) db.add_server(s);
+      Rng rng(9);
+      return generate_failures(config(), fleet(), hazard, db, rng);
+    }();
+    return e;
+  }
+};
+
+TEST_F(FailuresTest, EventsWithinTicketWindowAndSorted) {
+  const auto year = ticket_window();
+  ASSERT_FALSE(events().empty());
+  TimePoint prev = year.begin;
+  for (const FailureEvent& e : events()) {
+    EXPECT_TRUE(year.contains(e.at));
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+  }
+}
+
+TEST_F(FailuresTest, EventsRespectVmCreation) {
+  for (const FailureEvent& e : events()) {
+    EXPECT_GE(e.at, fleet().profile(e.server).creation);
+  }
+}
+
+TEST_F(FailuresTest, AftershocksShareIncidentAndServer) {
+  // Aftershocks re-fail a server already present in the incident.
+  std::unordered_map<trace::IncidentId,
+                     std::unordered_set<trace::ServerId>>
+      primaries;
+  for (const FailureEvent& e : events()) {
+    if (!e.is_aftershock) primaries[e.incident].insert(e.server);
+  }
+  for (const FailureEvent& e : events()) {
+    if (!e.is_aftershock) continue;
+    const auto it = primaries.find(e.incident);
+    ASSERT_NE(it, primaries.end());
+    EXPECT_TRUE(it->second.contains(e.server));
+  }
+}
+
+TEST_F(FailuresTest, IncidentSizesWithinClassCaps) {
+  std::unordered_map<trace::IncidentId,
+                     std::unordered_set<trace::ServerId>>
+      servers;
+  std::unordered_map<trace::IncidentId, trace::FailureClass> incident_class;
+  for (const FailureEvent& e : events()) {
+    servers[e.incident].insert(e.server);
+    if (!e.is_aftershock) incident_class.try_emplace(e.incident, e.recorded_class);
+  }
+  for (const auto& [incident, set] : servers) {
+    const auto cls = static_cast<std::size_t>(incident_class[incident]);
+    EXPECT_LE(static_cast<int>(set.size()),
+              config().incident_size[cls].max_extra + 1);
+  }
+}
+
+TEST_F(FailuresTest, MultiServerIncidentsShareSubsystemStructure) {
+  // All servers of one incident live in the same subsystem (propagation is
+  // through boxes, app groups and power domains, all subsystem-local).
+  std::unordered_map<trace::IncidentId, trace::Subsystem> sys_of;
+  for (const FailureEvent& e : events()) {
+    const auto sys = fleet().server(e.server).subsystem;
+    const auto [it, fresh] = sys_of.try_emplace(e.incident, sys);
+    if (!fresh) {
+      EXPECT_EQ(it->second, sys);
+    }
+  }
+}
+
+TEST_F(FailuresTest, OtherFractionApproximatesConfig) {
+  // Primary events recorded as "other" per subsystem vs the configured
+  // vagueness share.
+  std::array<int, trace::kSubsystemCount> other{}, total{};
+  std::unordered_set<std::int32_t> seen;
+  for (const FailureEvent& e : events()) {
+    if (e.is_aftershock) continue;
+    if (!seen.insert(e.incident.value).second) continue;  // root only
+    const auto sys = fleet().server(e.server).subsystem;
+    ++total[sys];
+    other[sys] += e.recorded_class == trace::FailureClass::kOther;
+  }
+  for (int sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    if (total[sys] < 100) continue;
+    const double measured =
+        static_cast<double>(other[sys]) / total[sys];
+    EXPECT_NEAR(measured, config().systems[sys].other_fraction, 0.08)
+        << "sys " << sys;
+  }
+}
+
+TEST_F(FailuresTest, AftershockShareMatchesGeometricChain) {
+  std::size_t shocks = 0;
+  for (const FailureEvent& e : events()) shocks += e.is_aftershock;
+  const double share = static_cast<double>(shocks) / events().size();
+  // Chain mean q/(1-q) with q in [0.2, 0.275] => share in ~[0.17, 0.22],
+  // reduced slightly by window truncation.
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.30);
+}
+
+TEST_F(FailuresTest, DeterministicForSeed) {
+  const HazardModel hazard(config(), fleet());
+  trace::TraceDatabase db1, db2;
+  for (const auto& s : fleet().servers) {
+    db1.add_server(s);
+    db2.add_server(s);
+  }
+  Rng r1(33), r2(33);
+  const auto a = generate_failures(config(), fleet(), hazard, db1, r1);
+  const auto b = generate_failures(config(), fleet(), hazard, db2, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].recorded_class, b[i].recorded_class);
+  }
+}
+
+}  // namespace
+}  // namespace fa::sim

@@ -1,0 +1,89 @@
+#include "src/trace/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::trace {
+namespace {
+
+class FilterTest : public ::testing::Test {
+ protected:
+  FilterTest() {
+    fa::testing::TinyDbBuilder b;
+    pm0_ = b.add_pm(0);
+    pm1_ = b.add_pm(1);
+    vm0_ = b.add_vm(0);
+    b.add_crash(pm0_, 10.0, 2.0, FailureClass::kHardware);
+    b.add_crash(pm1_, 100.0, 50.0, FailureClass::kSoftware);
+    b.add_crash(vm0_, 200.0, 1.0, FailureClass::kReboot);
+    b.add_background(pm0_, 20.0);
+    db_ = b.finish();
+  }
+  ServerId pm0_, pm1_, vm0_;
+  TraceDatabase db_{};
+};
+
+TEST_F(FilterTest, EmptyFilterMatchesEverything) {
+  EXPECT_EQ(TicketFilter{}.apply(db_).size(), db_.tickets().size());
+}
+
+TEST_F(FilterTest, CrashOnly) {
+  EXPECT_EQ(TicketFilter{}.crash_only().apply(db_).size(), 3u);
+}
+
+TEST_F(FilterTest, BySubsystem) {
+  const auto sys0 = TicketFilter{}.crash_only().subsystem(0).apply(db_);
+  ASSERT_EQ(sys0.size(), 2u);  // pm0 and vm0 crashes
+  for (const Ticket* t : sys0) EXPECT_EQ(t->subsystem, 0);
+}
+
+TEST_F(FilterTest, ByMachineType) {
+  const auto vms =
+      TicketFilter{}.machine_type(MachineType::kVirtual).apply(db_);
+  ASSERT_EQ(vms.size(), 1u);
+  EXPECT_EQ(vms[0]->server, vm0_);
+}
+
+TEST_F(FilterTest, ByTimeWindowHalfOpen) {
+  const auto year = db_.window();
+  const auto filter = TicketFilter{}.crash_only().opened_between(
+      year.begin + from_days(10.0), year.begin + from_days(100.0));
+  const auto hits = filter.apply(db_);
+  ASSERT_EQ(hits.size(), 1u);  // day-10 inclusive, day-100 exclusive
+  EXPECT_EQ(hits[0]->server, pm0_);
+}
+
+TEST_F(FilterTest, ByMinimumRepair) {
+  const auto slow =
+      TicketFilter{}.crash_only().repair_at_least(from_hours(10.0)).apply(
+          db_);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0]->server, pm1_);
+}
+
+TEST_F(FilterTest, ByServer) {
+  EXPECT_EQ(TicketFilter{}.server(pm0_).apply(db_).size(), 2u);  // + bg
+  EXPECT_EQ(TicketFilter{}.crash_only().server(pm0_).apply(db_).size(), 1u);
+}
+
+TEST_F(FilterTest, ConjunctionOfPredicates) {
+  const auto filter = TicketFilter{}
+                          .crash_only()
+                          .machine_type(MachineType::kPhysical)
+                          .subsystem(1);
+  const auto hits = filter.apply(db_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->server, pm1_);
+}
+
+TEST_F(FilterTest, ApplyOnSelection) {
+  const auto crashes = db_.crash_tickets();
+  const auto refined =
+      TicketFilter{}.machine_type(MachineType::kVirtual).apply(db_, crashes);
+  ASSERT_EQ(refined.size(), 1u);
+  EXPECT_EQ(refined[0]->server, vm0_);
+}
+
+}  // namespace
+}  // namespace fa::trace

@@ -1,0 +1,186 @@
+#include "src/sim/fleet.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace fa::sim {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static const Fleet& fleet() {
+    static const Fleet f = [] {
+      Rng rng(5);
+      return build_fleet(SimulationConfig::paper_defaults().scaled(0.3), rng);
+    }();
+    return f;
+  }
+  static const SimulationConfig& config() {
+    static const SimulationConfig c =
+        SimulationConfig::paper_defaults().scaled(0.3);
+    return c;
+  }
+};
+
+TEST_F(FleetTest, PopulationCountsMatchConfig) {
+  std::array<int, trace::kSubsystemCount> pms{}, vms{};
+  for (const trace::ServerRecord& s : fleet().servers) {
+    (s.type == trace::MachineType::kPhysical ? pms : vms)[s.subsystem]++;
+  }
+  for (int sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    EXPECT_EQ(pms[sys], config().systems[sys].pm_count) << "sys " << sys;
+    EXPECT_EQ(vms[sys], config().systems[sys].vm_count) << "sys " << sys;
+  }
+}
+
+TEST_F(FleetTest, IdsAreContiguousIndices) {
+  for (std::size_t i = 0; i < fleet().servers.size(); ++i) {
+    EXPECT_EQ(fleet().servers[i].id.value, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(fleet().servers.size(), fleet().profiles.size());
+}
+
+TEST_F(FleetTest, PmsHaveNoDiskDataOrBox) {
+  for (const trace::ServerRecord& s : fleet().servers) {
+    if (s.type != trace::MachineType::kPhysical) continue;
+    EXPECT_FALSE(s.disk_gb.has_value());
+    EXPECT_FALSE(s.disk_count.has_value());
+    EXPECT_FALSE(s.host_box.valid());
+  }
+}
+
+TEST_F(FleetTest, VmsHaveFullConfigurationAndBox) {
+  for (const trace::ServerRecord& s : fleet().servers) {
+    if (s.type != trace::MachineType::kVirtual) continue;
+    EXPECT_TRUE(s.disk_gb.has_value());
+    EXPECT_TRUE(s.disk_count.has_value());
+    EXPECT_TRUE(s.host_box.valid());
+    EXPECT_GE(*s.disk_count, 1);
+  }
+}
+
+TEST_F(FleetTest, BoxMembershipConsistent) {
+  for (std::size_t box = 0; box < fleet().box_members.size(); ++box) {
+    for (trace::ServerId id : fleet().box_members[box]) {
+      EXPECT_EQ(fleet().server(id).host_box.value,
+                static_cast<std::int32_t>(box));
+    }
+  }
+}
+
+TEST_F(FleetTest, ConsolidationEqualsBoxCapacityBound) {
+  for (const trace::ServerRecord& s : fleet().servers) {
+    if (s.type != trace::MachineType::kVirtual) continue;
+    const auto& members =
+        fleet().box_members[static_cast<std::size_t>(s.host_box.value)];
+    const MachineProfile& p = fleet().profile(s.id);
+    EXPECT_GE(p.consolidation, static_cast<int>(members.size()));
+    EXPECT_GE(p.consolidation, 1);
+    EXPECT_LE(p.consolidation, 32);
+  }
+}
+
+TEST_F(FleetTest, PrecreatedFractionNearConfig) {
+  std::size_t vms = 0, precreated = 0;
+  const TimePoint db_start = monitoring_window().begin;
+  for (std::size_t i = 0; i < fleet().servers.size(); ++i) {
+    if (fleet().servers[i].type != trace::MachineType::kVirtual) continue;
+    ++vms;
+    precreated += fleet().profiles[i].creation < db_start;
+  }
+  const double fraction = static_cast<double>(precreated) / vms;
+  EXPECT_NEAR(fraction, config().vm_precreated_fraction, 0.04);
+}
+
+TEST_F(FleetTest, FirstRecordClampedToMonitoringStart) {
+  const TimePoint db_start = monitoring_window().begin;
+  for (std::size_t i = 0; i < fleet().servers.size(); ++i) {
+    const auto& s = fleet().servers[i];
+    const auto& p = fleet().profiles[i];
+    EXPECT_GE(s.first_record, db_start);
+    EXPECT_GE(s.first_record, p.creation);
+    if (p.creation >= db_start) {
+      EXPECT_EQ(s.first_record, p.creation);
+    }
+  }
+}
+
+TEST_F(FleetTest, PowerDomainsPartitionTheFleet) {
+  std::unordered_set<std::int32_t> seen;
+  std::size_t total = 0;
+  for (const auto& domain : fleet().power_domain_members) {
+    for (trace::ServerId id : domain) {
+      EXPECT_TRUE(seen.insert(id.value).second) << "duplicate in domains";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, fleet().servers.size());
+}
+
+TEST_F(FleetTest, PowerDomainsAreSubsystemLocal) {
+  for (const auto& domain : fleet().power_domain_members) {
+    if (domain.empty()) continue;
+    const auto sys = fleet().server(domain.front()).subsystem;
+    for (trace::ServerId id : domain) {
+      EXPECT_EQ(fleet().server(id).subsystem, sys);
+    }
+  }
+}
+
+TEST_F(FleetTest, AppGroupsConsistentAndBounded) {
+  for (std::size_t g = 0; g < fleet().app_group_members.size(); ++g) {
+    const auto& group = fleet().app_group_members[g];
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_LE(group.size(), 8u);
+    for (trace::ServerId id : group) {
+      EXPECT_EQ(fleet().profile(id).app_group, static_cast<int>(g));
+    }
+  }
+}
+
+TEST_F(FleetTest, UsageProfilesWithinPhysicalBounds) {
+  for (std::size_t i = 0; i < fleet().profiles.size(); ++i) {
+    const MachineProfile& p = fleet().profiles[i];
+    EXPECT_GT(p.mean_cpu_util, 0.0);
+    EXPECT_LT(p.mean_cpu_util, 100.0);
+    EXPECT_GT(p.mean_mem_util, 0.0);
+    EXPECT_LT(p.mean_mem_util, 100.0);
+    if (fleet().servers[i].type == trace::MachineType::kVirtual) {
+      ASSERT_TRUE(p.mean_disk_util.has_value());
+      ASSERT_TRUE(p.mean_net_kbps.has_value());
+      EXPECT_GT(*p.mean_net_kbps, 0.0);
+    } else {
+      EXPECT_FALSE(p.mean_disk_util.has_value());
+      EXPECT_FALSE(p.mean_net_kbps.has_value());
+    }
+  }
+}
+
+TEST_F(FleetTest, DeterministicForSeed) {
+  Rng rng1(5), rng2(5);
+  const auto cfg = SimulationConfig::paper_defaults().scaled(0.05);
+  const Fleet a = build_fleet(cfg, rng1);
+  const Fleet b = build_fleet(cfg, rng2);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].cpu_count, b.servers[i].cpu_count);
+    EXPECT_EQ(a.servers[i].memory_gb, b.servers[i].memory_gb);
+    EXPECT_EQ(a.profiles[i].creation, b.profiles[i].creation);
+  }
+}
+
+TEST_F(FleetTest, ConsolidationPopulationSkewsHigh) {
+  // Fig. 9: far more VMs sit at high consolidation levels than alone.
+  std::size_t low = 0, high = 0;
+  for (std::size_t i = 0; i < fleet().servers.size(); ++i) {
+    if (fleet().servers[i].type != trace::MachineType::kVirtual) continue;
+    const int level = fleet().profiles[i].consolidation;
+    if (level <= 2) ++low;
+    if (level >= 16) ++high;
+  }
+  EXPECT_GT(high, 5 * low);
+}
+
+}  // namespace
+}  // namespace fa::sim

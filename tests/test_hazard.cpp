@@ -1,0 +1,147 @@
+#include "src/sim/hazard.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace fa::sim {
+namespace {
+
+class HazardTest : public ::testing::Test {
+ protected:
+  static const SimulationConfig& config() {
+    static const SimulationConfig c =
+        SimulationConfig::paper_defaults().scaled(0.3);
+    return c;
+  }
+  static const Fleet& fleet() {
+    static const Fleet f = [] {
+      Rng rng(5);
+      return build_fleet(config(), rng);
+    }();
+    return f;
+  }
+  static const HazardModel& model() {
+    static const HazardModel m(config(), fleet());
+    return m;
+  }
+};
+
+TEST_F(HazardTest, ClassDistributionNormalized) {
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+      const auto dist = class_distribution(
+          config(), sys, static_cast<trace::MachineType>(t));
+      const double total =
+          std::accumulate(dist.begin(), dist.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-12);
+      for (double d : dist) EXPECT_GE(d, 0.0);
+    }
+  }
+}
+
+TEST_F(HazardTest, VmBoostShiftsMixTowardReboots) {
+  const auto pm = class_distribution(config(), 0, trace::MachineType::kPhysical);
+  const auto vm = class_distribution(config(), 0, trace::MachineType::kVirtual);
+  const auto reboot = static_cast<std::size_t>(trace::FailureClass::kReboot);
+  const auto hw = static_cast<std::size_t>(trace::FailureClass::kHardware);
+  EXPECT_GT(vm[reboot], pm[reboot]);
+  EXPECT_LT(vm[hw], pm[hw]);
+}
+
+TEST_F(HazardTest, MachineWeightsArePositiveForExistingMachines) {
+  for (std::size_t i = 0; i < fleet().servers.size(); ++i) {
+    const double w =
+        machine_weight(config(), fleet().servers[i], fleet().profiles[i]);
+    const double exposure =
+        exposure_fraction(fleet().servers[i], fleet().profiles[i]);
+    if (exposure > 0.0) {
+      EXPECT_GT(w, 0.0);
+    } else {
+      EXPECT_EQ(w, 0.0);
+    }
+  }
+}
+
+TEST_F(HazardTest, ExposureFractionSemantics) {
+  trace::ServerRecord pm;
+  pm.type = trace::MachineType::kPhysical;
+  MachineProfile p;
+  EXPECT_DOUBLE_EQ(exposure_fraction(pm, p), 1.0);
+
+  trace::ServerRecord vm;
+  vm.type = trace::MachineType::kVirtual;
+  MachineProfile young;
+  const auto year = ticket_window();
+  young.creation = year.begin + year.length() / 2;
+  EXPECT_NEAR(exposure_fraction(vm, young), 0.5, 1e-9);
+
+  MachineProfile unborn;
+  unborn.creation = year.end + 100;
+  EXPECT_DOUBLE_EQ(exposure_fraction(vm, unborn), 0.0);
+}
+
+TEST_F(HazardTest, PrimaryCountsTrackTargets) {
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const auto& pop = config().systems[sys];
+    const int pm_primaries =
+        model().primary_incident_count(sys, trace::MachineType::kPhysical);
+    const int vm_primaries =
+        model().primary_incident_count(sys, trace::MachineType::kVirtual);
+    if (pop.pm_crash_tickets > 0) {
+      EXPECT_GT(pm_primaries, 0) << "sys " << static_cast<int>(sys);
+      // Inflation >= 1, so primaries never exceed the boosted target.
+      EXPECT_LE(pm_primaries,
+                static_cast<int>(pop.pm_crash_tickets *
+                                 config().pm_calibration_boost[sys]) + 1);
+    }
+    if (pop.vm_crash_tickets == 0) {
+      EXPECT_EQ(vm_primaries, 0) << "sys " << static_cast<int>(sys);
+    }
+  }
+}
+
+TEST_F(HazardTest, TicketInflationAboveOne) {
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+      const double inflation = model().ticket_inflation(
+          sys, static_cast<trace::MachineType>(t));
+      EXPECT_GT(inflation, 1.0);
+      EXPECT_LT(inflation, 4.0);
+    }
+  }
+}
+
+TEST_F(HazardTest, SampleRootRespectsStratum) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto id = model().sample_root(2, trace::MachineType::kVirtual, rng);
+    ASSERT_TRUE(id.valid());
+    EXPECT_EQ(fleet().server(id).subsystem, 2);
+    EXPECT_EQ(fleet().server(id).type, trace::MachineType::kVirtual);
+  }
+}
+
+TEST_F(HazardTest, SampleRootPrefersHighWeightMachines) {
+  // Empirically: VMs with 6 disks must be over-represented relative to
+  // their population share (their disk-count multiplier is 10x the 1-disk
+  // one).
+  Rng rng(11);
+  std::size_t six_disk_draws = 0, draws = 4000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const auto id = model().sample_root(0, trace::MachineType::kVirtual, rng);
+    if (fleet().server(id).disk_count.value_or(0) >= 5) ++six_disk_draws;
+  }
+  std::size_t six_disk_pop = 0, pop = 0;
+  for (const auto& s : fleet().servers) {
+    if (s.type != trace::MachineType::kVirtual || s.subsystem != 0) continue;
+    ++pop;
+    if (s.disk_count.value_or(0) >= 5) ++six_disk_pop;
+  }
+  const double draw_share = static_cast<double>(six_disk_draws) / draws;
+  const double pop_share = static_cast<double>(six_disk_pop) / pop;
+  EXPECT_GT(draw_share, 1.3 * pop_share);
+}
+
+}  // namespace
+}  // namespace fa::sim

@@ -1,0 +1,92 @@
+#include "src/stats/hazard_estimate.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/exponential.h"
+#include "src/stats/weibull.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(HazardEstimate, NelsonAalenTinyExact) {
+  // Durations {1, 2, 4}: H(1)=1/3, H(2)=1/3+1/2, H(4)=1/3+1/2+1.
+  const std::vector<double> xs = {4.0, 1.0, 2.0};
+  const auto curve = nelson_aalen(xs);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].time, 1.0);
+  EXPECT_NEAR(curve[0].cumulative_hazard, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve[1].cumulative_hazard, 1.0 / 3.0 + 0.5, 1e-12);
+  EXPECT_NEAR(curve[2].cumulative_hazard, 1.0 / 3.0 + 0.5 + 1.0, 1e-12);
+}
+
+TEST(HazardEstimate, TiesShareAnEventTime) {
+  const std::vector<double> xs = {1.0, 1.0, 3.0};
+  const auto curve = nelson_aalen(xs);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(curve[0].cumulative_hazard, 2.0 / 3.0, 1e-12);
+}
+
+TEST(HazardEstimate, CumulativeHazardIsIncreasing) {
+  Rng rng(1);
+  const Weibull w(0.6, 5.0);
+  const auto xs = draw(w, 2000, 3);
+  const auto curve = nelson_aalen(xs);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].cumulative_hazard, curve[i - 1].cumulative_hazard);
+    EXPECT_GE(curve[i].time, curve[i - 1].time);
+  }
+}
+
+TEST(HazardEstimate, ExponentialHazardIsFlat) {
+  const Exponential e(0.5);
+  const auto xs = draw(e, 50000, 5);
+  const std::vector<double> edges = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto rates = binned_hazard_rate(xs, edges);
+  for (double r : rates) EXPECT_NEAR(r, 0.5, 0.05);
+  EXPECT_LT(hazard_decrease_factor(xs, edges), 1.25);
+}
+
+TEST(HazardEstimate, SubExponentialWeibullHazardDecreases) {
+  const Weibull w(0.5, 5.0);  // decreasing hazard
+  const auto xs = draw(w, 50000, 7);
+  const std::vector<double> edges = {0.0, 1.0, 5.0, 20.0};
+  const auto rates = binned_hazard_rate(xs, edges);
+  EXPECT_GT(rates[0], rates[1]);
+  EXPECT_GT(rates[1], rates[2]);
+  EXPECT_GT(hazard_decrease_factor(xs, edges), 3.0);
+}
+
+TEST(HazardEstimate, BinsBeyondDataReportZero) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> edges = {0.0, 5.0, 10.0};
+  const auto rates = binned_hazard_rate(xs, edges);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_GT(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(HazardEstimate, RejectsBadInput) {
+  EXPECT_THROW(nelson_aalen({}), Error);
+  const std::vector<double> negative = {-1.0, 2.0};
+  EXPECT_THROW(nelson_aalen(negative), Error);
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> one_edge = {0.0};
+  EXPECT_THROW(binned_hazard_rate(xs, one_edge), Error);
+  const std::vector<double> bad_edges = {2.0, 1.0};
+  EXPECT_THROW(binned_hazard_rate(xs, bad_edges), Error);
+}
+
+}  // namespace
+}  // namespace fa::stats

@@ -1,0 +1,117 @@
+#include "src/analysis/interfailure.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(InterFailure, PerServerGapsExact) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  b.add_crash(pm1, 10.0, 1.0);
+  b.add_crash(pm1, 13.0, 1.0);   // gap 3 days
+  b.add_crash(pm1, 20.0, 1.0);   // gap 7 days
+  b.add_crash(pm2, 50.0, 1.0);   // single failure: no gap
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const auto gaps = per_server_interfailure_days(db, failures, {});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 3.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 7.0);
+}
+
+TEST(InterFailure, UnsortedInsertionHandled) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 30.0, 1.0);
+  b.add_crash(pm, 10.0, 1.0);  // inserted out of order
+  const auto db = b.finish();
+  const auto gaps = per_server_interfailure_days(db, db.crash_tickets(), {});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(gaps[0], 20.0);
+}
+
+TEST(InterFailure, ClassFilteredPerServerView) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 1.0, 1.0, trace::FailureClass::kSoftware);
+  b.add_crash(pm, 2.0, 1.0, trace::FailureClass::kHardware);
+  b.add_crash(pm, 4.0, 1.0, trace::FailureClass::kSoftware);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+  const ClassLookup truth = [](const trace::Ticket& t) {
+    return t.true_class;
+  };
+
+  const auto sw_gaps = per_server_interfailure_days(
+      db, failures, {}, trace::FailureClass::kSoftware, truth);
+  ASSERT_EQ(sw_gaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(sw_gaps[0], 3.0);
+
+  const auto hw_gaps = per_server_interfailure_days(
+      db, failures, {}, trace::FailureClass::kHardware, truth);
+  EXPECT_TRUE(hw_gaps.empty());
+}
+
+TEST(InterFailure, OperatorViewPoolsAcrossServers) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(1);
+  b.add_crash(pm1, 1.0, 1.0, trace::FailureClass::kPower);
+  b.add_crash(pm2, 2.5, 1.0, trace::FailureClass::kPower);
+  b.add_crash(pm1, 6.0, 1.0, trace::FailureClass::kPower);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+  const ClassLookup truth = [](const trace::Ticket& t) {
+    return t.true_class;
+  };
+
+  const auto gaps =
+      operator_interfailure_days(failures, trace::FailureClass::kPower, truth);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 1.5);
+  EXPECT_DOUBLE_EQ(gaps[1], 3.5);
+}
+
+TEST(InterFailure, OperatorViewShorterThanServerView) {
+  // With many servers, operator-view gaps must be much shorter (Table III).
+  const auto& db = fa::testing::small_simulated_db();
+  const auto failures = db.crash_tickets();
+  const ClassLookup truth = [](const trace::Ticket& t) {
+    return t.true_class;
+  };
+  const auto op = operator_interfailure_days(
+      failures, trace::FailureClass::kSoftware, truth);
+  const auto server = per_server_interfailure_days(
+      db, failures, {}, trace::FailureClass::kSoftware, truth);
+  ASSERT_FALSE(op.empty());
+  ASSERT_FALSE(server.empty());
+  double op_mean = 0.0, server_mean = 0.0;
+  for (double g : op) op_mean += g;
+  for (double g : server) server_mean += g;
+  op_mean /= static_cast<double>(op.size());
+  server_mean /= static_cast<double>(server.size());
+  EXPECT_LT(op_mean, server_mean);
+}
+
+TEST(InterFailure, CensusCountsSingleFailureServers) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  b.add_pm(0);  // never fails
+  b.add_crash(pm1, 1.0, 1.0);
+  b.add_crash(pm1, 2.0, 1.0);
+  b.add_crash(pm2, 3.0, 1.0);
+  const auto db = b.finish();
+  const auto census = failure_census(db, db.crash_tickets(), {});
+  EXPECT_EQ(census.servers, 3u);
+  EXPECT_EQ(census.failing_servers, 2u);
+  EXPECT_EQ(census.single_failure_servers, 1u);
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,73 @@
+#include "src/stats/ks.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/exponential.h"
+#include "src/stats/gamma_dist.h"
+#include "src/stats/lognormal.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(Ks, SmallStatisticForCorrectModel) {
+  const GammaDist truth(2.0, 5.0);
+  const auto xs = draw(truth, 5000, 3);
+  const auto result = ks_test(xs, truth);
+  EXPECT_LT(result.statistic, 0.03);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(Ks, LargeStatisticForWrongModel) {
+  const GammaDist truth(0.5, 10.0);
+  const Exponential wrong(1.0 / truth.mean());  // same mean, wrong shape
+  const auto xs = draw(truth, 5000, 5);
+  const auto result = ks_test(xs, wrong);
+  EXPECT_GT(result.statistic, 0.08);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(Ks, StatisticExactOnTinySample) {
+  // Single observation at the median: D = 0.5 exactly.
+  const Exponential e(1.0);
+  const std::vector<double> xs = {e.quantile(0.5)};
+  EXPECT_NEAR(ks_statistic(xs, e), 0.5, 1e-12);
+}
+
+TEST(Ks, StatisticBounds) {
+  const LogNormal d(0.0, 1.0);
+  const auto xs = draw(d, 100, 7);
+  const double stat = ks_statistic(xs, d);
+  EXPECT_GT(stat, 0.0);
+  EXPECT_LE(stat, 1.0);
+}
+
+TEST(Ks, PValueMonotoneInStatistic) {
+  double prev = 1.1;
+  for (double d : {0.01, 0.05, 0.1, 0.2, 0.5}) {
+    const double p = ks_p_value(d, 1000);
+    EXPECT_LT(p, prev) << "d=" << d;
+    prev = p;
+  }
+}
+
+TEST(Ks, PValueEdges) {
+  EXPECT_NEAR(ks_p_value(0.0, 100), 1.0, 1e-12);
+  EXPECT_NEAR(ks_p_value(1.0, 10000), 0.0, 1e-12);
+  EXPECT_THROW(ks_p_value(-0.1, 10), Error);
+  EXPECT_THROW(ks_p_value(0.1, 0), Error);
+  EXPECT_THROW(ks_statistic({}, Exponential(1.0)), Error);
+}
+
+}  // namespace
+}  // namespace fa::stats

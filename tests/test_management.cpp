@@ -1,0 +1,100 @@
+#include "src/analysis/management.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(Management, AverageConsolidationFromSnapshots) {
+  fa::testing::TinyDbBuilder b;
+  const auto vm = b.add_vm(0);
+  b.raw().add_monthly_snapshot({vm, 0, trace::BoxId{0}, 8});
+  b.raw().add_monthly_snapshot({vm, 1, trace::BoxId{0}, 16});
+  const auto pm = b.add_pm(0);
+  const auto db = b.finish();
+  EXPECT_DOUBLE_EQ(*average_consolidation(db, vm), 12.0);
+  EXPECT_FALSE(average_consolidation(db, pm).has_value());
+}
+
+TEST(Management, MeasuredOnOffCountsOffTransitions) {
+  fa::testing::TinyDbBuilder b;
+  const auto vm = b.add_vm(0);
+  const auto window = onoff_window();
+  // Two complete cycles inside the window.
+  b.raw().add_power_event({vm, window.begin + 100, false});
+  b.raw().add_power_event({vm, window.begin + 200, true});
+  b.raw().add_power_event({vm, window.begin + 5000, false});
+  b.raw().add_power_event({vm, window.begin + 6000, true});
+  const auto pm = b.add_pm(0);
+  const auto db = b.finish();
+
+  const double months =
+      static_cast<double>(window.length()) / kMinutesPerMonth;
+  EXPECT_NEAR(*measured_onoff_per_month(db, vm), 2.0 / months, 1e-12);
+  EXPECT_FALSE(measured_onoff_per_month(db, pm).has_value());
+}
+
+TEST(Management, SeriesMeasurementMatchesEventMeasurement) {
+  // The 15-min-sample screening (the paper's method) and the event-based
+  // count agree on the simulated trace up to window-edge effects: a cycle
+  // that starts after the final sample tick is invisible to screening, so
+  // the series count may lag by at most one transition (0.5/month here).
+  const auto& db = fa::testing::small_simulated_db();
+  std::size_t compared = 0;
+  for (const trace::ServerRecord& s : db.servers()) {
+    if (s.type != trace::MachineType::kVirtual) continue;
+    const auto from_events = measured_onoff_per_month(db, s.id);
+    const auto from_series = measured_onoff_from_series(db, s.id);
+    ASSERT_TRUE(from_events.has_value());
+    ASSERT_TRUE(from_series.has_value());
+    EXPECT_LE(*from_series, *from_events + 1e-9) << "server " << s.id.value;
+    EXPECT_GE(*from_series, *from_events - 0.51) << "server " << s.id.value;
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);
+}
+
+TEST(Management, SeriesMeasurementHandsOnlyVms) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  const auto db = b.finish();
+  EXPECT_FALSE(measured_onoff_from_series(db, pm).has_value());
+}
+
+TEST(Management, VmWithoutEventsHasZeroFrequency) {
+  fa::testing::TinyDbBuilder b;
+  const auto vm = b.add_vm(0);
+  const auto db = b.finish();
+  EXPECT_DOUBLE_EQ(*measured_onoff_per_month(db, vm), 0.0);
+}
+
+TEST(Management, ConsolidationRatesDecreaseOnSimulatedTrace) {
+  // Fig. 9: failure rate decreases with consolidation level.
+  const auto& db = fa::testing::small_simulated_db();
+  const auto result = consolidation_binned_rates(db, db.crash_tickets());
+  // Compare a low-consolidation bin with the highest bin (both populated).
+  double low = -1.0, high = -1.0;
+  for (std::size_t bin = 0; bin < result.population.size(); ++bin) {
+    if (result.population[bin] < 20) continue;
+    if (low < 0.0) low = result.overall_rate[bin];
+    high = result.overall_rate[bin];
+  }
+  ASSERT_GE(low, 0.0);
+  EXPECT_GT(low, high);
+}
+
+TEST(Management, OnOffBinsPopulatedOnSimulatedTrace) {
+  const auto& db = fa::testing::small_simulated_db();
+  const auto result = onoff_binned_rates(db, db.crash_tickets());
+  // Every VM lands in some bin.
+  std::size_t total = 0;
+  for (std::size_t n : result.population) total += n;
+  EXPECT_EQ(total, db.server_count(trace::MachineType::kVirtual));
+  // The zero-frequency bin holds a large share (60% at most once/month).
+  EXPECT_GT(result.population[0], total / 5);
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,58 @@
+#include "src/analysis/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/spatial.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+const trace::TraceDatabase& db() { return fa::testing::small_simulated_db(); }
+
+TEST(Pipeline, ExtractsAndClassifiesEverything) {
+  const AnalysisPipeline pipeline(db());
+  EXPECT_FALSE(pipeline.failures().empty());
+  EXPECT_GT(pipeline.classification().accuracy, 0.75);
+  for (const trace::Ticket* t : pipeline.failures()) {
+    // class_of never throws for extracted tickets.
+    (void)pipeline.class_of(*t);
+  }
+}
+
+TEST(Pipeline, ClassLookupUsableByDownstreamAnalyses) {
+  const AnalysisPipeline pipeline(db());
+  const auto spatial = analyze_spatial(db(), pipeline.class_lookup());
+  EXPECT_GT(spatial.incident_count, 0u);
+}
+
+TEST(Pipeline, UnclassifiedTicketThrows) {
+  const AnalysisPipeline pipeline(db());
+  trace::Ticket foreign;
+  foreign.id = trace::TicketId{-1};
+  EXPECT_THROW(pipeline.class_of(foreign), Error);
+}
+
+TEST(Pipeline, DeterministicForSeed) {
+  const AnalysisPipeline a(db(), 42);
+  const AnalysisPipeline b(db(), 42);
+  EXPECT_DOUBLE_EQ(a.classification().accuracy, b.classification().accuracy);
+  EXPECT_EQ(a.classification().predicted, b.classification().predicted);
+}
+
+TEST(Pipeline, PredictedClassDistributionRoughlyMatchesTruth) {
+  const AnalysisPipeline pipeline(db());
+  std::array<int, trace::kFailureClassCount> truth{}, predicted{};
+  for (const trace::Ticket* t : pipeline.failures()) {
+    ++truth[static_cast<std::size_t>(t->true_class)];
+    ++predicted[static_cast<std::size_t>(pipeline.class_of(*t))];
+  }
+  const auto n = static_cast<double>(pipeline.failures().size());
+  for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+    EXPECT_NEAR(predicted[c] / n, truth[c] / n, 0.10) << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace fa::analysis

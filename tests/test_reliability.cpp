@@ -1,0 +1,99 @@
+#include "src/analysis/reliability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(Reliability, ExactMetricsOnHandBuiltTrace) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  b.add_pm(0);  // never fails
+  b.add_crash(pm1, 10.0, 12.0);
+  b.add_crash(pm1, 110.0, 36.0);
+  const auto db = b.finish();
+  const auto report = reliability_report(db, db.crash_tickets(), {});
+
+  EXPECT_EQ(report.servers, 2u);
+  EXPECT_EQ(report.failures, 2u);
+  // Two PMs exposed the full 365-day year; two failures.
+  EXPECT_NEAR(report.mtbf_days, 365.0, 1e-9);
+  EXPECT_NEAR(report.mttr_hours, 24.0, 1e-9);
+  EXPECT_NEAR(report.annualized_failure_rate, 1.0, 1e-9);
+  ASSERT_TRUE(report.mean_interfailure_days.has_value());
+  EXPECT_NEAR(*report.mean_interfailure_days, 100.0, 1e-9);
+  const double mtbf_hours = 365.0 * 24.0;
+  EXPECT_NEAR(report.availability, mtbf_hours / (mtbf_hours + 24.0), 1e-12);
+}
+
+TEST(Reliability, NoFailuresGivesPerfectAvailability) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  const auto db = b.finish();
+  const auto report = reliability_report(db, {}, {});
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_FALSE(report.mean_interfailure_days.has_value());
+  EXPECT_FALSE(report.interfailure_fit.has_value());
+}
+
+TEST(Reliability, VmExposureRespectsCreationDate) {
+  fa::testing::TinyDbBuilder b;
+  // VM first observed halfway through the ticket year.
+  const double offset =
+      to_days(ticket_window().begin - monitoring_window().begin);
+  const auto vm = b.add_vm(0, 2, 2.0, 128.0, 2, offset + 182.5);
+  b.add_crash(vm, 200.0, 10.0);
+  const auto db = b.finish();
+  const auto report = reliability_report(
+      db, db.crash_tickets(), {trace::MachineType::kVirtual, std::nullopt});
+  EXPECT_NEAR(report.mtbf_days, 182.5, 0.1);
+  EXPECT_NEAR(report.annualized_failure_rate, 2.0, 0.01);
+}
+
+TEST(Reliability, EmptyScopeThrows) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  const auto db = b.finish();
+  EXPECT_THROW(
+      reliability_report(db, {}, {trace::MachineType::kVirtual, std::nullopt}),
+      Error);
+}
+
+TEST(Reliability, SurvivalProbabilityExponentialForm) {
+  ReliabilityReport report;
+  report.mtbf_days = 100.0;
+  EXPECT_DOUBLE_EQ(survival_probability(report, 0.0), 1.0);
+  EXPECT_NEAR(survival_probability(report, 100.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(survival_probability(report, 10.0),
+            survival_probability(report, 20.0));
+  EXPECT_THROW(survival_probability(report, -1.0), Error);
+}
+
+TEST(Reliability, SimulatedTraceMatchesPaperHeadlines) {
+  const auto& db = fa::testing::small_simulated_db();
+  const auto failures = db.crash_tickets();
+  const auto pm = reliability_report(
+      db, failures, {trace::MachineType::kPhysical, std::nullopt});
+  const auto vm = reliability_report(
+      db, failures, {trace::MachineType::kVirtual, std::nullopt});
+
+  // PMs fail more often and take longer to repair.
+  EXPECT_GT(pm.annualized_failure_rate, vm.annualized_failure_rate);
+  EXPECT_GT(pm.mttr_hours, vm.mttr_hours);
+  // Availability is high but not perfect for both.
+  EXPECT_GT(pm.availability, 0.99);
+  EXPECT_LT(pm.availability, 1.0);
+  EXPECT_GT(vm.availability, pm.availability);
+  // Fits exist and are heavy-tailed (not exponential).
+  ASSERT_TRUE(pm.interfailure_fit.has_value());
+  EXPECT_NE(pm.interfailure_fit->dist->name(), "exponential");
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/recurrence.h"
+#include "src/analysis/repair_times.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+TEST(RepairTimes, ExactHours) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  const auto vm = b.add_vm(0);
+  b.add_crash(pm, 1.0, 8.5);
+  b.add_crash(vm, 2.0, 2.0);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const auto all = repair_hours(db, failures, {});
+  ASSERT_EQ(all.size(), 2u);
+
+  const auto pm_hours =
+      repair_hours(db, failures, {trace::MachineType::kPhysical, std::nullopt});
+  ASSERT_EQ(pm_hours.size(), 1u);
+  EXPECT_DOUBLE_EQ(pm_hours[0], 8.5);
+}
+
+TEST(RepairTimes, ClassFiltered) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 1.0, 80.0, trace::FailureClass::kHardware);
+  b.add_crash(pm, 2.0, 0.8, trace::FailureClass::kPower);
+  const auto db = b.finish();
+  const ClassLookup truth = [](const trace::Ticket& t) {
+    return t.true_class;
+  };
+  const auto hw = repair_hours(db, db.crash_tickets(), {},
+                               trace::FailureClass::kHardware, truth);
+  ASSERT_EQ(hw.size(), 1u);
+  EXPECT_DOUBLE_EQ(hw[0], 80.0);
+}
+
+TEST(Recurrence, RecurrentProbabilityExact) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  // pm1: failures on day 10 and day 12 -> the day-10 failure recurs within
+  // a week; the day-12 one does not.
+  b.add_crash(pm1, 10.0, 1.0);
+  b.add_crash(pm1, 12.0, 1.0);
+  // pm2: one failure, never recurs.
+  b.add_crash(pm2, 100.0, 1.0);
+  const auto db = b.finish();
+  const auto failures = db.crash_tickets();
+
+  const double weekly =
+      recurrent_probability(db, failures, {}, kMinutesPerWeek);
+  EXPECT_DOUBLE_EQ(weekly, 1.0 / 3.0);
+
+  const double daily = recurrent_probability(db, failures, {}, kMinutesPerDay);
+  EXPECT_DOUBLE_EQ(daily, 0.0);  // 2-day gap exceeds a day
+
+  const double monthly =
+      recurrent_probability(db, failures, {}, kMinutesPerMonth);
+  EXPECT_DOUBLE_EQ(monthly, 1.0 / 3.0);
+}
+
+TEST(Recurrence, CensoringExcludesLateFailures) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  // Failure 2 days before window end: a one-week recurrence window reaches
+  // past the observation end, so the event must not be counted as eligible.
+  b.add_crash(pm, 363.0, 1.0);
+  const auto db = b.finish();
+  const double weekly =
+      recurrent_probability(db, db.crash_tickets(), {}, kMinutesPerWeek);
+  EXPECT_DOUBLE_EQ(weekly, 0.0);  // zero eligible events -> probability 0
+}
+
+TEST(Recurrence, RandomWeeklyProbabilityExact) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  b.add_pm(0);  // second server never fails
+  // Two failures of the same server in week 0 count once; one in week 1.
+  b.add_crash(pm1, 0.5, 1.0);
+  b.add_crash(pm1, 1.5, 1.0);
+  b.add_crash(pm1, 8.0, 1.0);
+  const auto db = b.finish();
+  const double p = random_failure_probability(db, db.crash_tickets(), {},
+                                              Granularity::kWeekly);
+  const int weeks = db.window().week_count();
+  // Week 0: 1/2 servers failing; week 1: 1/2; remaining weeks: 0.
+  EXPECT_NEAR(p, (0.5 + 0.5) / weeks, 1e-12);
+}
+
+TEST(Recurrence, RatioComposesBothMetrics) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 10.0, 1.0);
+  b.add_crash(pm, 11.0, 1.0);
+  const auto db = b.finish();
+  const double ratio = recurrence_ratio(db, db.crash_tickets(), {});
+  const double random = random_failure_probability(
+      db, db.crash_tickets(), {}, Granularity::kWeekly);
+  const double recurrent =
+      recurrent_probability(db, db.crash_tickets(), {}, kMinutesPerWeek);
+  EXPECT_DOUBLE_EQ(ratio, recurrent / random);
+}
+
+TEST(Recurrence, EmptyScopeGivesZeroRatio) {
+  fa::testing::TinyDbBuilder b;
+  b.add_pm(0);
+  const auto db = b.finish();
+  EXPECT_DOUBLE_EQ(
+      recurrence_ratio(db, {}, {trace::MachineType::kVirtual, std::nullopt}),
+      0.0);
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,101 @@
+#include "src/sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/capacity_usage.h"
+#include "src/analysis/recurrence.h"
+#include "src/analysis/spatial.h"
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+SimulationConfig small_config() {
+  return SimulationConfig::paper_defaults().scaled(0.15);
+}
+
+const analysis::ClassLookup kTruth = [](const trace::Ticket& t) {
+  return t.true_class;
+};
+
+TEST(Scenario, NoAftershocksCollapsesRecurrence) {
+  const auto baseline_db = simulate(small_config());
+  const auto ablated_db =
+      simulate(apply_ablation(small_config(), Ablation::kNoAftershocks));
+
+  const analysis::Scope pm{trace::MachineType::kPhysical, std::nullopt};
+  const double baseline = analysis::recurrent_probability(
+      baseline_db, baseline_db.crash_tickets(), pm, kMinutesPerWeek);
+  const double ablated = analysis::recurrent_probability(
+      ablated_db, ablated_db.crash_tickets(), pm, kMinutesPerWeek);
+  EXPECT_GT(baseline, 0.15);
+  EXPECT_LT(ablated, 0.25 * baseline);
+}
+
+TEST(Scenario, NoPropagationMakesAllIncidentsSingleton) {
+  const auto db =
+      simulate(apply_ablation(small_config(), Ablation::kNoPropagation));
+  const auto spatial = analysis::analyze_spatial(db, kTruth);
+  EXPECT_DOUBLE_EQ(spatial.all.two_or_more, 0.0);
+  EXPECT_EQ(spatial.max_servers_in_incident, 1);
+}
+
+TEST(Scenario, FlatCovariatesRemoveDiskCountTrend) {
+  const auto db =
+      simulate(apply_ablation(small_config(), Ablation::kFlatCovariates));
+  const analysis::CapacityAttribute disks =
+      [](const trace::ServerRecord& s) {
+        return s.disk_count ? std::optional<double>(*s.disk_count)
+                            : std::nullopt;
+      };
+  const auto rates = analysis::capacity_binned_rates(
+      db, db.crash_tickets(), {trace::MachineType::kVirtual, std::nullopt},
+      disks, stats::BinSpec::from_edges({1.0, 2.0, 3.0, 7.0}));
+  // Without the covariate curve the 1-disk and 3+-disk bins must be within
+  // sampling noise of each other (the calibrated curve yields ~8x).
+  ASSERT_GT(rates.population[0], 50u);
+  const double lo = rates.overall_rate[0];
+  const double hi = rates.overall_rate[2];
+  EXPECT_LT(std::max(lo, hi), 2.5 * std::max(1e-9, std::min(lo, hi)));
+}
+
+TEST(Scenario, AblationsPreserveTicketVolumes) {
+  // Ablations must not silently change the calibrated failure volume
+  // (inflation math adapts to the switched-off mechanisms).
+  const auto baseline = simulate(small_config());
+  const auto no_shock =
+      simulate(apply_ablation(small_config(), Ablation::kNoAftershocks));
+  const double base_crash =
+      static_cast<double>(baseline.crash_tickets().size());
+  const double ablated_crash =
+      static_cast<double>(no_shock.crash_tickets().size());
+  EXPECT_NEAR(ablated_crash, base_crash, 0.35 * base_crash);
+}
+
+TEST(Scenario, VmRefreshClampsAgeCurve) {
+  const auto config = SimulationConfig::paper_defaults();
+  const auto refreshed = with_vm_refresh(config, 200.0);
+  // Below the horizon the curve is unchanged; above it is clamped.
+  EXPECT_DOUBLE_EQ(refreshed.vm_age_curve.at(100.0),
+                   config.vm_age_curve.at(100.0));
+  EXPECT_DOUBLE_EQ(refreshed.vm_age_curve.at(700.0),
+                   config.vm_age_curve.at(200.0));
+  EXPECT_LT(refreshed.vm_age_curve.at(700.0), config.vm_age_curve.at(700.0));
+}
+
+TEST(Scenario, VmRefreshBeyondCurveIsNoOp) {
+  const auto config = SimulationConfig::paper_defaults();
+  const auto refreshed = with_vm_refresh(config, 10000.0);
+  EXPECT_EQ(refreshed.vm_age_curve.edges, config.vm_age_curve.edges);
+  EXPECT_THROW(with_vm_refresh(config, 0.0), Error);
+}
+
+TEST(Scenario, AblationNamesAreStable) {
+  EXPECT_EQ(to_string(Ablation::kNoAftershocks), "no-aftershocks");
+  EXPECT_EQ(to_string(Ablation::kNoPropagation), "no-propagation");
+  EXPECT_EQ(to_string(Ablation::kFlatCovariates), "flat-covariates");
+}
+
+}  // namespace
+}  // namespace fa::sim

@@ -1,0 +1,68 @@
+#include "src/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace fa {
+namespace {
+
+TEST(SimTime, WindowLengthsMatchPaper) {
+  EXPECT_EQ(monitoring_window().day_count(), 731);  // two years, one leap
+  EXPECT_EQ(ticket_window().day_count(), 365);
+  EXPECT_EQ(onoff_window().day_count(), 61);  // March + April 2013
+}
+
+TEST(SimTime, TicketWindowNestedInMonitoring) {
+  const auto m = monitoring_window();
+  const auto t = ticket_window();
+  EXPECT_GE(t.begin, m.begin);
+  EXPECT_LE(t.end, m.end);
+}
+
+TEST(SimTime, BucketIndexing) {
+  const auto w = ticket_window();
+  EXPECT_EQ(w.day_index(w.begin), 0);
+  EXPECT_EQ(w.day_index(w.begin + kMinutesPerDay - 1), 0);
+  EXPECT_EQ(w.day_index(w.begin + kMinutesPerDay), 1);
+  EXPECT_EQ(w.week_index(w.begin + 6 * kMinutesPerDay), 0);
+  EXPECT_EQ(w.week_index(w.begin + 7 * kMinutesPerDay), 1);
+  EXPECT_EQ(w.month_index(w.begin + 29 * kMinutesPerDay), 0);
+  EXPECT_EQ(w.month_index(w.begin + 30 * kMinutesPerDay), 1);
+}
+
+TEST(SimTime, OutOfWindowIndexIsNegative) {
+  const auto w = ticket_window();
+  EXPECT_EQ(w.day_index(w.begin - 1), -1);
+  EXPECT_EQ(w.day_index(w.end), -1);
+  EXPECT_EQ(w.week_index(w.end + kMinutesPerWeek), -1);
+}
+
+TEST(SimTime, WeekCountCoversYear) {
+  const auto w = ticket_window();
+  EXPECT_EQ(w.week_count(), 53);  // 365 days = 52 full weeks + 1 day
+  EXPECT_EQ(w.month_count(), 13);  // 365 days = 12 full 30d months + 5 days
+}
+
+TEST(SimTime, ConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_hours(from_hours(5.5)), 5.5);
+  EXPECT_DOUBLE_EQ(to_days(from_days(3.25)), 3.25);
+  EXPECT_EQ(from_days(1.0), kMinutesPerDay);
+  EXPECT_EQ(from_hours(24.0), kMinutesPerDay);
+}
+
+TEST(SimTime, FormatKnownDates) {
+  EXPECT_EQ(format_time(0), "2011-07-01 00:00");
+  EXPECT_EQ(format_date(ticket_window().begin), "2012-07-01");
+  EXPECT_EQ(format_date(onoff_window().begin), "2013-03-01");
+  EXPECT_EQ(format_time(90), "2011-07-01 01:30");
+}
+
+TEST(SimTime, ContainsIsHalfOpen) {
+  const auto w = ticket_window();
+  EXPECT_TRUE(w.contains(w.begin));
+  EXPECT_FALSE(w.contains(w.end));
+  EXPECT_TRUE(w.contains(w.end - 1));
+  EXPECT_FALSE(w.contains(w.begin - 1));
+}
+
+}  // namespace
+}  // namespace fa

@@ -1,0 +1,118 @@
+#include "src/analysis/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+const ClassLookup kTruth = [](const trace::Ticket& t) {
+  return t.true_class;
+};
+
+TEST(Spatial, BreakdownFractionsExact) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  const auto vm1 = b.add_vm(0);
+  const auto vm2 = b.add_vm(0);
+
+  // Incident A: two PMs (power).
+  const auto ia = b.new_incident();
+  b.add_crash(pm1, 1.0, 1.0, trace::FailureClass::kPower, ia);
+  b.add_crash(pm2, 1.0, 1.0, trace::FailureClass::kPower, ia);
+  // Incident B: one PM.
+  b.add_crash(pm1, 10.0, 1.0, trace::FailureClass::kHardware);
+  // Incident C: two VMs (reboot).
+  const auto ic = b.new_incident();
+  b.add_crash(vm1, 20.0, 1.0, trace::FailureClass::kReboot, ic);
+  b.add_crash(vm2, 20.0, 1.0, trace::FailureClass::kReboot, ic);
+  // Incident D: one VM.
+  b.add_crash(vm1, 30.0, 1.0, trace::FailureClass::kSoftware);
+  const auto db = b.finish();
+
+  const auto result = analyze_spatial(db, kTruth);
+  EXPECT_EQ(result.incident_count, 4u);
+  EXPECT_DOUBLE_EQ(result.all.zero, 0.0);
+  EXPECT_DOUBLE_EQ(result.all.one, 0.5);
+  EXPECT_DOUBLE_EQ(result.all.two_or_more, 0.5);
+
+  // PM view: incidents C and D have zero PMs; B has one; A has two.
+  EXPECT_DOUBLE_EQ(result.pm_only.zero, 0.5);
+  EXPECT_DOUBLE_EQ(result.pm_only.one, 0.25);
+  EXPECT_DOUBLE_EQ(result.pm_only.two_or_more, 0.25);
+  EXPECT_DOUBLE_EQ(result.vm_only.zero, 0.5);
+
+  EXPECT_DOUBLE_EQ(result.pm_only.dependency_fraction(), 0.5);
+}
+
+TEST(Spatial, AftershocksDoNotInflateIncidentSize) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  const auto incident = b.new_incident();
+  // Three failures of the same server within one incident.
+  b.add_crash(pm, 1.0, 1.0, trace::FailureClass::kSoftware, incident);
+  b.add_crash(pm, 1.5, 1.0, trace::FailureClass::kSoftware, incident);
+  b.add_crash(pm, 3.0, 1.0, trace::FailureClass::kSoftware, incident);
+  const auto db = b.finish();
+  const auto result = analyze_spatial(db, kTruth);
+  EXPECT_EQ(result.incident_count, 1u);
+  EXPECT_DOUBLE_EQ(result.all.one, 1.0);  // one distinct server
+  const auto& sw = result.by_class[static_cast<std::size_t>(
+      trace::FailureClass::kSoftware)];
+  EXPECT_DOUBLE_EQ(sw.mean, 1.0);
+  EXPECT_EQ(sw.max, 1);
+}
+
+TEST(Spatial, ClassStatsTrackMeanAndMax) {
+  fa::testing::TinyDbBuilder b;
+  std::vector<trace::ServerId> pms;
+  for (int i = 0; i < 5; ++i) pms.push_back(b.add_pm(0));
+  // Power incident with 4 servers and one with 2.
+  const auto i1 = b.new_incident();
+  for (int i = 0; i < 4; ++i) {
+    b.add_crash(pms[static_cast<std::size_t>(i)], 1.0, 1.0,
+                trace::FailureClass::kPower, i1);
+  }
+  const auto i2 = b.new_incident();
+  b.add_crash(pms[0], 50.0, 1.0, trace::FailureClass::kPower, i2);
+  b.add_crash(pms[1], 50.0, 1.0, trace::FailureClass::kPower, i2);
+  const auto db = b.finish();
+  const auto result = analyze_spatial(db, kTruth);
+  const auto& power = result.by_class[static_cast<std::size_t>(
+      trace::FailureClass::kPower)];
+  EXPECT_EQ(power.incidents, 2u);
+  EXPECT_DOUBLE_EQ(power.mean, 3.0);
+  EXPECT_EQ(power.max, 4);
+  EXPECT_EQ(result.max_servers_in_incident, 4);
+}
+
+TEST(Spatial, MajorityVoteDecidesIncidentClass) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  const auto pm3 = b.add_pm(0);
+  const auto incident = b.new_incident();
+  b.add_crash(pm1, 1.0, 1.0, trace::FailureClass::kNetwork, incident);
+  b.add_crash(pm2, 1.0, 1.0, trace::FailureClass::kPower, incident);
+  b.add_crash(pm3, 1.0, 1.0, trace::FailureClass::kPower, incident);
+  const auto db = b.finish();
+  const auto result = analyze_spatial(db, kTruth);
+  const auto& power = result.by_class[static_cast<std::size_t>(
+      trace::FailureClass::kPower)];
+  EXPECT_EQ(power.incidents, 1u);
+  EXPECT_DOUBLE_EQ(power.mean, 3.0);
+}
+
+TEST(Spatial, SimulatedTraceShowsVmDependencyExceedingPm) {
+  // Paper Section IV-E: VMs show stronger spatial dependency than PMs.
+  const auto& db = fa::testing::small_simulated_db();
+  const auto result = analyze_spatial(db, kTruth);
+  EXPECT_GT(result.vm_only.dependency_fraction(),
+            result.pm_only.dependency_fraction());
+  EXPECT_GT(result.all.one, result.all.two_or_more);  // singletons dominate
+}
+
+}  // namespace
+}  // namespace fa::analysis

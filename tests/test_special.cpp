@@ -1,0 +1,93 @@
+#include "src/stats/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace fa::stats {
+namespace {
+
+TEST(Special, GammaPForShapeOneIsExponentialCdf) {
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Special, GammaPForShapeHalfIsErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Special, GammaPBoundaries) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(2.0, 1e6), 1.0, 1e-12);
+  EXPECT_THROW(gamma_p(0.0, 1.0), Error);
+  EXPECT_THROW(gamma_p(1.0, -1.0), Error);
+}
+
+TEST(Special, GammaPQComplementary) {
+  for (double a : {0.3, 1.0, 4.5, 20.0}) {
+    for (double x : {0.1, 1.0, 5.0, 40.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Special, GammaPInvRoundTrip) {
+  for (double a : {0.4, 1.0, 2.5, 9.0}) {
+    for (double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+      const double x = gamma_p_inv(a, p);
+      EXPECT_NEAR(gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(Special, DigammaKnownValues) {
+  constexpr double kEulerGamma = 0.57721566490153286;
+  EXPECT_NEAR(digamma(1.0), -kEulerGamma, 1e-10);
+  EXPECT_NEAR(digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-10);
+  // Recurrence psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Special, TrigammaKnownValues) {
+  constexpr double kPiSquaredOver6 = 1.6449340668482264;
+  EXPECT_NEAR(trigamma(1.0), kPiSquaredOver6, 1e-9);
+  // Recurrence psi'(x+1) = psi'(x) - 1/x^2.
+  for (double x : {0.4, 2.1, 6.5}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(Special, ErfInvRoundTrip) {
+  for (double y : {-0.999, -0.5, -0.01, 0.0, 0.3, 0.9, 0.9999}) {
+    EXPECT_NEAR(std::erf(erf_inv(y)), y, 1e-12) << "y=" << y;
+  }
+  EXPECT_THROW(erf_inv(1.0), Error);
+  EXPECT_THROW(erf_inv(-1.0), Error);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(Special, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.05, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-11) << "p=" << p;
+  }
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
+}
+
+}  // namespace
+}  // namespace fa::stats

@@ -1,0 +1,128 @@
+// Cross-cutting statistical properties: calibration of the KS p-value under
+// the null hypothesis, chi-square uniformity of the RNG, and consistency of
+// the MLE fitters as the sample grows. These guard the statistical layer as
+// a whole rather than single functions.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/fitting.h"
+#include "src/stats/ks.h"
+#include "src/stats/special.h"
+#include "src/util/rng.h"
+
+namespace fa::stats {
+namespace {
+
+TEST(StatisticalProperties, KsPValuesAreCalibratedUnderNull) {
+  // Sampling from the hypothesized distribution, p-values must be roughly
+  // uniform: the rejection rate at alpha = 0.05 stays near 5%, and at
+  // alpha = 0.5 near 50%.
+  Rng rng(42);
+  const GammaDist truth(2.0, 3.0);
+  const int replicas = 400;
+  int reject05 = 0, reject50 = 0;
+  std::vector<double> xs(200);
+  for (int r = 0; r < replicas; ++r) {
+    for (double& x : xs) x = truth.sample(rng);
+    const auto result = ks_test(xs, truth);
+    reject05 += result.p_value < 0.05;
+    reject50 += result.p_value < 0.50;
+  }
+  EXPECT_NEAR(static_cast<double>(reject05) / replicas, 0.05, 0.035);
+  EXPECT_NEAR(static_cast<double>(reject50) / replicas, 0.50, 0.10);
+}
+
+TEST(StatisticalProperties, KsPowerAgainstWrongModelGrowsWithN) {
+  Rng rng(7);
+  const GammaDist truth(0.5, 10.0);
+  const Exponential wrong(1.0 / truth.mean());
+  const auto reject_rate = [&](int n) {
+    int rejections = 0;
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (int r = 0; r < 100; ++r) {
+      for (double& x : xs) x = truth.sample(rng);
+      rejections += ks_test(xs, wrong).p_value < 0.05;
+    }
+    return static_cast<double>(rejections) / 100.0;
+  };
+  const double small = reject_rate(50);
+  const double large = reject_rate(1000);
+  EXPECT_GT(large, 0.95);
+  EXPECT_GE(large, small);
+}
+
+TEST(StatisticalProperties, RngUniformPassesChiSquare) {
+  Rng rng(123);
+  constexpr int kBins = 32;
+  constexpr int kDraws = 320000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform() * kBins)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // chi2 ~ ChiSq(31): P(chi2 > 61.1) ~ 0.001.
+  EXPECT_LT(chi2, 61.1);
+}
+
+TEST(StatisticalProperties, RngUniformIntPassesChiSquare) {
+  Rng rng(321);
+  constexpr int kBins = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, kBins - 1))];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // chi2 ~ ChiSq(9): P(chi2 > 27.9) ~ 0.001.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(StatisticalProperties, GammaFitterIsConsistent) {
+  // Error shrinks roughly like 1/sqrt(n).
+  const GammaDist truth(0.7, 20.0);
+  const auto shape_error = [&](int n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (double& x : xs) x = truth.sample(rng);
+    return std::fabs(fit_gamma(xs).shape() - truth.shape());
+  };
+  double err_small = 0.0, err_large = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    err_small += shape_error(500, 100 + s);
+    err_large += shape_error(50000, 200 + s);
+  }
+  EXPECT_LT(err_large, err_small / 3.0);
+}
+
+TEST(StatisticalProperties, ModelSelectionErrorVanishesWithN) {
+  // With enough data the true family always wins the likelihood race.
+  Rng rng(9);
+  int correct = 0;
+  for (int r = 0; r < 20; ++r) {
+    const LogNormal truth(1.0 + 0.1 * r, 1.2);
+    std::vector<double> xs(5000);
+    for (double& x : xs) x = truth.sample(rng);
+    correct += fit_best(xs).dist->name() == "lognormal";
+  }
+  EXPECT_GE(correct, 19);
+}
+
+TEST(StatisticalProperties, NormalQuantileRoundTripGrid) {
+  for (double p = 0.001; p < 0.999; p += 0.017) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << p;
+  }
+}
+
+}  // namespace
+}  // namespace fa::stats

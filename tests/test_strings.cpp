@@ -1,0 +1,71 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace fa {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("Server UNREACHABLE"), "server unreachable");
+  EXPECT_EQ(to_lower("abc123"), "abc123");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("nospace"), "nospace");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hardware fix", "hard"));
+  EXPECT_FALSE(starts_with("hw", "hardware"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, TokenizeWords) {
+  const auto tokens = tokenize_words("Replaced faulty DISK, rebooted: host-3");
+  const std::vector<std::string> expected = {"replaced", "faulty", "disk",
+                                             "rebooted", "host", "3"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Strings, TokenizeEmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize_words("").empty());
+  EXPECT_TRUE(tokenize_words("--- !!! ...").empty());
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(0.00625, 4), "0.0063");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 2), "-1.50");
+}
+
+}  // namespace
+}  // namespace fa

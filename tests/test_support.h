@@ -1,0 +1,110 @@
+// Shared helpers for the test suite: a builder for small hand-crafted trace
+// databases and a cached scaled-down simulation for integration tests.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/sim/config.h"
+#include "src/sim/simulator.h"
+#include "src/trace/database.h"
+
+namespace fa::testing {
+
+// Builder for tiny, fully explicit trace databases used by the analysis
+// unit tests (times given in days from the ticket-window start).
+class TinyDbBuilder {
+ public:
+  TinyDbBuilder() : year_(ticket_window()) {}
+
+  trace::ServerId add_pm(trace::Subsystem sys, int cpu = 4,
+                         double memory_gb = 8.0) {
+    trace::ServerRecord s;
+    s.type = trace::MachineType::kPhysical;
+    s.subsystem = sys;
+    s.cpu_count = cpu;
+    s.memory_gb = memory_gb;
+    s.first_record = monitoring_window().begin;
+    return db_.add_server(s);
+  }
+
+  trace::ServerId add_vm(trace::Subsystem sys, int cpu = 2,
+                         double memory_gb = 2.0, double disk_gb = 128.0,
+                         int disk_count = 2,
+                         std::optional<double> created_days_after_db_start =
+                             std::nullopt) {
+    trace::ServerRecord s;
+    s.type = trace::MachineType::kVirtual;
+    s.subsystem = sys;
+    s.cpu_count = cpu;
+    s.memory_gb = memory_gb;
+    s.disk_gb = disk_gb;
+    s.disk_count = disk_count;
+    s.host_box = trace::BoxId{0};
+    s.first_record =
+        monitoring_window().begin +
+        (created_days_after_db_start
+             ? from_days(*created_days_after_db_start)
+             : 0);
+    return db_.add_server(s);
+  }
+
+  // Crash ticket `days` after the ticket-window start, repaired after
+  // `repair_hours`. A fresh incident is allocated unless one is passed.
+  trace::TicketId add_crash(trace::ServerId server, double days,
+                            double repair_hours,
+                            trace::FailureClass cls =
+                                trace::FailureClass::kSoftware,
+                            std::optional<trace::IncidentId> incident =
+                                std::nullopt,
+                            const std::string& description =
+                                "server unresponsive") {
+    trace::Ticket t;
+    t.incident = incident ? *incident : db_.new_incident();
+    t.server = server;
+    t.subsystem = db_.server(server).subsystem;
+    t.is_crash = true;
+    t.true_class = cls;
+    t.opened = year_.begin + from_days(days);
+    t.closed = t.opened + from_hours(repair_hours);
+    t.description = description;
+    t.resolution = "fixed";
+    return db_.add_ticket(std::move(t));
+  }
+
+  trace::TicketId add_background(trace::ServerId server, double days) {
+    trace::Ticket t;
+    t.server = server;
+    t.subsystem = db_.server(server).subsystem;
+    t.is_crash = false;
+    t.opened = year_.begin + from_days(days);
+    t.closed = t.opened + from_hours(1.0);
+    t.description = "cpu utilization warning";
+    t.resolution = "closed after review";
+    return db_.add_ticket(std::move(t));
+  }
+
+  trace::IncidentId new_incident() { return db_.new_incident(); }
+  trace::TraceDatabase& raw() { return db_; }
+
+  trace::TraceDatabase finish() {
+    db_.finalize();
+    return std::move(db_);
+  }
+
+ private:
+  trace::TraceDatabase db_;
+  ObservationWindow year_;
+};
+
+// A scaled-down full simulation, built once and shared across integration
+// tests in a binary (simulation is deterministic, so sharing is safe).
+inline const trace::TraceDatabase& small_simulated_db() {
+  static const trace::TraceDatabase db = [] {
+    auto config = sim::SimulationConfig::paper_defaults().scaled(0.15);
+    return sim::simulate(config);
+  }();
+  return db;
+}
+
+}  // namespace fa::testing

@@ -1,0 +1,172 @@
+// Tests for the ticketing system and monitoring-DB content generators,
+// running on a scaled-down end-to-end simulation.
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/stats/descriptive.h"
+#include "tests/test_support.h"
+
+namespace fa::sim {
+namespace {
+
+const trace::TraceDatabase& db() { return fa::testing::small_simulated_db(); }
+
+const SimulationConfig& config() {
+  static const SimulationConfig c =
+      SimulationConfig::paper_defaults().scaled(0.15);
+  return c;
+}
+
+TEST(Ticketing, TotalTicketVolumesMatchTable2Targets) {
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    EXPECT_EQ(db().ticket_count(sys),
+              static_cast<std::size_t>(config().systems[sys].all_tickets))
+        << "sys " << static_cast<int>(sys);
+  }
+}
+
+TEST(Ticketing, CrashTicketCountsNearTargets) {
+  std::array<std::array<int, 2>, trace::kSubsystemCount> counts{};
+  for (const trace::Ticket& t : db().tickets()) {
+    if (!t.is_crash) continue;
+    const auto type = static_cast<std::size_t>(db().server(t.server).type);
+    ++counts[t.subsystem][type];
+  }
+  for (int sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const auto& pop = config().systems[sys];
+    const int pm = counts[sys][0];
+    const int vm = counts[sys][1];
+    if (pop.pm_crash_tickets >= 20) {
+      EXPECT_NEAR(pm, pop.pm_crash_tickets, 0.45 * pop.pm_crash_tickets)
+          << "sys " << sys;
+    }
+    if (pop.vm_crash_tickets == 0) {
+      EXPECT_EQ(vm, 0) << "sys " << sys;
+    }
+  }
+}
+
+TEST(Ticketing, CrashTicketsHaveIncidentsAndText) {
+  for (const trace::Ticket& t : db().tickets()) {
+    if (!t.is_crash) continue;
+    EXPECT_TRUE(t.incident.valid());
+    EXPECT_FALSE(t.description.empty());
+    EXPECT_FALSE(t.resolution.empty());
+    EXPECT_GT(t.closed, t.opened);
+  }
+}
+
+TEST(Ticketing, BackgroundTicketsHaveNoIncident) {
+  std::size_t background = 0;
+  for (const trace::Ticket& t : db().tickets()) {
+    if (t.is_crash) continue;
+    ++background;
+    EXPECT_FALSE(t.incident.valid());
+    EXPECT_EQ(t.true_class, trace::FailureClass::kOther);
+  }
+  EXPECT_GT(background, db().tickets().size() / 2);
+}
+
+TEST(Ticketing, RepairMediansFollowClassSpecs) {
+  std::unordered_map<int, std::vector<double>> hours_by_class;
+  for (const trace::Ticket& t : db().tickets()) {
+    if (!t.is_crash) continue;
+    hours_by_class[static_cast<int>(t.true_class)].push_back(
+        to_hours(t.repair_time()));
+  }
+  for (const auto& [cls, hours] : hours_by_class) {
+    if (hours.size() < 50) continue;
+    // Tickets recorded as "other" draw repair times from their underlying
+    // cause, so their marginal is a mixture with no single target median.
+    if (cls == static_cast<int>(trace::FailureClass::kOther)) continue;
+    const double median = stats::median(hours);
+    const double target = config().repair[static_cast<std::size_t>(cls)]
+                              .median_hours;
+    EXPECT_NEAR(median, target, 0.5 * target + 0.5)
+        << "class " << cls << " n=" << hours.size();
+  }
+}
+
+TEST(Workload, WeeklyUsagePresentForEveryExposedServerWeek) {
+  const int weeks = db().window().week_count();
+  for (const trace::ServerRecord& s : db().servers()) {
+    const auto usage = db().weekly_usage_for(s.id);
+    if (s.type == trace::MachineType::kPhysical) {
+      EXPECT_EQ(usage.size(), static_cast<std::size_t>(weeks));
+    } else {
+      EXPECT_LE(usage.size(), static_cast<std::size_t>(weeks));
+      EXPECT_FALSE(usage.empty() && s.first_record < db().window().begin);
+    }
+  }
+}
+
+TEST(Workload, UsageValuesWithinBounds) {
+  for (const trace::ServerRecord& s : db().servers()) {
+    for (const trace::WeeklyUsage& u : db().weekly_usage_for(s.id)) {
+      EXPECT_GT(u.cpu_util, 0.0);
+      EXPECT_LE(u.cpu_util, 100.0);
+      EXPECT_GT(u.mem_util, 0.0);
+      EXPECT_LE(u.mem_util, 100.0);
+      if (s.type == trace::MachineType::kPhysical) {
+        EXPECT_FALSE(u.disk_util.has_value());
+        EXPECT_FALSE(u.net_kbps.has_value());
+      } else {
+        ASSERT_TRUE(u.disk_util.has_value());
+        ASSERT_TRUE(u.net_kbps.has_value());
+        EXPECT_GT(*u.net_kbps, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Workload, SnapshotsOnlyForVms) {
+  for (const trace::ServerRecord& s : db().servers()) {
+    const auto snaps = db().snapshots_for(s.id);
+    if (s.type == trace::MachineType::kPhysical) {
+      EXPECT_TRUE(snaps.empty());
+    } else {
+      for (const trace::MonthlySnapshot& snap : snaps) {
+        EXPECT_GE(snap.consolidation, 1);
+        EXPECT_LE(snap.consolidation, 32);
+        EXPECT_EQ(snap.box, s.host_box);
+      }
+    }
+  }
+}
+
+TEST(Workload, PowerEventsOnlyInsideOnOffWindowAndAlternating) {
+  const auto window = onoff_window();
+  for (const trace::ServerRecord& s : db().servers()) {
+    const auto events = db().power_events_for(s.id);
+    if (s.type == trace::MachineType::kPhysical) {
+      EXPECT_TRUE(events.empty());
+      continue;
+    }
+    bool expect_off = true;  // first event of a cycle is the off transition
+    for (const trace::PowerEvent& e : events) {
+      EXPECT_TRUE(window.contains(e.at));
+      EXPECT_EQ(e.powered_on, !expect_off);
+      expect_off = !expect_off;
+    }
+    EXPECT_TRUE(expect_off);  // cycles are complete off/on pairs
+  }
+}
+
+TEST(Workload, OnOffPopulationSharesRoughlyMatchConfig) {
+  // VMs configured to never cycle should have no events.
+  std::size_t vms = 0, with_events = 0;
+  for (const trace::ServerRecord& s : db().servers()) {
+    if (s.type != trace::MachineType::kVirtual) continue;
+    ++vms;
+    with_events += !db().power_events_for(s.id).empty();
+  }
+  // 70% of VMs have a positive on/off rate; Poisson leaves some at zero.
+  const double share = static_cast<double>(with_events) / vms;
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.75);
+}
+
+}  // namespace
+}  // namespace fa::sim

@@ -1,0 +1,100 @@
+#include "src/analysis/transitions.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::analysis {
+namespace {
+
+const ClassLookup kTruth = [](const trace::Ticket& t) {
+  return t.true_class;
+};
+
+TEST(Transitions, ExactCountsOnHandBuiltTrace) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  // power -> (2 days) software -> (40 days) hardware.
+  b.add_crash(pm, 10.0, 1.0, trace::FailureClass::kPower);
+  b.add_crash(pm, 12.0, 1.0, trace::FailureClass::kSoftware);
+  b.add_crash(pm, 52.0, 1.0, trace::FailureClass::kHardware);
+  const auto db = b.finish();
+
+  const auto result = analyze_transitions(db, db.crash_tickets(), kTruth,
+                                          kMinutesPerWeek);
+  const auto power = static_cast<std::size_t>(trace::FailureClass::kPower);
+  const auto sw = static_cast<std::size_t>(trace::FailureClass::kSoftware);
+  EXPECT_EQ(result.counts[power][sw], 1);
+  EXPECT_DOUBLE_EQ(result.probability[power][sw], 1.0);
+  EXPECT_DOUBLE_EQ(result.followup_probability[power], 1.0);
+  // The software failure's next event was 40 days away: no weekly follow-up.
+  EXPECT_DOUBLE_EQ(result.followup_probability[sw], 0.0);
+}
+
+TEST(Transitions, CensoringExcludesWindowOverrun) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_crash(pm, 364.0, 1.0, trace::FailureClass::kPower);  // near year end
+  const auto db = b.finish();
+  const auto result = analyze_transitions(db, db.crash_tickets(), kTruth,
+                                          kMinutesPerWeek);
+  const auto power = static_cast<std::size_t>(trace::FailureClass::kPower);
+  EXPECT_DOUBLE_EQ(result.followup_probability[power], 0.0);
+}
+
+TEST(Transitions, CrossServerEventsDoNotChain) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm1 = b.add_pm(0);
+  const auto pm2 = b.add_pm(0);
+  b.add_crash(pm1, 10.0, 1.0, trace::FailureClass::kPower);
+  b.add_crash(pm2, 10.5, 1.0, trace::FailureClass::kSoftware);
+  const auto db = b.finish();
+  const auto result = analyze_transitions(db, db.crash_tickets(), kTruth,
+                                          kMinutesPerWeek);
+  const auto power = static_cast<std::size_t>(trace::FailureClass::kPower);
+  EXPECT_DOUBLE_EQ(result.followup_probability[power], 0.0);
+}
+
+TEST(Transitions, RejectsBadInput) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  b.add_background(pm, 1.0);
+  const auto db = b.finish();
+  std::vector<const trace::Ticket*> bogus = {&db.tickets()[0]};
+  EXPECT_THROW(analyze_transitions(db, bogus, kTruth, kMinutesPerWeek),
+               Error);
+  EXPECT_THROW(analyze_transitions(db, {}, kTruth, 0), Error);
+}
+
+TEST(Transitions, SimulatedTraceMatchesGeneratorStructure) {
+  const auto& db = fa::testing::small_simulated_db();
+  const auto result = analyze_transitions(db, db.crash_tickets(), kTruth,
+                                          kMinutesPerWeek);
+  // The generator keeps software follow-ups in-class with probability 0.7
+  // but hardware ones with only 0.1: the measured self-transition of
+  // software must clearly exceed hardware's.
+  const double sw_self =
+      result.self_transition(trace::FailureClass::kSoftware);
+  const double hw_self =
+      result.self_transition(trace::FailureClass::kHardware);
+  EXPECT_GT(sw_self, hw_self + 0.1);
+  // Follow-up probabilities are in the recurrence ballpark for every class
+  // with enough data.
+  for (std::size_t c = 0; c < trace::kFailureClassCount; ++c) {
+    EXPECT_LE(result.followup_probability[c], 0.6);
+  }
+  // Probability rows are normalized where populated.
+  for (std::size_t i = 0; i < trace::kFailureClassCount; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < trace::kFailureClassCount; ++j) {
+      row += result.probability[i][j];
+    }
+    if (row > 0.0) {
+      EXPECT_NEAR(row, 1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fa::analysis

@@ -1,0 +1,68 @@
+#include "src/trace/types.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace fa::trace {
+namespace {
+
+TEST(Types, MachineTypeRoundTrip) {
+  EXPECT_EQ(to_string(MachineType::kPhysical), "PM");
+  EXPECT_EQ(to_string(MachineType::kVirtual), "VM");
+  EXPECT_EQ(machine_type_from_string("PM"), MachineType::kPhysical);
+  EXPECT_EQ(machine_type_from_string("VM"), MachineType::kVirtual);
+  EXPECT_THROW(machine_type_from_string("pm"), Error);
+}
+
+TEST(Types, FailureClassRoundTrip) {
+  for (FailureClass c : kAllFailureClasses) {
+    EXPECT_EQ(failure_class_from_string(std::string(to_string(c))), c);
+  }
+  EXPECT_THROW(failure_class_from_string("disk"), Error);
+}
+
+TEST(Types, ClassifiedClassesExcludeOther) {
+  EXPECT_EQ(kClassifiedFailureClasses.size(), 5u);
+  for (FailureClass c : kClassifiedFailureClasses) {
+    EXPECT_NE(c, FailureClass::kOther);
+  }
+  EXPECT_EQ(kAllFailureClasses.size(),
+            static_cast<std::size_t>(kFailureClassCount));
+}
+
+TEST(Types, SubsystemNames) {
+  EXPECT_EQ(subsystem_name(0), "Sys I");
+  EXPECT_EQ(subsystem_name(4), "Sys V");
+  EXPECT_THROW(subsystem_name(5), Error);
+}
+
+TEST(Types, IdValidityAndComparison) {
+  ServerId unset;
+  EXPECT_FALSE(unset.valid());
+  ServerId a{3}, b{3}, c{4};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Types, DistinctIdTypesDoNotMix) {
+  // Compile-time property: ServerId and TicketId are different types.
+  static_assert(!std::is_same_v<ServerId, TicketId>);
+  static_assert(!std::is_same_v<IncidentId, BoxId>);
+}
+
+TEST(Types, IdsHashIntoUnorderedContainers) {
+  std::unordered_set<ServerId> set;
+  set.insert(ServerId{1});
+  set.insert(ServerId{2});
+  set.insert(ServerId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ServerId{2}));
+}
+
+}  // namespace
+}  // namespace fa::trace

@@ -1,0 +1,74 @@
+#include "src/sim/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "tests/test_support.h"
+
+namespace fa::sim {
+namespace {
+
+TEST(Validation, CleanSimulationPasses) {
+  const auto config = SimulationConfig::paper_defaults().scaled(0.15);
+  const auto report =
+      validate_trace(fa::testing::small_simulated_db(), config);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NE(report.to_string().find("OK"), std::string::npos);
+}
+
+TEST(Validation, DetectsPopulationMismatch) {
+  const auto config = SimulationConfig::paper_defaults().scaled(0.15);
+  auto wrong = config;
+  wrong.systems[0].pm_count += 5;
+  const auto report =
+      validate_trace(fa::testing::small_simulated_db(), wrong);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    found |= issue.check.find("population") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validation, DetectsCrashVolumeDrift) {
+  const auto config = SimulationConfig::paper_defaults().scaled(0.15);
+  auto wrong = config;
+  wrong.systems[2].pm_crash_tickets *= 3;  // pretend a much higher target
+  const auto report =
+      validate_trace(fa::testing::small_simulated_db(), wrong);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    found |= issue.check.find("crash.Sys III.pm") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+TEST(Validation, DetectsSchemaViolations) {
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  // A PM carrying power events is a schema violation.
+  b.raw().add_power_event({pm, onoff_window().begin + 10, false});
+  b.raw().add_power_event({pm, onoff_window().begin + 100, true});
+  const auto db = b.finish();
+  auto config = SimulationConfig::paper_defaults().scaled(0.01);
+  const auto report = validate_trace(db, config);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    found |= issue.check.find("power.server") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validation, ReportRendersIssues) {
+  ValidationReport report;
+  report.issues.push_back({"check.x", "something broke"});
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("1 issue"), std::string::npos);
+  EXPECT_NE(text.find("check.x"), std::string::npos);
+  EXPECT_NE(text.find("something broke"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fa::sim

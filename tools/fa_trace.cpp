@@ -1,0 +1,256 @@
+// fa_trace — command-line front end of the failure-analysis toolkit.
+//
+//   fa_trace simulate --out DIR [--scale S] [--seed N]
+//       Simulate a datacenter trace and export it as the five-file CSV
+//       schema (servers/tickets/weekly_usage/power_events/snapshots).
+//
+//   fa_trace report DIR
+//       Load a CSV trace and print the full failure-analysis summary:
+//       population, classification, failure rates, recurrence, repair
+//       times, spatial dependency and reliability metrics.
+//
+//   fa_trace classify DIR
+//       Load a CSV trace, run crash extraction + k-means classification
+//       and print the per-class ticket distribution (and, when the trace
+//       carries ground-truth labels, the accuracy and confusion matrix).
+//
+//   fa_trace fit DIR (interfailure|repair) (pm|vm)
+//       Fit the candidate distributions to the chosen metric and print
+//       the ranked results.
+//
+//   fa_trace transitions DIR
+//       Print the same-server weekly failure class-transition matrix.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/failure_rates.h"
+#include "src/analysis/interfailure.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/recurrence.h"
+#include "src/analysis/reliability.h"
+#include "src/analysis/repair_times.h"
+#include "src/analysis/report.h"
+#include "src/analysis/spatial.h"
+#include "src/analysis/transitions.h"
+#include "src/sim/simulator.h"
+#include "src/sim/validation.h"
+#include "src/stats/fitting.h"
+#include "src/trace/csv_io.h"
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using namespace fa;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  fa_trace simulate --out DIR [--scale S] [--seed N]\n"
+         "  fa_trace report DIR\n"
+         "  fa_trace classify DIR\n"
+         "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
+         "  fa_trace transitions DIR\n";
+  return 2;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  std::string out;
+  double scale = 1.0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      have_seed = true;
+    } else {
+      std::cerr << "simulate: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (out.empty() || scale <= 0.0 || scale > 1.0) return usage();
+
+  auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+  if (have_seed) config.seed = seed;
+  const auto db = sim::simulate(config);
+  const auto validation = sim::validate_trace(db, config);
+  trace::save_database(db, out);
+  std::cout << "wrote " << db.servers().size() << " servers, "
+            << db.tickets().size() << " tickets to " << out << "\n"
+            << validation.to_string();
+  return validation.ok() ? 0 : 1;
+}
+
+int cmd_report(const std::string& dir) {
+  const auto db = trace::load_database(dir);
+  const analysis::AnalysisPipeline pipeline(db);
+  const auto& failures = pipeline.failures();
+
+  std::cout << "trace: " << db.servers().size() << " servers ("
+            << db.server_count(trace::MachineType::kPhysical) << " PM, "
+            << db.server_count(trace::MachineType::kVirtual) << " VM), "
+            << db.tickets().size() << " tickets, " << failures.size()
+            << " crash tickets\n\n";
+
+  analysis::TextTable table({"metric", "PM", "VM"});
+  std::array<analysis::ReliabilityReport, 2> reports;
+  std::array<double, 2> recurrence{}, random{};
+  for (int t = 0; t < trace::kMachineTypeCount; ++t) {
+    const analysis::Scope scope{static_cast<trace::MachineType>(t),
+                                std::nullopt};
+    reports[static_cast<std::size_t>(t)] =
+        analysis::reliability_report(db, failures, scope);
+    recurrence[static_cast<std::size_t>(t)] = analysis::recurrent_probability(
+        db, failures, scope, kMinutesPerWeek);
+    random[static_cast<std::size_t>(t)] = analysis::random_failure_probability(
+        db, failures, scope, analysis::Granularity::kWeekly);
+  }
+  const auto row = [&](const std::string& name, auto fn) {
+    table.add_row({name, fn(0), fn(1)});
+  };
+  row("weekly failure rate", [&](int t) {
+    const analysis::Scope scope{static_cast<trace::MachineType>(t),
+                                std::nullopt};
+    return format_double(
+        analysis::failure_rate_summary(db, failures, scope,
+                                       analysis::Granularity::kWeekly)
+            .mean,
+        5);
+  });
+  row("random weekly probability",
+      [&](int t) { return format_double(random[static_cast<std::size_t>(t)], 5); });
+  row("recurrent weekly probability", [&](int t) {
+    return format_double(recurrence[static_cast<std::size_t>(t)], 3);
+  });
+  row("recurrence ratio", [&](int t) {
+    const auto i = static_cast<std::size_t>(t);
+    return random[i] > 0 ? format_double(recurrence[i] / random[i], 1) + "x"
+                         : std::string("n.a.");
+  });
+  row("MTTR [hours]", [&](int t) {
+    return format_double(reports[static_cast<std::size_t>(t)].mttr_hours, 1);
+  });
+  row("availability", [&](int t) {
+    return format_double(
+               100.0 * reports[static_cast<std::size_t>(t)].availability, 4) +
+           "%";
+  });
+  std::cout << table.to_string() << "\n";
+
+  const auto spatial = analysis::analyze_spatial(db, pipeline.class_lookup());
+  std::cout << "incidents: " << spatial.incident_count << " ("
+            << format_double(100.0 * spatial.all.two_or_more, 1)
+            << "% affect >= 2 servers; widest "
+            << spatial.max_servers_in_incident << " servers)\n";
+  return 0;
+}
+
+int cmd_classify(const std::string& dir) {
+  const auto db = trace::load_database(dir);
+  const analysis::AnalysisPipeline pipeline(db);
+  const auto& result = pipeline.classification();
+
+  analysis::TextTable table({"class", "tickets", "share"});
+  std::array<int, trace::kFailureClassCount> counts{};
+  for (const trace::Ticket* t : pipeline.failures()) {
+    ++counts[static_cast<std::size_t>(pipeline.class_of(*t))];
+  }
+  const auto total = static_cast<double>(pipeline.failures().size());
+  for (trace::FailureClass c : trace::kAllFailureClasses) {
+    const int n = counts[static_cast<std::size_t>(c)];
+    table.add_row({std::string(trace::to_string(c)), std::to_string(n),
+                   format_double(100.0 * n / total, 1) + "%"});
+  }
+  std::cout << table.to_string() << "\naccuracy vs trace labels: "
+            << format_double(100.0 * result.accuracy, 1) << "%\n";
+  return 0;
+}
+
+int cmd_fit(const std::string& dir, const std::string& metric,
+            const std::string& type_name) {
+  const auto db = trace::load_database(dir);
+  const analysis::AnalysisPipeline pipeline(db);
+  const auto type = trace::machine_type_from_string(
+      type_name == "pm" ? "PM" : type_name == "vm" ? "VM" : type_name);
+  const analysis::Scope scope{type, std::nullopt};
+
+  std::vector<double> sample;
+  if (metric == "interfailure") {
+    sample = analysis::per_server_interfailure_days(db, pipeline.failures(),
+                                                    scope);
+  } else if (metric == "repair") {
+    sample = analysis::repair_hours(db, pipeline.failures(), scope);
+  } else {
+    return usage();
+  }
+  require(sample.size() >= 30, "fit: sample too small (" +
+                                   std::to_string(sample.size()) +
+                                   " observations)");
+
+  analysis::TextTable table({"family", "parameters", "logL", "AIC", "KS"});
+  for (const auto& fit : stats::fit_candidates(sample)) {
+    table.add_row({fit.dist->name(), fit.dist->describe(),
+                   format_double(fit.log_likelihood, 1),
+                   format_double(fit.aic, 1),
+                   format_double(fit.ks_statistic, 4)});
+  }
+  std::cout << metric << " sample (" << type_name << "): " << sample.size()
+            << " observations\n"
+            << table.to_string();
+  return 0;
+}
+
+int cmd_transitions(const std::string& dir) {
+  const auto db = trace::load_database(dir);
+  const analysis::AnalysisPipeline pipeline(db);
+  const auto result = analysis::analyze_transitions(
+      db, pipeline.failures(), pipeline.class_lookup(), kMinutesPerWeek);
+
+  analysis::TextTable table({"from \\ to", "HW", "Net", "Power", "Reboot",
+                             "SW", "Other", "P(follow-up)"});
+  for (trace::FailureClass from : trace::kAllFailureClasses) {
+    const auto i = static_cast<std::size_t>(from);
+    std::vector<std::string> row = {std::string(trace::to_string(from))};
+    for (std::size_t j = 0; j < trace::kFailureClassCount; ++j) {
+      row.push_back(format_double(result.probability[i][j], 2));
+    }
+    row.push_back(format_double(result.followup_probability[i], 3));
+    table.add_row(std::move(row));
+  }
+  std::cout << "same-server class transitions within a week\n"
+            << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    const std::string& command = args[0];
+    if (command == "simulate") {
+      return cmd_simulate({args.begin() + 1, args.end()});
+    }
+    if (command == "report" && args.size() == 2) return cmd_report(args[1]);
+    if (command == "classify" && args.size() == 2) {
+      return cmd_classify(args[1]);
+    }
+    if (command == "fit" && args.size() == 4) {
+      return cmd_fit(args[1], args[2], args[3]);
+    }
+    if (command == "transitions" && args.size() == 2) {
+      return cmd_transitions(args[1]);
+    }
+    return usage();
+  } catch (const fa::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
