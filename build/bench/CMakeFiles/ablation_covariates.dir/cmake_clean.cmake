@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_covariates.dir/ablation_covariates.cpp.o"
+  "CMakeFiles/ablation_covariates.dir/ablation_covariates.cpp.o.d"
+  "ablation_covariates"
+  "ablation_covariates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_covariates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recurrence.dir/ablation_recurrence.cpp.o"
+  "CMakeFiles/ablation_recurrence.dir/ablation_recurrence.cpp.o.d"
+  "ablation_recurrence"
+  "ablation_recurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

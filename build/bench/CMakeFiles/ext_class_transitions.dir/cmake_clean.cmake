@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_class_transitions.dir/ext_class_transitions.cpp.o"
+  "CMakeFiles/ext_class_transitions.dir/ext_class_transitions.cpp.o.d"
+  "ext_class_transitions"
+  "ext_class_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_class_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_class_transitions.
+# This may be replaced when dependencies are built.

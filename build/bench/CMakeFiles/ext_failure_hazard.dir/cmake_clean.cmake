@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_failure_hazard.dir/ext_failure_hazard.cpp.o"
+  "CMakeFiles/ext_failure_hazard.dir/ext_failure_hazard.cpp.o.d"
+  "ext_failure_hazard"
+  "ext_failure_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failure_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

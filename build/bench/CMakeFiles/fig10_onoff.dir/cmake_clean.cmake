@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_onoff.dir/fig10_onoff.cpp.o"
+  "CMakeFiles/fig10_onoff.dir/fig10_onoff.cpp.o.d"
+  "fig10_onoff"
+  "fig10_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

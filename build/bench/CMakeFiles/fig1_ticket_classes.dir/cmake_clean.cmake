@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ticket_classes.dir/fig1_ticket_classes.cpp.o"
+  "CMakeFiles/fig1_ticket_classes.dir/fig1_ticket_classes.cpp.o.d"
+  "fig1_ticket_classes"
+  "fig1_ticket_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ticket_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

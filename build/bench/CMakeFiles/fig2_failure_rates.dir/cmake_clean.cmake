@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_failure_rates.dir/fig2_failure_rates.cpp.o"
+  "CMakeFiles/fig2_failure_rates.dir/fig2_failure_rates.cpp.o.d"
+  "fig2_failure_rates"
+  "fig2_failure_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_failure_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

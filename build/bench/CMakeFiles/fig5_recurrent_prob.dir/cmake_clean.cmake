@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_recurrent_prob.dir/fig5_recurrent_prob.cpp.o"
+  "CMakeFiles/fig5_recurrent_prob.dir/fig5_recurrent_prob.cpp.o.d"
+  "fig5_recurrent_prob"
+  "fig5_recurrent_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recurrent_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vm_age.dir/fig6_vm_age.cpp.o"
+  "CMakeFiles/fig6_vm_age.dir/fig6_vm_age.cpp.o.d"
+  "fig6_vm_age"
+  "fig6_vm_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vm_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_usage.dir/fig8_usage.cpp.o"
+  "CMakeFiles/fig8_usage.dir/fig8_usage.cpp.o.d"
+  "fig8_usage"
+  "fig8_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_consolidation.dir/fig9_consolidation.cpp.o"
+  "CMakeFiles/fig9_consolidation.dir/fig9_consolidation.cpp.o.d"
+  "fig9_consolidation"
+  "fig9_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

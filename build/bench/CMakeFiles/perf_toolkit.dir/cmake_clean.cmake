@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_toolkit.dir/perf_toolkit.cpp.o"
+  "CMakeFiles/perf_toolkit.dir/perf_toolkit.cpp.o.d"
+  "perf_toolkit"
+  "perf_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

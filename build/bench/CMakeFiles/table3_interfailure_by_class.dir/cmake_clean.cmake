@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_interfailure_by_class.dir/table3_interfailure_by_class.cpp.o"
+  "CMakeFiles/table3_interfailure_by_class.dir/table3_interfailure_by_class.cpp.o.d"
+  "table3_interfailure_by_class"
+  "table3_interfailure_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_interfailure_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_repair_by_class.dir/table4_repair_by_class.cpp.o"
+  "CMakeFiles/table4_repair_by_class.dir/table4_repair_by_class.cpp.o.d"
+  "table4_repair_by_class"
+  "table4_repair_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_repair_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

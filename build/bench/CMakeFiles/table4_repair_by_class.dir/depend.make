@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_repair_by_class.
+# This may be replaced when dependencies are built.

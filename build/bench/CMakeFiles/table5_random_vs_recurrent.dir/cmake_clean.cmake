@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_random_vs_recurrent.dir/table5_random_vs_recurrent.cpp.o"
+  "CMakeFiles/table5_random_vs_recurrent.dir/table5_random_vs_recurrent.cpp.o.d"
+  "table5_random_vs_recurrent"
+  "table5_random_vs_recurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_random_vs_recurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

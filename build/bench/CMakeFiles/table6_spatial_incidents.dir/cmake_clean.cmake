@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_spatial_incidents.dir/table6_spatial_incidents.cpp.o"
+  "CMakeFiles/table6_spatial_incidents.dir/table6_spatial_incidents.cpp.o.d"
+  "table6_spatial_incidents"
+  "table6_spatial_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_spatial_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

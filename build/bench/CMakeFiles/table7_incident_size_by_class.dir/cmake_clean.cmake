@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_incident_size_by_class.dir/table7_incident_size_by_class.cpp.o"
+  "CMakeFiles/table7_incident_size_by_class.dir/table7_incident_size_by_class.cpp.o.d"
+  "table7_incident_size_by_class"
+  "table7_incident_size_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_incident_size_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

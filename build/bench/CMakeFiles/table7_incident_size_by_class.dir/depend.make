@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_incident_size_by_class.
+# This may be replaced when dependencies are built.

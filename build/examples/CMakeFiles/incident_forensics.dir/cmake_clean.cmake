@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_forensics.dir/incident_forensics.cpp.o"
+  "CMakeFiles/incident_forensics.dir/incident_forensics.cpp.o.d"
+  "incident_forensics"
+  "incident_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

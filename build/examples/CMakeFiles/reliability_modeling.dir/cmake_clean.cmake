@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_modeling.dir/reliability_modeling.cpp.o"
+  "CMakeFiles/reliability_modeling.dir/reliability_modeling.cpp.o.d"
+  "reliability_modeling"
+  "reliability_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

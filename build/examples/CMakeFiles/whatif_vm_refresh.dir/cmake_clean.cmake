@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_vm_refresh.dir/whatif_vm_refresh.cpp.o"
+  "CMakeFiles/whatif_vm_refresh.dir/whatif_vm_refresh.cpp.o.d"
+  "whatif_vm_refresh"
+  "whatif_vm_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_vm_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

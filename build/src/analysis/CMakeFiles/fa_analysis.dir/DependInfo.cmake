@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/age.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/age.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/age.cpp.o.d"
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/capacity_usage.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/capacity_usage.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/capacity_usage.cpp.o.d"
+  "/root/repo/src/analysis/classification.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/classification.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/classification.cpp.o.d"
+  "/root/repo/src/analysis/failure_rates.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/failure_rates.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/failure_rates.cpp.o.d"
+  "/root/repo/src/analysis/interfailure.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/interfailure.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/interfailure.cpp.o.d"
+  "/root/repo/src/analysis/management.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/management.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/management.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/pipeline.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/recurrence.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/recurrence.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/recurrence.cpp.o.d"
+  "/root/repo/src/analysis/reliability.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/reliability.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/reliability.cpp.o.d"
+  "/root/repo/src/analysis/repair_times.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/repair_times.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/repair_times.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/spatial.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/spatial.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/spatial.cpp.o.d"
+  "/root/repo/src/analysis/transitions.cpp" "src/analysis/CMakeFiles/fa_analysis.dir/transitions.cpp.o" "gcc" "src/analysis/CMakeFiles/fa_analysis.dir/transitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fa_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

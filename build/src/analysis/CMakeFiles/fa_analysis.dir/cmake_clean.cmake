@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_analysis.dir/age.cpp.o"
+  "CMakeFiles/fa_analysis.dir/age.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/fa_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/capacity_usage.cpp.o"
+  "CMakeFiles/fa_analysis.dir/capacity_usage.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/classification.cpp.o"
+  "CMakeFiles/fa_analysis.dir/classification.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/failure_rates.cpp.o"
+  "CMakeFiles/fa_analysis.dir/failure_rates.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/interfailure.cpp.o"
+  "CMakeFiles/fa_analysis.dir/interfailure.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/management.cpp.o"
+  "CMakeFiles/fa_analysis.dir/management.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/fa_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/recurrence.cpp.o"
+  "CMakeFiles/fa_analysis.dir/recurrence.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/reliability.cpp.o"
+  "CMakeFiles/fa_analysis.dir/reliability.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/repair_times.cpp.o"
+  "CMakeFiles/fa_analysis.dir/repair_times.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/report.cpp.o"
+  "CMakeFiles/fa_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/spatial.cpp.o"
+  "CMakeFiles/fa_analysis.dir/spatial.cpp.o.d"
+  "CMakeFiles/fa_analysis.dir/transitions.cpp.o"
+  "CMakeFiles/fa_analysis.dir/transitions.cpp.o.d"
+  "libfa_analysis.a"
+  "libfa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

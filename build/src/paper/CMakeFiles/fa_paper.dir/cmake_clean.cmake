@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_paper.dir/comparison.cpp.o"
+  "CMakeFiles/fa_paper.dir/comparison.cpp.o.d"
+  "libfa_paper.a"
+  "libfa_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

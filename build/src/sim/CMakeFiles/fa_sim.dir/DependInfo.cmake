@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/fa_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "src/sim/CMakeFiles/fa_sim.dir/failures.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/failures.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/fa_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/hazard.cpp" "src/sim/CMakeFiles/fa_sim.dir/hazard.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/hazard.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/fa_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/fa_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/ticketing.cpp" "src/sim/CMakeFiles/fa_sim.dir/ticketing.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/ticketing.cpp.o.d"
+  "/root/repo/src/sim/validation.cpp" "src/sim/CMakeFiles/fa_sim.dir/validation.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/validation.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/fa_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/fa_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fa_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_sim.dir/config.cpp.o"
+  "CMakeFiles/fa_sim.dir/config.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/failures.cpp.o"
+  "CMakeFiles/fa_sim.dir/failures.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/fleet.cpp.o"
+  "CMakeFiles/fa_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/hazard.cpp.o"
+  "CMakeFiles/fa_sim.dir/hazard.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/scenario.cpp.o"
+  "CMakeFiles/fa_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fa_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/ticketing.cpp.o"
+  "CMakeFiles/fa_sim.dir/ticketing.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/validation.cpp.o"
+  "CMakeFiles/fa_sim.dir/validation.cpp.o.d"
+  "CMakeFiles/fa_sim.dir/workload.cpp.o"
+  "CMakeFiles/fa_sim.dir/workload.cpp.o.d"
+  "libfa_sim.a"
+  "libfa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/fa_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/fa_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/fa_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/fa_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/fa_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/exponential.cpp" "src/stats/CMakeFiles/fa_stats.dir/exponential.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/exponential.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/stats/CMakeFiles/fa_stats.dir/fitting.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/fitting.cpp.o.d"
+  "/root/repo/src/stats/gamma_dist.cpp" "src/stats/CMakeFiles/fa_stats.dir/gamma_dist.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/gamma_dist.cpp.o.d"
+  "/root/repo/src/stats/hazard_estimate.cpp" "src/stats/CMakeFiles/fa_stats.dir/hazard_estimate.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/hazard_estimate.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/fa_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/fa_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/fa_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/lognormal.cpp" "src/stats/CMakeFiles/fa_stats.dir/lognormal.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/lognormal.cpp.o.d"
+  "/root/repo/src/stats/pareto.cpp" "src/stats/CMakeFiles/fa_stats.dir/pareto.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/pareto.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/fa_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/weibull.cpp" "src/stats/CMakeFiles/fa_stats.dir/weibull.cpp.o" "gcc" "src/stats/CMakeFiles/fa_stats.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_text.dir/features.cpp.o"
+  "CMakeFiles/fa_text.dir/features.cpp.o.d"
+  "CMakeFiles/fa_text.dir/ticket_text.cpp.o"
+  "CMakeFiles/fa_text.dir/ticket_text.cpp.o.d"
+  "CMakeFiles/fa_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/fa_text.dir/vocabulary.cpp.o.d"
+  "libfa_text.a"
+  "libfa_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv_io.cpp" "src/trace/CMakeFiles/fa_trace.dir/csv_io.cpp.o" "gcc" "src/trace/CMakeFiles/fa_trace.dir/csv_io.cpp.o.d"
+  "/root/repo/src/trace/database.cpp" "src/trace/CMakeFiles/fa_trace.dir/database.cpp.o" "gcc" "src/trace/CMakeFiles/fa_trace.dir/database.cpp.o.d"
+  "/root/repo/src/trace/filters.cpp" "src/trace/CMakeFiles/fa_trace.dir/filters.cpp.o" "gcc" "src/trace/CMakeFiles/fa_trace.dir/filters.cpp.o.d"
+  "/root/repo/src/trace/types.cpp" "src/trace/CMakeFiles/fa_trace.dir/types.cpp.o" "gcc" "src/trace/CMakeFiles/fa_trace.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

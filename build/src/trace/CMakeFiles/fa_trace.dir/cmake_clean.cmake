@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_trace.dir/csv_io.cpp.o"
+  "CMakeFiles/fa_trace.dir/csv_io.cpp.o.d"
+  "CMakeFiles/fa_trace.dir/database.cpp.o"
+  "CMakeFiles/fa_trace.dir/database.cpp.o.d"
+  "CMakeFiles/fa_trace.dir/filters.cpp.o"
+  "CMakeFiles/fa_trace.dir/filters.cpp.o.d"
+  "CMakeFiles/fa_trace.dir/types.cpp.o"
+  "CMakeFiles/fa_trace.dir/types.cpp.o.d"
+  "libfa_trace.a"
+  "libfa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

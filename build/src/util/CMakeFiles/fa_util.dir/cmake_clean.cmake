@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_util.dir/csv.cpp.o"
+  "CMakeFiles/fa_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fa_util.dir/rng.cpp.o"
+  "CMakeFiles/fa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fa_util.dir/sim_time.cpp.o"
+  "CMakeFiles/fa_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/fa_util.dir/strings.cpp.o"
+  "CMakeFiles/fa_util.dir/strings.cpp.o.d"
+  "libfa_util.a"
+  "libfa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

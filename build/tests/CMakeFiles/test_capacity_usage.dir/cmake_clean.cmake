@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacity_usage.dir/test_capacity_usage.cpp.o"
+  "CMakeFiles/test_capacity_usage.dir/test_capacity_usage.cpp.o.d"
+  "test_capacity_usage"
+  "test_capacity_usage.pdb"
+  "test_capacity_usage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacity_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

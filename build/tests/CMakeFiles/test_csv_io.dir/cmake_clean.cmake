@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_io.dir/test_csv_io.cpp.o"
+  "CMakeFiles/test_csv_io.dir/test_csv_io.cpp.o.d"
+  "test_csv_io"
+  "test_csv_io.pdb"
+  "test_csv_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_rates.dir/test_failure_rates.cpp.o"
+  "CMakeFiles/test_failure_rates.dir/test_failure_rates.cpp.o.d"
+  "test_failure_rates"
+  "test_failure_rates.pdb"
+  "test_failure_rates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interfailure.dir/test_interfailure.cpp.o"
+  "CMakeFiles/test_interfailure.dir/test_interfailure.cpp.o.d"
+  "test_interfailure"
+  "test_interfailure.pdb"
+  "test_interfailure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interfailure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

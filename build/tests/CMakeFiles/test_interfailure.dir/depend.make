@@ -1,0 +1,2 @@
+# Empty dependencies file for test_interfailure.
+# This may be replaced when dependencies are built.

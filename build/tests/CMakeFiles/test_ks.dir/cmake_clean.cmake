@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ks.dir/test_ks.cpp.o"
+  "CMakeFiles/test_ks.dir/test_ks.cpp.o.d"
+  "test_ks"
+  "test_ks.pdb"
+  "test_ks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

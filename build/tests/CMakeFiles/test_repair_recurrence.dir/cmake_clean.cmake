@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_recurrence.dir/test_repair_recurrence.cpp.o"
+  "CMakeFiles/test_repair_recurrence.dir/test_repair_recurrence.cpp.o.d"
+  "test_repair_recurrence"
+  "test_repair_recurrence.pdb"
+  "test_repair_recurrence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

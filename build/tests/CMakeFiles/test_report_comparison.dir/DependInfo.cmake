@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report_comparison.cpp" "tests/CMakeFiles/test_report_comparison.dir/test_report_comparison.cpp.o" "gcc" "tests/CMakeFiles/test_report_comparison.dir/test_report_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/paper/CMakeFiles/fa_paper.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_comparison.dir/test_report_comparison.cpp.o"
+  "CMakeFiles/test_report_comparison.dir/test_report_comparison.cpp.o.d"
+  "test_report_comparison"
+  "test_report_comparison.pdb"
+  "test_report_comparison[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

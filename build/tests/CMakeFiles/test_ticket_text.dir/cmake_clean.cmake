@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ticket_text.dir/test_ticket_text.cpp.o"
+  "CMakeFiles/test_ticket_text.dir/test_ticket_text.cpp.o.d"
+  "test_ticket_text"
+  "test_ticket_text.pdb"
+  "test_ticket_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ticket_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

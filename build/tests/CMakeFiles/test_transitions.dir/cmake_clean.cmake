@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transitions.dir/test_transitions.cpp.o"
+  "CMakeFiles/test_transitions.dir/test_transitions.cpp.o.d"
+  "test_transitions"
+  "test_transitions.pdb"
+  "test_transitions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_trace_cli.dir/fa_trace.cpp.o"
+  "CMakeFiles/fa_trace_cli.dir/fa_trace.cpp.o.d"
+  "fa_trace"
+  "fa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_trace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

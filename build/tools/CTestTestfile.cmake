@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/fa_trace")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/fa_trace" "simulate" "--out" "/root/repo/build/tools/cli_trace" "--scale" "0.1" "--seed" "7")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/fa_trace" "report" "/root/repo/build/tools/cli_trace")
+set_tests_properties(cli_report PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classify "/root/repo/build/tools/fa_trace" "classify" "/root/repo/build/tools/cli_trace")
+set_tests_properties(cli_classify PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fit_repair "/root/repo/build/tools/fa_trace" "fit" "/root/repo/build/tools/cli_trace" "repair" "pm")
+set_tests_properties(cli_fit_repair PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fit_interfailure "/root/repo/build/tools/fa_trace" "fit" "/root/repo/build/tools/cli_trace" "interfailure" "vm")
+set_tests_properties(cli_fit_interfailure PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_dir "/root/repo/build/tools/fa_trace" "report" "/nonexistent/dir")
+set_tests_properties(cli_missing_dir PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_transitions "/root/repo/build/tools/fa_trace" "transitions" "/root/repo/build/tools/cli_trace")
+set_tests_properties(cli_transitions PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
