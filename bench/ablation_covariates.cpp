@@ -10,13 +10,14 @@
 #include "src/sim/simulator.h"
 #include "src/util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fa::bench::init(argc, argv);
   using namespace fa;
   const auto baseline_config = sim::SimulationConfig::paper_defaults();
   const auto ablated_config =
       sim::apply_ablation(baseline_config, sim::Ablation::kFlatCovariates);
-  const auto baseline = sim::simulate(baseline_config);
-  const auto ablated = sim::simulate(ablated_config);
+  const auto& baseline = bench::simulated(baseline_config);
+  const auto& ablated = bench::simulated(ablated_config);
 
   const analysis::CapacityAttribute disks = [](const trace::ServerRecord& s) {
     return s.disk_count ? std::optional<double>(*s.disk_count) : std::nullopt;

@@ -1,22 +1,56 @@
 #include "bench/bench_common.h"
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
 
+#include "src/analysis/artifact_cache.h"
 #include "src/analysis/report.h"
-#include "src/sim/simulator.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::bench {
 
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--no-cache") {
+      analysis::ArtifactCache::global().set_enabled(false);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      ThreadPool::set_default_thread_count(
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      ThreadPool::set_default_thread_count(static_cast<std::size_t>(
+          std::strtoul(arg.substr(10).data(), nullptr, 10)));
+    }
+  }
+}
+
+const trace::TraceDatabase& simulated(const sim::SimulationConfig& config) {
+  // Pin every database handed out here for the life of the process: bench
+  // binaries hold plain references, which must survive a cache clear.
+  static std::mutex mutex;
+  static std::vector<std::shared_ptr<const trace::TraceDatabase>> pinned;
+  auto db = analysis::ArtifactCache::global().database(config);
+  std::lock_guard<std::mutex> lock(mutex);
+  pinned.push_back(std::move(db));
+  return *pinned.back();
+}
+
 const trace::TraceDatabase& shared_db() {
-  static const trace::TraceDatabase db =
-      sim::simulate(sim::SimulationConfig::paper_defaults());
+  static const trace::TraceDatabase& db =
+      simulated(sim::SimulationConfig::paper_defaults());
   return db;
 }
 
 const analysis::AnalysisPipeline& shared_pipeline() {
-  static const analysis::AnalysisPipeline pipeline(shared_db());
-  return pipeline;
+  static const std::shared_ptr<const analysis::AnalysisPipeline> pipeline =
+      analysis::ArtifactCache::global().pipeline(
+          sim::SimulationConfig::paper_defaults());
+  return *pipeline;
 }
 
 std::string render_binned(const std::string& title,

@@ -1,6 +1,8 @@
 // Shared infrastructure for the experiment-reproduction binaries: one
-// full-scale simulated trace and one analysis pipeline, both built once per
-// process, plus helpers for rendering binned results.
+// full-scale simulated trace and one analysis pipeline, both obtained from
+// the process-wide artifact cache (so every binary — and every variant
+// config inside one binary — pays for each distinct simulation exactly
+// once), plus helpers for rendering binned results.
 #pragma once
 
 #include <string>
@@ -9,9 +11,22 @@
 #include "src/analysis/pipeline.h"
 #include "src/paper/comparison.h"
 #include "src/paper/reference.h"
+#include "src/sim/config.h"
 #include "src/trace/database.h"
 
 namespace fa::bench {
+
+// Parses the shared bench flags and applies them process-wide:
+//   --threads N   worker threads for parallel_for (0 = hardware concurrency)
+//   --no-cache    disable the artifact cache (every lookup rebuilds)
+// Unrecognized arguments are ignored so binaries can add their own.
+void init(int argc, char** argv);
+
+// Memoized simulate(config) via the global artifact cache. Ablation and
+// scenario binaries use this so their paper_defaults() baseline shares the
+// exact database object behind shared_db(). The reference stays valid for
+// the life of the process.
+const trace::TraceDatabase& simulated(const sim::SimulationConfig& config);
 
 // The paper-scale trace (5129 PMs, 4292 VMs, one year). Deterministic.
 const trace::TraceDatabase& shared_db();

@@ -7,7 +7,8 @@
 #include "src/analysis/report.h"
 #include "src/util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fa::bench::init(argc, argv);
   using namespace fa;
   const auto& db = bench::shared_db();
   const auto& failures = bench::shared_pipeline().failures();

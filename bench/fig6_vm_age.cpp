@@ -9,7 +9,8 @@
 #include "src/stats/ecdf.h"
 #include "src/util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fa::bench::init(argc, argv);
   using namespace fa;
   const auto& db = bench::shared_db();
   const auto& pipeline = bench::shared_pipeline();

@@ -1,9 +1,21 @@
-// Google-benchmark microbenchmarks of the toolkit itself: simulation
-// throughput, distribution fitting, ECDF construction, k-means, and the
-// end-to-end classification pipeline.
+// Performance toolkit. Default mode times the pipeline stages (simulate,
+// classify) serial vs parallel and cache-cold vs cache-warm, checks that the
+// parallel trace is identical to the serial one, and writes the results to
+// BENCH_perf.json (machine-readable; path override: --json PATH). The
+// google-benchmark microbenchmarks of the underlying kernels (fitting,
+// ECDF, k-means, extraction) run with --micro, which accepts the usual
+// --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/artifact_cache.h"
 #include "src/analysis/classification.h"
+#include "src/analysis/pipeline.h"
 #include "src/analysis/recurrence.h"
 #include "src/sim/simulator.h"
 #include "src/stats/ecdf.h"
@@ -11,10 +23,128 @@
 #include "src/stats/kmeans.h"
 #include "src/text/features.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
 using namespace fa;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// A cheap structural checksum of a trace: enough to certify that two runs
+// produced the same event sequence.
+std::uint64_t trace_checksum(const trace::TraceDatabase& db) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(db.tickets().size());
+  for (const auto& t : db.tickets()) {
+    mix(static_cast<std::uint64_t>(t.server.value));
+    mix(static_cast<std::uint64_t>(t.opened));
+    mix(static_cast<std::uint64_t>(t.closed));
+    mix(t.is_crash);
+  }
+  return h;
+}
+
+struct StageTiming {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+};
+
+int run_stage_report(const std::string& json_path) {
+  const double scale = 0.3;
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+  const std::size_t hw = ThreadPool::hardware_threads();
+  std::vector<StageTiming> stages;
+
+  // simulate: serial vs parallel, with an identity check on the output.
+  ThreadPool::set_default_thread_count(1);
+  auto t0 = Clock::now();
+  const auto serial_db = sim::simulate(config);
+  const double simulate_serial = ms_since(t0);
+  ThreadPool::set_default_thread_count(0);  // hardware concurrency
+  t0 = Clock::now();
+  const auto parallel_db = sim::simulate(config);
+  const double simulate_parallel = ms_since(t0);
+  const bool identical =
+      trace_checksum(serial_db) == trace_checksum(parallel_db);
+  stages.push_back({"simulate", simulate_serial, simulate_parallel});
+
+  // classify (the analysis pipeline: extraction + k-means restarts).
+  ThreadPool::set_default_thread_count(1);
+  t0 = Clock::now();
+  const analysis::AnalysisPipeline serial_pipeline(serial_db);
+  const double classify_serial = ms_since(t0);
+  ThreadPool::set_default_thread_count(0);
+  t0 = Clock::now();
+  const analysis::AnalysisPipeline parallel_pipeline(parallel_db);
+  const double classify_parallel = ms_since(t0);
+  stages.push_back({"classify", classify_serial, classify_parallel});
+
+  // simulate+classify through the artifact cache: cold miss vs warm hit.
+  auto& cache = analysis::ArtifactCache::global();
+  cache.clear();
+  t0 = Clock::now();
+  const auto cold = analysis::cached_context(config);
+  const double cache_cold = ms_since(t0);
+  t0 = Clock::now();
+  const auto warm = analysis::cached_context(config);
+  const double cache_warm = ms_since(t0);
+  const bool cache_shared = cold.db.get() == warm.db.get() &&
+                            cold.pipeline.get() == warm.pipeline.get();
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"scale\": %.2f,\n", scale);
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n", hw);
+  std::fprintf(out, "  \"parallel_identical_to_serial\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageTiming& s = stages[i];
+    const double speedup =
+        s.parallel_ms > 0.0 ? s.serial_ms / s.parallel_ms : 0.0;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"serial_ms\": %.3f, "
+                 "\"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 s.name.c_str(), s.serial_ms, s.parallel_ms, speedup,
+                 i + 1 < stages.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"cache\": {\n");
+  std::fprintf(out, "    \"cold_ms\": %.3f,\n", cache_cold);
+  std::fprintf(out, "    \"warm_ms\": %.3f,\n", cache_warm);
+  std::fprintf(out, "    \"speedup\": %.1f,\n",
+               cache_warm > 0.0 ? cache_cold / cache_warm : 0.0);
+  std::fprintf(out, "    \"shared_objects\": %s,\n",
+               cache_shared ? "true" : "false");
+  std::fprintf(out, "    \"hits\": %zu,\n", cache.hits());
+  std::fprintf(out, "    \"misses\": %zu\n", cache.misses());
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("simulate: serial %.1f ms, parallel %.1f ms (identical: %s)\n",
+              simulate_serial, simulate_parallel, identical ? "yes" : "NO");
+  std::printf("classify: serial %.1f ms, parallel %.1f ms\n", classify_serial,
+              classify_parallel);
+  std::printf("cache:    cold %.1f ms, warm %.3f ms (shared: %s)\n",
+              cache_cold, cache_warm, cache_shared ? "yes" : "NO");
+  std::printf("wrote %s\n", json_path.c_str());
+  return identical && cache_shared ? 0 : 1;
+}
 
 std::vector<double> gamma_sample(std::size_t n) {
   Rng rng(1);
@@ -125,4 +255,24 @@ BENCHMARK(BM_RecurrenceAnalysis);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool micro = false;
+  std::string json_path = "BENCH_perf.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--micro") {
+      micro = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!micro) return run_stage_report(json_path);
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "src/analysis/artifact_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace fa::analysis {
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+namespace {
+
+// Builds a pipeline that shares ownership of its database: the returned
+// handle keeps both alive (aliasing shared_ptr onto an AnalysisContext), so
+// cached pipelines stay valid even after ArtifactCache::clear().
+std::shared_ptr<const AnalysisPipeline> build_pipeline(
+    std::shared_ptr<const trace::TraceDatabase> db, std::uint64_t seed,
+    const ClassifierOptions& options) {
+  auto ctx = std::make_shared<AnalysisContext>();
+  ctx->db = std::move(db);
+  ctx->pipeline =
+      std::make_shared<const AnalysisPipeline>(*ctx->db, seed, options);
+  return {ctx, ctx->pipeline.get()};
+}
+
+}  // namespace
+
+std::uint64_t ArtifactCache::pipeline_key(std::uint64_t db_key,
+                                          std::uint64_t seed,
+                                          const ClassifierOptions& options) {
+  // Same mixing discipline as Rng::derive_seed: any field difference moves
+  // the key to an unrelated value.
+  std::uint64_t h = db_key;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(seed);
+  mix(static_cast<std::uint64_t>(options.clusters));
+  std::uint64_t bits;
+  const double lf = options.labeled_fraction;
+  static_assert(sizeof(bits) == sizeof(lf));
+  std::memcpy(&bits, &lf, sizeof(bits));
+  mix(bits);
+  mix(static_cast<std::uint64_t>(options.kmeans_restarts));
+  mix(static_cast<std::uint64_t>(options.min_document_frequency));
+  return h;
+}
+
+std::shared_ptr<const trace::TraceDatabase> ArtifactCache::database(
+    const sim::SimulationConfig& config) {
+  const std::uint64_t key = config.fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      const auto it = databases_.find(key);
+      if (it != databases_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    ++misses_;
+  }
+  auto db = std::make_shared<const trace::TraceDatabase>(
+      sim::simulate(config));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return db;
+  // A concurrent miss may have inserted first; keep the incumbent so every
+  // caller shares one object.
+  const auto [it, inserted] = databases_.emplace(key, std::move(db));
+  return it->second;
+}
+
+std::shared_ptr<const AnalysisPipeline> ArtifactCache::pipeline(
+    const sim::SimulationConfig& config, std::uint64_t seed,
+    const ClassifierOptions& options) {
+  const std::uint64_t key =
+      pipeline_key(config.fingerprint(), seed, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      const auto it = pipelines_.find(key);
+      if (it != pipelines_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    ++misses_;
+  }
+  auto owner = build_pipeline(database(config), seed, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return owner;
+  const auto [it, inserted] = pipelines_.emplace(key, std::move(owner));
+  return it->second;
+}
+
+std::shared_ptr<const AnalysisPipeline> ArtifactCache::pipeline(
+    std::shared_ptr<const trace::TraceDatabase> db, std::uint64_t seed,
+    const ClassifierOptions& options) {
+  const auto key = pipeline_key(
+      reinterpret_cast<std::uint64_t>(db.get()), seed, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      const auto it = pipelines_.find(key);
+      if (it != pipelines_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    ++misses_;
+  }
+  auto owner = build_pipeline(std::move(db), seed, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return owner;
+  const auto [it, inserted] = pipelines_.emplace(key, std::move(owner));
+  return it->second;
+}
+
+void ArtifactCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+  if (!enabled) {
+    databases_.clear();
+    pipelines_.clear();
+  }
+}
+
+bool ArtifactCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  databases_.clear();
+  pipelines_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t ArtifactCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ArtifactCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+AnalysisContext cached_context(const sim::SimulationConfig& config,
+                               std::uint64_t seed,
+                               const ClassifierOptions& options) {
+  auto& cache = ArtifactCache::global();
+  return {cache.database(config), cache.pipeline(config, seed, options)};
+}
+
+}  // namespace fa::analysis

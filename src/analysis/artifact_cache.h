@@ -1,0 +1,92 @@
+// Process-wide memoization of the two expensive pipeline artifacts:
+//
+//   simulate(config)            -> TraceDatabase      (minutes of CPU at paper
+//                                                      scale, re-run by every
+//                                                      bench binary before)
+//   (db, seed, options)         -> AnalysisPipeline   (crash extraction +
+//                                                      k-means classification)
+//
+// Keys are exact: the database key is SimulationConfig::fingerprint() (a
+// bit-pattern hash over every field including the seed), the pipeline key
+// combines the owning database's key with the classifier seed and options.
+// Artifacts are returned as shared_ptr-to-const, so cached objects are
+// immutable and safe to share across threads; cache lookups are serialized
+// by a mutex, and artifact construction happens outside of it (concurrent
+// misses on the same key build once — the losers adopt the winner's value).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/analysis/pipeline.h"
+#include "src/sim/config.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+class ArtifactCache {
+ public:
+  // The shared process-wide instance (what bench/tools use).
+  static ArtifactCache& global();
+
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  // simulate(config), memoized on config.fingerprint().
+  std::shared_ptr<const trace::TraceDatabase> database(
+      const sim::SimulationConfig& config);
+
+  // AnalysisPipeline over database(config), memoized on
+  // (config.fingerprint(), seed, options).
+  std::shared_ptr<const AnalysisPipeline> pipeline(
+      const sim::SimulationConfig& config, std::uint64_t seed = 7,
+      const ClassifierOptions& options = {});
+
+  // AnalysisPipeline over an already-built database that is not itself
+  // cache-managed (e.g. loaded from CSV); memoized on the database's
+  // address, which the returned pipeline keeps alive via shared ownership.
+  std::shared_ptr<const AnalysisPipeline> pipeline(
+      std::shared_ptr<const trace::TraceDatabase> db, std::uint64_t seed = 7,
+      const ClassifierOptions& options = {});
+
+  // When disabled, every call rebuilds (the --no-cache flag surface).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  void clear();
+
+  // Observability for tests and perf tooling.
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  static std::uint64_t pipeline_key(std::uint64_t db_key, std::uint64_t seed,
+                                    const ClassifierOptions& options);
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const trace::TraceDatabase>>
+      databases_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const AnalysisPipeline>>
+      pipelines_;
+};
+
+// A pipeline that shares ownership of the database it analyzes; used for
+// the address-keyed overload and by callers that need both artifacts.
+struct AnalysisContext {
+  std::shared_ptr<const trace::TraceDatabase> db;
+  std::shared_ptr<const AnalysisPipeline> pipeline;
+};
+
+// One-call helper: both artifacts for a config, via the global cache.
+AnalysisContext cached_context(const sim::SimulationConfig& config,
+                               std::uint64_t seed = 7,
+                               const ClassifierOptions& options = {});
+
+}  // namespace fa::analysis

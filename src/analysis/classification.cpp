@@ -41,15 +41,6 @@ CrashExtractionResult extract_crash_tickets_clustered(
   const auto vectorizer = text::Vectorizer::fit(corpus, vec_options);
   const auto features = vectorizer.transform_all(corpus);
 
-  // Crash tickets are a small minority (~2% of all tickets, Table II), so a
-  // two-way split would divide the dominant background mass instead. Use a
-  // generous cluster budget and label each cluster by how strongly its
-  // centroid loads on unresponsive/unreachable symptom words.
-  stats::KMeansOptions km;
-  km.k = 24;
-  km.restarts = 3;
-  const auto clustering = stats::kmeans(features, km, rng);
-
   // Distinctive symptom vocabulary: words of the symptom phrases that are
   // not generic datacenter jargon ("server", "host", "monitoring" appear in
   // background tickets too and must not count).
@@ -62,25 +53,70 @@ CrashExtractionResult extract_crash_tickets_clustered(
   for (std::string_view generic : text::generic_words()) {
     symptom_words.erase(std::string(generic));
   }
-
-  std::vector<double> symptom_mass(static_cast<std::size_t>(km.k), 0.0);
+  std::vector<bool> symptom_dim(vectorizer.vocabulary().size(), false);
   for (std::size_t d = 0; d < vectorizer.vocabulary().size(); ++d) {
-    if (!symptom_words.contains(vectorizer.vocabulary()[d])) continue;
-    for (int c = 0; c < km.k; ++c) {
-      symptom_mass[static_cast<std::size_t>(c)] +=
-          clustering.centroids[static_cast<std::size_t>(c)][d];
+    symptom_dim[d] = symptom_words.contains(vectorizer.vocabulary()[d]);
+  }
+
+  // Crash tickets are a small minority (~2% of all tickets, Table II), so a
+  // two-way split would divide the dominant background mass instead. Use a
+  // generous cluster budget and label each cluster by how strongly its
+  // centroid loads on unresponsive/unreachable symptom words. Random
+  // k-means++ seeding routinely misses a 2% mode entirely (and inertia does
+  // not reward finding it), so one centroid is anchored at the document with
+  // the highest symptom share. Anchoring at a real document (not a mean of
+  // documents) matters: a mean over diverse documents has a small norm,
+  // which makes it spuriously close to everything and lets it absorb
+  // background tickets during Lloyd iterations.
+  std::size_t anchor_doc = 0;
+  double anchor_share = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    double symptom = 0.0, total = 0.0;
+    for (std::size_t d = 0; d < features[i].size(); ++d) {
+      total += features[i][d];
+      if (symptom_dim[d]) symptom += features[i][d];
+    }
+    const double share = total > 0.0 ? symptom / total : 0.0;
+    if (share > anchor_share) {
+      anchor_share = share;
+      anchor_doc = i;
     }
   }
-  const double max_mass =
-      *std::max_element(symptom_mass.begin(), symptom_mass.end());
-  require(max_mass > 0.0,
+  stats::KMeansOptions km;
+  km.k = 24;
+  km.restarts = 3;
+  if (anchor_share > 0.0) km.anchors.push_back(features[anchor_doc]);
+  const auto clustering = stats::kmeans(features, km, rng);
+
+  // Symptom share of each centroid's total mass. The share (rather than the
+  // absolute symptom mass) is what separates crash clusters from a large
+  // background cluster that absorbed a few stray crash tickets: the latter
+  // carries symptom words, but they are a sliver of its mass.
+  std::vector<double> symptom_mass(static_cast<std::size_t>(km.k), 0.0);
+  std::vector<double> total_mass(static_cast<std::size_t>(km.k), 0.0);
+  for (std::size_t d = 0; d < vectorizer.vocabulary().size(); ++d) {
+    const bool symptom = symptom_dim[d];
+    for (int c = 0; c < km.k; ++c) {
+      const double w = clustering.centroids[static_cast<std::size_t>(c)][d];
+      total_mass[static_cast<std::size_t>(c)] += w;
+      if (symptom) symptom_mass[static_cast<std::size_t>(c)] += w;
+    }
+  }
+  std::vector<double> symptom_share(static_cast<std::size_t>(km.k), 0.0);
+  for (int c = 0; c < km.k; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (total_mass[i] > 0.0) symptom_share[i] = symptom_mass[i] / total_mass[i];
+  }
+  const double max_share =
+      *std::max_element(symptom_share.begin(), symptom_share.end());
+  require(max_share > 0.0,
           "extract_crash_tickets_clustered: no symptom vocabulary found");
-  // Precision-focused flagging: only clusters dominated by symptom mass
+  // Precision-focused flagging: only clusters dominated by symptom share
   // count as crash clusters.
   std::vector<bool> crash_cluster(static_cast<std::size_t>(km.k), false);
   for (int c = 0; c < km.k; ++c) {
     crash_cluster[static_cast<std::size_t>(c)] =
-        symptom_mass[static_cast<std::size_t>(c)] > 0.5 * max_mass;
+        symptom_share[static_cast<std::size_t>(c)] > 0.5 * max_share;
   }
 
   CrashExtractionResult result;

@@ -181,7 +181,7 @@ struct SimulationConfig {
   std::array<double, trace::kSubsystemCount> pm_calibration_boost = {
       1.10, 1.22, 1.26, 0.95, 1.20};
   std::array<double, trace::kSubsystemCount> vm_calibration_boost = {
-      0.92, 1.00, 1.03, 1.30, 1.05};
+      0.92, 1.00, 1.03, 1.00, 1.05};
 
   fa::text::TextStyleOptions text_style;
 
@@ -191,6 +191,11 @@ struct SimulationConfig {
   // A proportionally shrunk copy (populations and ticket volumes scaled by
   // `factor`) for fast tests; factor in (0, 1].
   SimulationConfig scaled(double factor) const;
+
+  // Stable 64-bit fingerprint over every field (including the seed): equal
+  // fingerprints <=> simulate() produces the identical trace. Used as the
+  // memoization key of fa::analysis::ArtifactCache.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace fa::sim

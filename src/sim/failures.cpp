@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/seed_streams.h"
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::sim {
 namespace {
@@ -96,24 +98,37 @@ std::vector<trace::ServerId> related_servers(const Fleet& fleet,
   return unique;
 }
 
-}  // namespace
+// One primary incident planned ahead of the parallel generation pass. The
+// incident id is allocated serially (in stratum order, as before) so ids are
+// independent of the execution schedule; everything random about the
+// incident is drawn from its own counter-based stream.
+struct IncidentPlan {
+  trace::Subsystem sys = 0;
+  trace::MachineType type = trace::MachineType::kPhysical;
+  trace::IncidentId incident;
+  std::array<double, 5> mix{};
+  // Stream index encoding (stratum, local index): the draws of one stratum
+  // stay fixed when another stratum's incident count changes (e.g. while
+  // re-fitting one calibration boost).
+  std::uint64_t stream = 0;
+};
 
-std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
+// Generates the full event set of one incident (root selection, timing,
+// spatial expansion, aftershock chains) from the incident's private stream.
+std::vector<FailureEvent> generate_incident(const SimulationConfig& config,
                                             const Fleet& fleet,
                                             const HazardModel& hazard,
-                                            trace::TraceDatabase& db,
+                                            const IncidentPlan& plan,
                                             Rng& rng) {
   const ObservationWindow year = ticket_window();
   std::vector<FailureEvent> events;
 
   const auto emit_with_aftershocks = [&](trace::ServerId server,
-                                         trace::IncidentId incident,
                                          trace::FailureClass recorded,
                                          trace::FailureClass cause,
                                          TimePoint at,
-                                         const AftershockSpec& shock,
-                                         const std::array<double, 5>& mix) {
-    events.push_back({server, incident, recorded, cause, at, false});
+                                         const AftershockSpec& shock) {
+    events.push_back({server, plan.incident, recorded, cause, at, false});
     const bool vague = recorded == trace::FailureClass::kOther;
     TimePoint t = at;
     while (rng.bernoulli(shock.probability)) {
@@ -124,86 +139,122 @@ std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
       if (t >= year.end) break;
       if (!rng.bernoulli(shock.same_class_probability[static_cast<std::size_t>(
               cause)])) {
-        cause = sample_real_class(mix, rng);
+        cause = sample_real_class(plan.mix, rng);
       }
       // Vague incidents stay vague: the same poorly-documented problem
       // keeps producing poorly-documented tickets.
       events.push_back(
-          {server, incident, vague ? trace::FailureClass::kOther : cause,
+          {server, plan.incident, vague ? trace::FailureClass::kOther : cause,
            cause, t, true});
     }
   };
 
+  const PopulationSpec& pop = config.systems[plan.sys];
+  const trace::ServerId root = hazard.sample_root(plan.sys, plan.type, rng);
+  if (!root.valid()) return events;  // empty stratum
+  const MachineProfile& root_profile = fleet.profile(root);
+
+  // Failure instant: uniform within the root's exposure window.
+  const TimePoint start = std::max(root_profile.creation, year.begin);
+  const TimePoint at = start + static_cast<Duration>(rng.uniform(
+                                   0.0, static_cast<double>(
+                                            year.end - 1 - start)));
+
+  const trace::FailureClass cause = sample_real_class(plan.mix, rng);
+  const trace::FailureClass recorded =
+      rng.bernoulli(pop.other_fraction) ? trace::FailureClass::kOther : cause;
+
+  // Spatial expansion.
+  std::vector<trace::ServerId> affected = {root};
+  const IncidentSizeSpec& size_spec =
+      config.incident_size_for(plan.type, recorded);
+  if (rng.bernoulli(size_spec.multi_probability)) {
+    const int extra = sample_extra_count(size_spec, rng);
+    // Propagation follows the physical cause, even when the tickets
+    // end up recorded as "other".
+    auto pool = related_servers(fleet, root, cause);
+    // Keep plausibility order but randomize ties within the pool by a
+    // light shuffle of the tail beyond the most plausible few.
+    if (pool.size() > 3) {
+      std::vector<trace::ServerId> tail(pool.begin() + 3, pool.end());
+      rng.shuffle(tail);
+      std::copy(tail.begin(), tail.end(), pool.begin() + 3);
+    }
+    for (trace::ServerId id : pool) {
+      if (static_cast<int>(affected.size()) > extra) break;
+      // Only machines that already exist can fail.
+      if (fleet.profile(id).creation <= at) affected.push_back(id);
+    }
+  }
+
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    // Co-affected servers fail within minutes of the root.
+    const TimePoint t =
+        a == 0 ? at
+               : std::min<TimePoint>(
+                     year.end - 1,
+                     at + static_cast<Duration>(rng.uniform(0.0, 30.0)));
+    const trace::ServerRecord& s = fleet.server(affected[a]);
+    const AftershockSpec& shock =
+        s.type == trace::MachineType::kPhysical ? config.pm_aftershock
+                                                : config.vm_aftershock;
+    emit_with_aftershocks(affected[a], recorded, cause, t, shock);
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
+                                            const Fleet& fleet,
+                                            const HazardModel& hazard,
+                                            trace::TraceDatabase& db) {
+  // Serial planning pass: fix the incident count per stratum and allocate
+  // incident ids in the canonical (subsystem, type, index) order.
+  std::vector<IncidentPlan> plans;
   for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
-    const PopulationSpec& pop = config.systems[sys];
     for (int ti = 0; ti < trace::kMachineTypeCount; ++ti) {
       const auto type = static_cast<trace::MachineType>(ti);
       const auto mix = class_distribution(config, sys, type);
       const int n = hazard.primary_incident_count(sys, type);
-
+      const auto stratum =
+          static_cast<std::uint64_t>(sys) *
+              static_cast<std::uint64_t>(trace::kMachineTypeCount) +
+          static_cast<std::uint64_t>(ti);
       for (int i = 0; i < n; ++i) {
-        const trace::ServerId root = hazard.sample_root(sys, type, rng);
-        if (!root.valid()) break;
-        const MachineProfile& root_profile = fleet.profile(root);
-
-        // Failure instant: uniform within the root's exposure window.
-        const TimePoint start = std::max(root_profile.creation, year.begin);
-        const TimePoint at = start + static_cast<Duration>(rng.uniform(
-                                         0.0, static_cast<double>(
-                                                  year.end - 1 - start)));
-
-        const trace::FailureClass cause = sample_real_class(mix, rng);
-        const trace::FailureClass recorded =
-            rng.bernoulli(pop.other_fraction) ? trace::FailureClass::kOther
-                                              : cause;
-
-        const trace::IncidentId incident = db.new_incident();
-
-        // Spatial expansion.
-        std::vector<trace::ServerId> affected = {root};
-        const IncidentSizeSpec& size_spec =
-            config.incident_size_for(type, recorded);
-        if (rng.bernoulli(size_spec.multi_probability)) {
-          const int extra = sample_extra_count(size_spec, rng);
-          // Propagation follows the physical cause, even when the tickets
-          // end up recorded as "other".
-          auto pool = related_servers(fleet, root, cause);
-          // Keep plausibility order but randomize ties within the pool by a
-          // light shuffle of the tail beyond the most plausible few.
-          if (pool.size() > 3) {
-            std::vector<trace::ServerId> tail(pool.begin() + 3, pool.end());
-            rng.shuffle(tail);
-            std::copy(tail.begin(), tail.end(), pool.begin() + 3);
-          }
-          for (trace::ServerId id : pool) {
-            if (static_cast<int>(affected.size()) > extra) break;
-            // Only machines that already exist can fail.
-            if (fleet.profile(id).creation <= at) affected.push_back(id);
-          }
-        }
-
-        for (std::size_t a = 0; a < affected.size(); ++a) {
-          // Co-affected servers fail within minutes of the root.
-          const TimePoint t =
-              a == 0 ? at
-                     : std::min<TimePoint>(
-                           year.end - 1,
-                           at + static_cast<Duration>(rng.uniform(0.0, 30.0)));
-          const trace::ServerRecord& s = fleet.server(affected[a]);
-          const AftershockSpec& shock =
-              s.type == trace::MachineType::kPhysical ? config.pm_aftershock
-                                                      : config.vm_aftershock;
-          emit_with_aftershocks(affected[a], incident, recorded, cause, t,
-                                shock, mix);
-        }
+        const std::uint64_t stream =
+            static_cast<std::uint64_t>(i) * 16 + stratum;
+        plans.push_back({sys, type, db.new_incident(), mix, stream});
       }
     }
+  }
+
+  // Parallel generation pass: each incident draws from its own stream, so
+  // the result is independent of the thread count.
+  std::vector<std::vector<FailureEvent>> per_incident(plans.size());
+  parallel_for(plans.size(), [&](std::size_t i) {
+    Rng rng = stream_rng(config.seed, SeedStream::kIncident, plans[i].stream);
+    per_incident[i] = generate_incident(config, fleet, hazard, plans[i], rng);
+  });
+
+  std::vector<FailureEvent> events;
+  std::size_t total = 0;
+  for (const auto& chunk : per_incident) total += chunk.size();
+  events.reserve(total);
+  for (auto& chunk : per_incident) {
+    events.insert(events.end(), chunk.begin(), chunk.end());
   }
 
   std::sort(events.begin(), events.end(),
             [](const FailureEvent& a, const FailureEvent& b) {
               if (a.at != b.at) return a.at < b.at;
-              return a.server < b.server;
+              if (a.server != b.server) return a.server < b.server;
+              // Total order: concurrent events on one server (possible
+              // across incidents) must not depend on the pre-sort order.
+              if (a.incident.value != b.incident.value) {
+                return a.incident.value < b.incident.value;
+              }
+              return a.is_aftershock < b.is_aftershock;
             });
   return events;
 }

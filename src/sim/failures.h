@@ -34,11 +34,13 @@ struct FailureEvent {
 };
 
 // Generates all failure events of the observation year, sorted by time.
-// Incident ids are allocated from `db`.
+// Incident ids are allocated from `db`. Randomness is derived from
+// `config.seed` via one counter-based stream per primary incident, and the
+// per-incident generation fans out over the global thread pool — the output
+// is bit-identical at any thread count.
 std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
                                             const Fleet& fleet,
                                             const HazardModel& hazard,
-                                            trace::TraceDatabase& db,
-                                            Rng& rng);
+                                            trace::TraceDatabase& db);
 
 }  // namespace fa::sim

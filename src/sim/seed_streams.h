@@ -1,0 +1,31 @@
+// Named RNG stream tags for the simulation phases.
+//
+// Every parallel work unit of the simulator (an incident, a ticket, a
+// server's monitoring records) owns an independent counter-based RNG stream
+// `Rng(Rng::derive_seed(config.seed, tag, index))`. Because the stream of a
+// unit depends only on (seed, tag, index) — never on which thread runs it or
+// on how many units ran before it — the simulation output is bit-identical
+// at any thread count. See docs/SCHEMA.md ("Determinism & seed derivation").
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace fa::sim {
+
+enum class SeedStream : std::uint64_t {
+  kFleet = 1,             // fleet construction (serial; one stream)
+  kIncident = 2,          // per primary incident: root, timing, aftershocks
+  kCrashTicket = 3,       // per failure event: loss, repair draw, text
+  kBackgroundTicket = 4,  // per background ticket: target, timing, text
+  kWeeklyUsage = 5,       // per server: usage jitter
+  kPowerEvents = 6,       // per server: on/off cycles
+};
+
+inline Rng stream_rng(std::uint64_t seed, SeedStream stream,
+                      std::uint64_t index = 0) {
+  return Rng(Rng::derive_seed(seed, static_cast<std::uint64_t>(stream), index));
+}
+
+}  // namespace fa::sim

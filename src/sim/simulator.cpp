@@ -3,6 +3,7 @@
 #include "src/sim/failures.h"
 #include "src/sim/fleet.h"
 #include "src/sim/hazard.h"
+#include "src/sim/seed_streams.h"
 #include "src/sim/ticketing.h"
 #include "src/sim/workload.h"
 #include "src/util/error.h"
@@ -10,12 +11,10 @@
 namespace fa::sim {
 
 trace::TraceDatabase simulate(const SimulationConfig& config) {
-  Rng rng(config.seed);
-  Rng fleet_rng = rng.fork(1);
-  Rng failure_rng = rng.fork(2);
-  Rng ticket_rng = rng.fork(3);
-  Rng workload_rng = rng.fork(4);
-
+  // Fleet construction stays serial (machines are cheap to draw and later
+  // machines' host-box placement depends on earlier draws); every other
+  // phase fans out over the thread pool with counter-based streams.
+  Rng fleet_rng = stream_rng(config.seed, SeedStream::kFleet);
   const Fleet fleet = build_fleet(config, fleet_rng);
 
   trace::TraceDatabase db;
@@ -25,13 +24,13 @@ trace::TraceDatabase simulate(const SimulationConfig& config) {
   }
 
   const HazardModel hazard(config, fleet);
-  auto events = generate_failures(config, fleet, hazard, db, failure_rng);
-  emit_crash_tickets(config, std::move(events), db, ticket_rng);
-  emit_background_tickets(config, fleet, db, ticket_rng);
+  auto events = generate_failures(config, fleet, hazard, db);
+  emit_crash_tickets(config, std::move(events), db);
+  emit_background_tickets(config, fleet, db);
 
-  emit_weekly_usage(config, fleet, db, workload_rng);
+  emit_weekly_usage(config, fleet, db);
   emit_monthly_snapshots(fleet, db);
-  emit_power_events(fleet, db, workload_rng);
+  emit_power_events(config, fleet, db);
 
   db.finalize();
   return db;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/sim/seed_streams.h"
 #include "src/stats/lognormal.h"
 #include "src/text/ticket_text.h"
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::sim {
 namespace {
@@ -21,8 +24,10 @@ stats::LogNormal repair_distribution(const RepairSpec& spec) {
 
 void emit_crash_tickets(const SimulationConfig& config,
                         std::vector<FailureEvent> events,
-                        trace::TraceDatabase& db, Rng& rng) {
-  // Distinct servers per incident, to decide monitoring-loss eligibility.
+                        trace::TraceDatabase& db) {
+  // Serial planning pass over the (time-sorted) events: distinct servers per
+  // incident decide monitoring-loss eligibility, and an incident's first
+  // event is exempt from loss.
   std::unordered_map<trace::IncidentId,
                      std::unordered_set<trace::ServerId>>
       incident_servers;
@@ -30,6 +35,15 @@ void emit_crash_tickets(const SimulationConfig& config,
     incident_servers[e.incident].insert(e.server);
   }
   std::unordered_set<trace::IncidentId> incident_seen;
+  std::vector<bool> first_of_incident(events.size());
+  std::vector<bool> loss_eligible(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    first_of_incident[i] = incident_seen.insert(events[i].incident).second;
+    loss_eligible[i] =
+        !first_of_incident[i] &&
+        static_cast<int>(incident_servers[events[i].incident].size()) >=
+            config.monitoring_loss_min_size;
+  }
 
   std::vector<stats::LogNormal> repair;
   repair.reserve(trace::kFailureClassCount);
@@ -37,14 +51,14 @@ void emit_crash_tickets(const SimulationConfig& config,
     repair.push_back(repair_distribution(spec));
   }
 
-  for (const FailureEvent& e : events) {
-    const bool first_of_incident = incident_seen.insert(e.incident).second;
-    const bool large_incident =
-        static_cast<int>(incident_servers[e.incident].size()) >=
-        config.monitoring_loss_min_size;
-    if (!first_of_incident && large_incident &&
-        rng.bernoulli(config.monitoring_loss_probability)) {
-      continue;  // the monitoring server itself was down; ticket never filed
+  // Parallel rendering pass: each failure event renders its ticket (or its
+  // monitoring loss) from a private stream into its own slot.
+  std::vector<std::optional<trace::Ticket>> rendered(events.size());
+  parallel_for(events.size(), [&](std::size_t i) {
+    const FailureEvent& e = events[i];
+    Rng rng = stream_rng(config.seed, SeedStream::kCrashTicket, i);
+    if (loss_eligible[i] && rng.bernoulli(config.monitoring_loss_probability)) {
+      return;  // the monitoring server itself was down; ticket never filed
     }
 
     trace::Ticket t;
@@ -68,13 +82,17 @@ void emit_crash_tickets(const SimulationConfig& config,
         text::generate_crash_text(e.recorded_class, config.text_style, rng);
     t.description = std::move(text.description);
     t.resolution = std::move(text.resolution);
-    db.add_ticket(std::move(t));
+    rendered[i] = std::move(t);
+  });
+
+  // Serial commit pass: ticket ids follow event order, as before.
+  for (auto& slot : rendered) {
+    if (slot) db.add_ticket(std::move(*slot));
   }
 }
 
 void emit_background_tickets(const SimulationConfig& config,
-                             const Fleet& fleet, trace::TraceDatabase& db,
-                             Rng& rng) {
+                             const Fleet& fleet, trace::TraceDatabase& db) {
   // Crash tickets already present, per subsystem.
   std::array<int, trace::kSubsystemCount> crash_count{};
   for (const trace::Ticket& t : db.tickets()) {
@@ -87,33 +105,45 @@ void emit_background_tickets(const SimulationConfig& config,
     by_system[s.subsystem].push_back(s.id);
   }
 
+  // Flatten the per-subsystem ticket budget into one global index space so
+  // every background ticket owns a stable stream id.
+  struct Slot {
+    trace::Subsystem sys;
+  };
+  std::vector<Slot> slots;
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    const int remaining = config.systems[sys].all_tickets - crash_count[sys];
+    require(!by_system[sys].empty() || remaining <= 0,
+            "emit_background_tickets: subsystem without servers");
+    for (int i = 0; i < remaining; ++i) slots.push_back({sys});
+  }
+
   const ObservationWindow year = ticket_window();
   const auto background_repair =
       stats::LogNormal::from_mean_median(48.0, 8.0);
 
-  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
-    const int remaining =
-        config.systems[sys].all_tickets - crash_count[sys];
-    require(!by_system[sys].empty() || remaining <= 0,
-            "emit_background_tickets: subsystem without servers");
-    for (int i = 0; i < remaining; ++i) {
-      trace::Ticket t;
-      t.server = by_system[sys][static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(by_system[sys].size()) - 1))];
-      t.subsystem = sys;
-      t.is_crash = false;
-      t.true_class = trace::FailureClass::kOther;
-      t.opened = year.begin + static_cast<Duration>(rng.uniform(
-                                  0.0, static_cast<double>(year.length() - 1)));
-      t.closed =
-          t.opened + std::max<Duration>(
-                         1, from_hours(background_repair.sample(rng)));
-      auto text = text::generate_background_text(rng);
-      t.description = std::move(text.description);
-      t.resolution = std::move(text.resolution);
-      db.add_ticket(std::move(t));
-    }
-  }
+  std::vector<trace::Ticket> rendered(slots.size());
+  parallel_for(slots.size(), [&](std::size_t i) {
+    const trace::Subsystem sys = slots[i].sys;
+    Rng rng = stream_rng(config.seed, SeedStream::kBackgroundTicket, i);
+    trace::Ticket t;
+    t.server = by_system[sys][static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(by_system[sys].size()) - 1))];
+    t.subsystem = sys;
+    t.is_crash = false;
+    t.true_class = trace::FailureClass::kOther;
+    t.opened = year.begin + static_cast<Duration>(rng.uniform(
+                                0.0, static_cast<double>(year.length() - 1)));
+    t.closed =
+        t.opened + std::max<Duration>(
+                       1, from_hours(background_repair.sample(rng)));
+    auto text = text::generate_background_text(rng);
+    t.description = std::move(text.description);
+    t.resolution = std::move(text.resolution);
+    rendered[i] = std::move(t);
+  });
+
+  for (auto& t : rendered) db.add_ticket(std::move(t));
 }
 
 }  // namespace fa::sim

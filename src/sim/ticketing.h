@@ -16,15 +16,16 @@ namespace fa::sim {
 // Emits one crash ticket per failure event, with class-specific LogNormal
 // repair times (Table IV) and class-conditioned ticket text. Large incidents
 // can lose tickets when the monitoring server itself is affected
-// (Section IV-E); the incident's first event is never lost.
+// (Section IV-E); the incident's first event is never lost. Ticket rendering
+// fans out over the thread pool with one stream per event; ids and row order
+// stay in event order.
 void emit_crash_tickets(const SimulationConfig& config,
                         std::vector<FailureEvent> events,
-                        trace::TraceDatabase& db, Rng& rng);
+                        trace::TraceDatabase& db);
 
 // Emits non-crash background tickets so each subsystem's total ticket count
-// matches its Table II volume.
+// matches its Table II volume. One stream per ticket; parallel, order-stable.
 void emit_background_tickets(const SimulationConfig& config,
-                             const Fleet& fleet, trace::TraceDatabase& db,
-                             Rng& rng);
+                             const Fleet& fleet, trace::TraceDatabase& db);
 
 }  // namespace fa::sim

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/seed_streams.h"
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::sim {
 namespace {
@@ -13,12 +15,17 @@ double clamp_util(double v) { return std::clamp(v, 0.1, 100.0); }
 }  // namespace
 
 void emit_weekly_usage(const SimulationConfig& config, const Fleet& fleet,
-                       trace::TraceDatabase& db, Rng& rng) {
+                       trace::TraceDatabase& db) {
   const ObservationWindow year = ticket_window();
   const int weeks = year.week_count();
-  for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
+  // One stream per server: usage synthesis is embarrassingly parallel, and
+  // rows are committed in server order so the table layout is unchanged.
+  std::vector<std::vector<trace::WeeklyUsage>> rows(fleet.servers.size());
+  parallel_for(fleet.servers.size(), [&](std::size_t i) {
     const trace::ServerRecord& s = fleet.servers[i];
     const MachineProfile& p = fleet.profiles[i];
+    Rng rng = stream_rng(config.seed, SeedStream::kWeeklyUsage,
+                         static_cast<std::uint64_t>(s.id.value));
     for (int w = 0; w < weeks; ++w) {
       const TimePoint week_end =
           year.begin + static_cast<Duration>(w + 1) * kMinutesPerWeek;
@@ -38,8 +45,11 @@ void emit_weekly_usage(const SimulationConfig& config, const Fleet& fleet,
         // Network volume jitter is multiplicative (volumes span decades).
         u.net_kbps = *p.mean_net_kbps * std::exp(rng.normal(0.0, 0.25));
       }
-      db.add_weekly_usage(u);
+      rows[i].push_back(u);
     }
+  });
+  for (const auto& server_rows : rows) {
+    for (const trace::WeeklyUsage& u : server_rows) db.add_weekly_usage(u);
   }
 }
 
@@ -64,19 +74,22 @@ void emit_monthly_snapshots(const Fleet& fleet, trace::TraceDatabase& db) {
   }
 }
 
-void emit_power_events(const Fleet& fleet, trace::TraceDatabase& db,
-                       Rng& rng) {
+void emit_power_events(const SimulationConfig& config, const Fleet& fleet,
+                       trace::TraceDatabase& db) {
   const ObservationWindow window = onoff_window();
   const double window_months =
       static_cast<double>(window.length()) / kMinutesPerMonth;
-  for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
+  std::vector<std::vector<trace::PowerEvent>> rows(fleet.servers.size());
+  parallel_for(fleet.servers.size(), [&](std::size_t i) {
     const trace::ServerRecord& s = fleet.servers[i];
-    if (s.type != trace::MachineType::kVirtual) continue;
+    if (s.type != trace::MachineType::kVirtual) return;
     const MachineProfile& p = fleet.profiles[i];
-    if (p.onoff_per_month <= 0.0) continue;
+    if (p.onoff_per_month <= 0.0) return;
+    Rng rng = stream_rng(config.seed, SeedStream::kPowerEvents,
+                         static_cast<std::uint64_t>(s.id.value));
 
     const auto cycles = rng.poisson(p.onoff_per_month * window_months);
-    if (cycles == 0) continue;
+    if (cycles == 0) return;
 
     // Draw cycle start times, sort, and emit non-overlapping off/on pairs.
     std::vector<TimePoint> starts;
@@ -96,10 +109,13 @@ void emit_power_events(const Fleet& fleet, trace::TraceDatabase& db,
           off_at + std::max<Duration>(kMinutesPerSample,
                                       static_cast<Duration>(down_minutes));
       if (on_at >= window.end) break;
-      db.add_power_event({s.id, off_at, false});
-      db.add_power_event({s.id, on_at, true});
+      rows[i].push_back({s.id, off_at, false});
+      rows[i].push_back({s.id, on_at, true});
       busy_until = on_at;
     }
+  });
+  for (const auto& server_rows : rows) {
+    for (const trace::PowerEvent& e : server_rows) db.add_power_event(e);
   }
 }
 

@@ -13,16 +13,18 @@ namespace fa::sim {
 
 // Weekly usage rows over the ticket year, jittered around each machine's
 // static mean profile. Disk/network columns are filled for VMs only,
-// mirroring the gaps in the paper's dataset.
+// mirroring the gaps in the paper's dataset. One RNG stream per server,
+// generated in parallel; row order stays (server, week).
 void emit_weekly_usage(const SimulationConfig& config, const Fleet& fleet,
-                       trace::TraceDatabase& db, Rng& rng);
+                       trace::TraceDatabase& db);
 
 // Monthly (box, consolidation) snapshots for every VM existing that month.
 void emit_monthly_snapshots(const Fleet& fleet, trace::TraceDatabase& db);
 
 // Power off/on event pairs for VMs inside the fine-grained on/off window,
 // with Poisson cycle counts matching each VM's monthly on/off frequency.
-void emit_power_events(const Fleet& fleet, trace::TraceDatabase& db,
-                       Rng& rng);
+// One RNG stream per server, generated in parallel.
+void emit_power_events(const SimulationConfig& config, const Fleet& fleet,
+                       trace::TraceDatabase& db);
 
 }  // namespace fa::sim

@@ -5,6 +5,7 @@
 
 #include "src/stats/descriptive.h"
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::stats {
 
@@ -20,16 +21,24 @@ BootstrapInterval bootstrap_ci(
   BootstrapInterval result;
   result.point = statistic(xs);
 
-  std::vector<double> resample(xs.size());
-  std::vector<double> stats;
-  stats.reserve(static_cast<std::size_t>(replicates));
-  const auto n = static_cast<std::int64_t>(xs.size());
+  // One forked RNG per replicate (derived serially so the caller's generator
+  // state is schedule-independent); the resamples then run in parallel, each
+  // writing its statistic to its own slot.
+  std::vector<Rng> replicate_rngs;
+  replicate_rngs.reserve(static_cast<std::size_t>(replicates));
   for (int r = 0; r < replicates; ++r) {
-    for (auto& v : resample) {
-      v = xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
-    }
-    stats.push_back(statistic(resample));
+    replicate_rngs.push_back(rng.fork(static_cast<std::uint64_t>(r)));
   }
+  std::vector<double> stats(static_cast<std::size_t>(replicates));
+  const auto n = static_cast<std::int64_t>(xs.size());
+  parallel_for(stats.size(), [&](std::size_t r) {
+    Rng& replicate_rng = replicate_rngs[r];
+    std::vector<double> resample(xs.size());
+    for (auto& v : resample) {
+      v = xs[static_cast<std::size_t>(replicate_rng.uniform_int(0, n - 1))];
+    }
+    stats[r] = statistic(resample);
+  });
   const double alpha = (1.0 - confidence) / 2.0;
   result.lo = percentile(stats, 100.0 * alpha);
   result.hi = percentile(stats, 100.0 * (1.0 - alpha));

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::stats {
 namespace {
@@ -19,14 +20,29 @@ double squared_distance(const std::vector<double>& a,
 }
 
 std::vector<std::vector<double>> seed_plus_plus(
-    std::span<const std::vector<double>> points, int k, Rng& rng) {
+    std::span<const std::vector<double>> points, const KMeansOptions& options,
+    Rng& rng) {
+  const int k = options.k;
   std::vector<std::vector<double>> centroids;
   centroids.reserve(static_cast<std::size_t>(k));
   const auto n = static_cast<std::int64_t>(points.size());
-  centroids.push_back(
-      points[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
   std::vector<double> d2(points.size(),
                          std::numeric_limits<double>::infinity());
+  if (options.anchors.empty()) {
+    centroids.push_back(
+        points[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+  } else {
+    // Anchors first; k-means++ continues conditioned on them.
+    for (const auto& anchor : options.anchors) {
+      if (static_cast<int>(centroids.size()) >= k) break;
+      centroids.push_back(anchor);
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (const auto& c : centroids) {
+        d2[i] = std::min(d2[i], squared_distance(points[i], c));
+      }
+    }
+  }
   while (static_cast<int>(centroids.size()) < k) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
@@ -56,7 +72,7 @@ KMeansResult run_once(std::span<const std::vector<double>> points,
                       const KMeansOptions& options, Rng& rng) {
   const std::size_t dim = points.front().size();
   KMeansResult result;
-  result.centroids = seed_plus_plus(points, options.k, rng);
+  result.centroids = seed_plus_plus(points, options, rng);
   result.assignment.assign(points.size(), -1);
 
   double prev_inertia = std::numeric_limits<double>::infinity();
@@ -123,13 +139,25 @@ KMeansResult kmeans(std::span<const std::vector<double>> points,
     require(p.size() == dim, "kmeans: inconsistent point dimensionality");
   }
 
-  KMeansResult best;
-  best.inertia = std::numeric_limits<double>::infinity();
+  // Derive one RNG per restart up front (serially, so the caller's generator
+  // advances the same way at any thread count), then fan the restarts out.
+  // The winner is picked by (inertia, restart index), which makes the result
+  // independent of completion order.
+  std::vector<Rng> restart_rngs;
+  restart_rngs.reserve(static_cast<std::size_t>(options.restarts));
   for (int r = 0; r < options.restarts; ++r) {
-    KMeansResult run = run_once(points, options, rng);
-    if (run.inertia < best.inertia) best = std::move(run);
+    restart_rngs.push_back(rng.fork(static_cast<std::uint64_t>(r)));
   }
-  return best;
+  std::vector<KMeansResult> runs(static_cast<std::size_t>(options.restarts));
+  parallel_for(runs.size(), [&](std::size_t r) {
+    runs[r] = run_once(points, options, restart_rngs[r]);
+  });
+
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    if (runs[r].inertia < runs[best].inertia) best = r;
+  }
+  return std::move(runs[best]);
 }
 
 }  // namespace fa::stats

@@ -23,9 +23,16 @@ struct KMeansResult {
 struct KMeansOptions {
   int k = 2;
   int max_iterations = 100;
-  // Restarts with different seedings; the lowest-inertia run is returned.
+  // Restarts with different seedings; the lowest-inertia run is returned
+  // (ties broken by restart index, so the result is schedule-independent).
   int restarts = 4;
   double tolerance = 1e-7;  // relative inertia improvement to keep iterating
+  // Optional deterministic seed centroids (at most k, same dimensionality as
+  // the points). Every restart starts from these; k-means++ draws only the
+  // remaining k - anchors.size() centroids. Used to pin a centroid onto a
+  // known small mode that random seeding would miss (e.g. the ~2% crash
+  // tickets among all problem tickets).
+  std::vector<std::vector<double>> anchors;
 };
 
 // points: n rows, all with the same dimensionality >= 1. Requires n >= k.

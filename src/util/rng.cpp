@@ -26,6 +26,17 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+std::uint64_t Rng::derive_seed(std::uint64_t seed, std::uint64_t stream,
+                               std::uint64_t index) {
+  // Three rounds of splitmix64 over a mix of the inputs; each input is
+  // pre-multiplied by a distinct odd constant so (seed, stream, index)
+  // triples that differ in any coordinate land in unrelated streams.
+  std::uint64_t sm = seed;
+  sm ^= splitmix64(sm) + stream * 0xd1342543de82ef95ULL;
+  sm ^= splitmix64(sm) + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(sm);
+}
+
 Rng Rng::fork(std::uint64_t stream_id) {
   // Mix the stream id with fresh output so sibling streams are decorrelated.
   std::uint64_t sm = next_u64() ^ (stream_id * 0xd1342543de82ef95ULL + 1);

@@ -19,6 +19,14 @@ class Rng {
   // machine its own generator so population changes don't shift other draws.
   Rng fork(std::uint64_t stream_id);
 
+  // Counter-based stream derivation: a seed for work item `index` of the
+  // named `stream` under a root `seed`. Unlike fork(), this consumes no
+  // generator state, so `Rng(derive_seed(seed, stream, index))` can be
+  // constructed independently for every item of a parallel loop — the basis
+  // of the bit-identical serial/parallel guarantee (see docs/SCHEMA.md).
+  static std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream,
+                                   std::uint64_t index = 0);
+
   std::uint64_t next_u64();
 
   // Uniform in [0, 1).

@@ -1,0 +1,147 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace fa {
+
+// One parallel_for invocation: an atomic work counter the caller and every
+// worker drain together, plus completion bookkeeping. Held by shared_ptr so
+// a straggler worker that wakes late can still probe the (already drained)
+// counter safely.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void run_slice() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::thread::hardware_concurrency();
+    if (thread_count == 0) thread_count = 1;
+  }
+  // The calling thread participates in every parallel_for, so a pool of
+  // size N needs N-1 dedicated workers.
+  if (thread_count > 1) threads_.reserve(thread_count - 1);
+  for (std::size_t i = 0; i + 1 < thread_count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Batch> previous;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] {
+        return shutting_down_ || (batch_ && batch_ != previous);
+      });
+      if (shutting_down_) return;
+      batch = batch_;
+    }
+    batch->run_slice();
+    // Remember the batch we just drained so the next wait doesn't re-enter
+    // it if the caller has not retired it yet.
+    previous = std::move(batch);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = batch;
+  }
+  work_available_.notify_all();
+  batch->run_slice();
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->all_done.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) >= batch->n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.reset();
+  }
+  work_available_.notify_all();
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_requested_threads = 0;  // 0 = hardware concurrency
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_requested_threads);
+  return *g_pool;
+}
+
+void ThreadPool::set_default_thread_count(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (threads == g_requested_threads && g_pool) return;
+  g_requested_threads = threads;
+  g_pool.reset();  // lazily rebuilt at the new size on next use
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_requested_threads;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const std::size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace fa

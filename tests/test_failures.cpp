@@ -28,8 +28,7 @@ class FailuresTest : public ::testing::Test {
       const HazardModel hazard(config(), fleet());
       trace::TraceDatabase db;
       for (const auto& s : fleet().servers) db.add_server(s);
-      Rng rng(9);
-      return generate_failures(config(), fleet(), hazard, db, rng);
+      return generate_failures(config(), fleet(), hazard, db);
     }();
     return e;
   }
@@ -135,9 +134,8 @@ TEST_F(FailuresTest, DeterministicForSeed) {
     db1.add_server(s);
     db2.add_server(s);
   }
-  Rng r1(33), r2(33);
-  const auto a = generate_failures(config(), fleet(), hazard, db1, r1);
-  const auto b = generate_failures(config(), fleet(), hazard, db2, r2);
+  const auto a = generate_failures(config(), fleet(), hazard, db1);
+  const auto b = generate_failures(config(), fleet(), hazard, db2);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].server, b[i].server);

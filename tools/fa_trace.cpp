@@ -20,11 +20,17 @@
 //
 //   fa_trace transitions DIR
 //       Print the same-server weekly failure class-transition matrix.
+//
+// Global flags (any command):
+//   --threads N   worker threads for parallel stages (0 = all cores)
+//   --no-cache    disable the in-process artifact cache
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/analysis/artifact_cache.h"
 #include "src/analysis/failure_rates.h"
 #include "src/analysis/interfailure.h"
 #include "src/analysis/pipeline.h"
@@ -40,6 +46,7 @@
 #include "src/trace/csv_io.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -52,8 +59,19 @@ int usage() {
          "  fa_trace report DIR\n"
          "  fa_trace classify DIR\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
-         "  fa_trace transitions DIR\n";
+         "  fa_trace transitions DIR\n"
+         "global flags: --threads N, --no-cache\n";
   return 2;
+}
+
+// Loads a CSV trace and runs the analysis pipeline over it, sharing both
+// artifacts through the process-wide cache (so a future multi-command mode
+// pays for each trace once).
+analysis::AnalysisContext loaded_context(const std::string& dir) {
+  auto db = std::make_shared<const trace::TraceDatabase>(
+      trace::load_database(dir));
+  auto pipeline = analysis::ArtifactCache::global().pipeline(db);
+  return {std::move(db), std::move(pipeline)};
 }
 
 int cmd_simulate(const std::vector<std::string>& args) {
@@ -78,7 +96,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
 
   auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
   if (have_seed) config.seed = seed;
-  const auto db = sim::simulate(config);
+  const auto db_ptr = analysis::ArtifactCache::global().database(config);
+  const trace::TraceDatabase& db = *db_ptr;
   const auto validation = sim::validate_trace(db, config);
   trace::save_database(db, out);
   std::cout << "wrote " << db.servers().size() << " servers, "
@@ -88,8 +107,9 @@ int cmd_simulate(const std::vector<std::string>& args) {
 }
 
 int cmd_report(const std::string& dir) {
-  const auto db = trace::load_database(dir);
-  const analysis::AnalysisPipeline pipeline(db);
+  const auto ctx = loaded_context(dir);
+  const trace::TraceDatabase& db = *ctx.db;
+  const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
   const auto& failures = pipeline.failures();
 
   std::cout << "trace: " << db.servers().size() << " servers ("
@@ -152,8 +172,8 @@ int cmd_report(const std::string& dir) {
 }
 
 int cmd_classify(const std::string& dir) {
-  const auto db = trace::load_database(dir);
-  const analysis::AnalysisPipeline pipeline(db);
+  const auto ctx = loaded_context(dir);
+  const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
   const auto& result = pipeline.classification();
 
   analysis::TextTable table({"class", "tickets", "share"});
@@ -174,8 +194,9 @@ int cmd_classify(const std::string& dir) {
 
 int cmd_fit(const std::string& dir, const std::string& metric,
             const std::string& type_name) {
-  const auto db = trace::load_database(dir);
-  const analysis::AnalysisPipeline pipeline(db);
+  const auto ctx = loaded_context(dir);
+  const trace::TraceDatabase& db = *ctx.db;
+  const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
   const auto type = trace::machine_type_from_string(
       type_name == "pm" ? "PM" : type_name == "vm" ? "VM" : type_name);
   const analysis::Scope scope{type, std::nullopt};
@@ -207,8 +228,9 @@ int cmd_fit(const std::string& dir, const std::string& metric,
 }
 
 int cmd_transitions(const std::string& dir) {
-  const auto db = trace::load_database(dir);
-  const analysis::AnalysisPipeline pipeline(db);
+  const auto ctx = loaded_context(dir);
+  const trace::TraceDatabase& db = *ctx.db;
+  const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
   const auto result = analysis::analyze_transitions(
       db, pipeline.failures(), pipeline.class_lookup(), kMinutesPerWeek);
 
@@ -231,7 +253,18 @@ int cmd_transitions(const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-cache") {
+      fa::analysis::ArtifactCache::global().set_enabled(false);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      fa::ThreadPool::set_default_thread_count(
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else {
+      args.push_back(arg);
+    }
+  }
   if (args.empty()) return usage();
   try {
     const std::string& command = args[0];
