@@ -1,14 +1,17 @@
 // Performance toolkit. Default mode times the pipeline stages (simulate,
-// classify) serial vs parallel and cache-cold vs cache-warm, checks that the
-// parallel trace is identical to the serial one, and writes the results to
-// BENCH_perf.json (machine-readable; path override: --json PATH). The
-// google-benchmark microbenchmarks of the underlying kernels (fitting,
-// ECDF, k-means, extraction) run with --micro, which accepts the usual
-// --benchmark_* flags.
+// classify) serial vs parallel and cache-cold vs cache-warm, breaks the
+// classify stage into vectorize/kmeans sub-stages timed dense vs sparse
+// (with an assignments-identical cross-check), checks that the parallel
+// trace is identical to the serial one, and writes the results to
+// BENCH_perf.json (machine-readable; path override: --json PATH; fleet
+// size: --scale F, default 0.3). The google-benchmark microbenchmarks of
+// the underlying kernels (fitting, ECDF, k-means, extraction) run with
+// --micro, which accepts the usual --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,8 +62,13 @@ struct StageTiming {
   double parallel_ms = 0.0;
 };
 
-int run_stage_report(const std::string& json_path) {
-  const double scale = 0.3;
+struct SubStageTiming {
+  std::string name;
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+};
+
+int run_stage_report(double scale, const std::string& json_path) {
   const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
   const std::size_t hw = ThreadPool::hardware_threads();
   std::vector<StageTiming> stages;
@@ -88,6 +96,44 @@ int run_stage_report(const std::string& json_path) {
   const analysis::AnalysisPipeline parallel_pipeline(parallel_db);
   const double classify_parallel = ms_since(t0);
   stages.push_back({"classify", classify_serial, classify_parallel});
+
+  // classify sub-stages, dense vs sparse, on the crash-extraction shape:
+  // TF-IDF over every ticket description, then anchored 24-cluster k-means.
+  // The dense path is the reference implementation; the sparse path is what
+  // production classification runs, and its assignments must match.
+  ThreadPool::set_default_thread_count(0);
+  std::vector<SubStageTiming> substages;
+  bool sparse_matches_dense = false;
+  {
+    std::vector<std::string> corpus;
+    corpus.reserve(parallel_db.tickets().size());
+    for (const auto& t : parallel_db.tickets()) corpus.push_back(t.description);
+    text::VectorizerOptions vec_options;
+    vec_options.min_document_frequency = 3;
+    const auto vectorizer = text::Vectorizer::fit(corpus, vec_options);
+    t0 = Clock::now();
+    const auto dense_features = vectorizer.transform_all(corpus);
+    const double vectorize_dense = ms_since(t0);
+    t0 = Clock::now();
+    const auto sparse_features = vectorizer.transform_all_sparse(corpus);
+    const double vectorize_sparse = ms_since(t0);
+    substages.push_back({"vectorize", vectorize_dense, vectorize_sparse});
+
+    stats::KMeansOptions km;
+    km.k = 24;
+    km.restarts = 3;
+    km.anchors.push_back(dense_features.front());
+    Rng dense_rng(13);
+    t0 = Clock::now();
+    const auto dense_run = stats::kmeans(dense_features, km, dense_rng);
+    const double kmeans_dense = ms_since(t0);
+    Rng sparse_rng(13);
+    t0 = Clock::now();
+    const auto sparse_run = stats::kmeans(sparse_features, km, sparse_rng);
+    const double kmeans_sparse = ms_since(t0);
+    substages.push_back({"kmeans", kmeans_dense, kmeans_sparse});
+    sparse_matches_dense = dense_run.assignment == sparse_run.assignment;
+  }
 
   // simulate+classify through the artifact cache: cold miss vs warm hit.
   auto& cache = analysis::ArtifactCache::global();
@@ -123,6 +169,19 @@ int run_stage_report(const std::string& json_path) {
                  i + 1 < stages.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"classify_substages\": [\n");
+  for (std::size_t i = 0; i < substages.size(); ++i) {
+    const SubStageTiming& s = substages[i];
+    const double speedup = s.sparse_ms > 0.0 ? s.dense_ms / s.sparse_ms : 0.0;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"dense_ms\": %.3f, "
+                 "\"sparse_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 s.name.c_str(), s.dense_ms, s.sparse_ms, speedup,
+                 i + 1 < substages.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"sparse_matches_dense\": %s,\n",
+               sparse_matches_dense ? "true" : "false");
   std::fprintf(out, "  \"cache\": {\n");
   std::fprintf(out, "    \"cold_ms\": %.3f,\n", cache_cold);
   std::fprintf(out, "    \"warm_ms\": %.3f,\n", cache_warm);
@@ -140,10 +199,17 @@ int run_stage_report(const std::string& json_path) {
               simulate_serial, simulate_parallel, identical ? "yes" : "NO");
   std::printf("classify: serial %.1f ms, parallel %.1f ms\n", classify_serial,
               classify_parallel);
+  for (const SubStageTiming& s : substages) {
+    std::printf("  %-9s dense %.1f ms, sparse %.1f ms (%.1fx)\n",
+                s.name.c_str(), s.dense_ms, s.sparse_ms,
+                s.sparse_ms > 0.0 ? s.dense_ms / s.sparse_ms : 0.0);
+  }
+  std::printf("  sparse assignments match dense: %s\n",
+              sparse_matches_dense ? "yes" : "NO");
   std::printf("cache:    cold %.1f ms, warm %.3f ms (shared: %s)\n",
               cache_cold, cache_warm, cache_shared ? "yes" : "NO");
   std::printf("wrote %s\n", json_path.c_str());
-  return identical && cache_shared ? 0 : 1;
+  return identical && cache_shared && sparse_matches_dense ? 0 : 1;
 }
 
 std::vector<double> gamma_sample(std::size_t n) {
@@ -257,6 +323,7 @@ BENCHMARK(BM_RecurrenceAnalysis);
 
 int main(int argc, char** argv) {
   bool micro = false;
+  double scale = 0.3;
   std::string json_path = "BENCH_perf.json";
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -265,11 +332,13 @@ int main(int argc, char** argv) {
       micro = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!micro) return run_stage_report(json_path);
+  if (!micro) return run_stage_report(scale, json_path);
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();

@@ -15,8 +15,9 @@ std::vector<const trace::Ticket*> extract_crash_tickets(
     const trace::TraceDatabase& db) {
   const auto symptoms = text::crash_symptoms();
   std::vector<const trace::Ticket*> out;
+  std::string description;  // reused across tickets; lowering is the hot loop
   for (const trace::Ticket& t : db.tickets()) {
-    const std::string description = to_lower(t.description);
+    to_lower_into(t.description, description);
     for (std::string_view symptom : symptoms) {
       if (description.find(symptom) != std::string::npos) {
         out.push_back(&t);
@@ -39,7 +40,11 @@ CrashExtractionResult extract_crash_tickets_clustered(
   text::VectorizerOptions vec_options;
   vec_options.min_document_frequency = 3;
   const auto vectorizer = text::Vectorizer::fit(corpus, vec_options);
-  const auto features = vectorizer.transform_all(corpus);
+  // Sparse path end to end: CSR features (no dense intermediate) and the
+  // bound-pruned sparse k-means overload. The dense path remains as the
+  // reference implementation; tests/test_sparse_features.cpp pins that both
+  // produce identical assignments, labels and accuracy.
+  const auto features = vectorizer.transform_all_sparse(corpus);
 
   // Distinctive symptom vocabulary: words of the symptom phrases that are
   // not generic datacenter jargon ("server", "host", "monitoring" appear in
@@ -70,11 +75,12 @@ CrashExtractionResult extract_crash_tickets_clustered(
   // background tickets during Lloyd iterations.
   std::size_t anchor_doc = 0;
   double anchor_share = 0.0;
-  for (std::size_t i = 0; i < features.size(); ++i) {
+  for (std::size_t i = 0; i < features.rows(); ++i) {
     double symptom = 0.0, total = 0.0;
-    for (std::size_t d = 0; d < features[i].size(); ++d) {
-      total += features[i][d];
-      if (symptom_dim[d]) symptom += features[i][d];
+    const auto row = features.row(i);
+    for (std::size_t e = 0; e < row.size(); ++e) {
+      total += row.values[e];
+      if (symptom_dim[row.indices[e]]) symptom += row.values[e];
     }
     const double share = total > 0.0 ? symptom / total : 0.0;
     if (share > anchor_share) {
@@ -85,7 +91,7 @@ CrashExtractionResult extract_crash_tickets_clustered(
   stats::KMeansOptions km;
   km.k = 24;
   km.restarts = 3;
-  if (anchor_share > 0.0) km.anchors.push_back(features[anchor_doc]);
+  if (anchor_share > 0.0) km.anchors.push_back(features.row_dense(anchor_doc));
   const auto clustering = stats::kmeans(features, km, rng);
 
   // Symptom share of each centroid's total mass. The share (rather than the
@@ -162,7 +168,8 @@ ClassificationResult classify_tickets(
   text::VectorizerOptions vec_options;
   vec_options.min_document_frequency = options.min_document_frequency;
   const auto vectorizer = text::Vectorizer::fit(corpus, vec_options);
-  const auto features = vectorizer.transform_all(corpus);
+  // CSR features + sparse k-means (see extract_crash_tickets_clustered).
+  const auto features = vectorizer.transform_all_sparse(corpus);
 
   stats::KMeansOptions km;
   km.k = options.clusters;

@@ -1,5 +1,6 @@
 #include "src/stats/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -37,6 +38,9 @@ std::vector<std::vector<double>> seed_plus_plus(
       if (static_cast<int>(centroids.size()) >= k) break;
       centroids.push_back(anchor);
     }
+    // Anchors filling all k centroids leave nothing for k-means++ to draw:
+    // the O(n * |anchors|) d2 pass below would be dead work.
+    if (static_cast<int>(centroids.size()) >= k) return centroids;
     for (std::size_t i = 0; i < points.size(); ++i) {
       for (const auto& c : centroids) {
         d2[i] = std::min(d2[i], squared_distance(points[i], c));
@@ -125,6 +129,228 @@ KMeansResult run_once(std::span<const std::vector<double>> points,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Sparse fast path. Distances use ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2
+// over each row's nonzeros; the assignment step keeps Hamerly-style bounds
+// and runs over chunks whose boundaries depend only on n, with a serial
+// in-order reduction, so results are bit-identical at any thread count.
+
+double dense_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += a[i] * b[i];
+  return d;
+}
+
+double sparse_sq_dist(const SparseMatrix& points, std::size_t i,
+                      const std::vector<double>& centroid,
+                      double centroid_norm_sq) {
+  const double d = points.row_norm_sq(i) -
+                   2.0 * points.dot_dense(i, centroid) + centroid_norm_sq;
+  return d > 0.0 ? d : 0.0;  // the expansion can go negative by rounding
+}
+
+// Fixed-size chunking for parallel loops over points: boundaries are a
+// function of n alone (never of the thread count), which is what keeps the
+// parallel assignment step deterministic.
+constexpr std::size_t kAssignChunk = 2048;
+
+void parallel_chunks(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t chunks = (n + kAssignChunk - 1) / kAssignChunk;
+  parallel_for(chunks, [&](std::size_t c) {
+    body(c * kAssignChunk, std::min(n, (c + 1) * kAssignChunk));
+  });
+}
+
+std::vector<std::vector<double>> seed_plus_plus_sparse(
+    const SparseMatrix& points, const KMeansOptions& options, Rng& rng) {
+  const int k = options.k;
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  const auto n = static_cast<std::int64_t>(points.rows());
+  std::vector<double> d2(points.rows(),
+                         std::numeric_limits<double>::infinity());
+  const auto lower_onto = [&](const std::vector<double>& c) {
+    const double cn = dense_dot(c, c);
+    parallel_chunks(points.rows(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        d2[i] = std::min(d2[i], sparse_sq_dist(points, i, c, cn));
+      }
+    });
+  };
+  if (options.anchors.empty()) {
+    centroids.push_back(
+        points.row_dense(static_cast<std::size_t>(rng.uniform_int(0, n - 1))));
+  } else {
+    // Anchors first; k-means++ continues conditioned on them. As in the
+    // dense path, anchors filling all k centroids skip the d2 pass.
+    for (const auto& anchor : options.anchors) {
+      if (static_cast<int>(centroids.size()) >= k) break;
+      centroids.push_back(anchor);
+    }
+    if (static_cast<int>(centroids.size()) >= k) return centroids;
+    for (const auto& c : centroids) lower_onto(c);
+  }
+  while (static_cast<int>(centroids.size()) < k) {
+    lower_onto(centroids.back());
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t chosen = points.rows() - 1;
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      r -= d2[i];
+      if (r < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points.row_dense(chosen));
+  }
+  return centroids;
+}
+
+KMeansResult run_once_sparse(const SparseMatrix& points,
+                             const KMeansOptions& options, Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const auto k = static_cast<std::size_t>(options.k);
+  KMeansResult result;
+  result.centroids = seed_plus_plus_sparse(points, options, rng);
+  result.assignment.assign(n, -1);
+
+  // Hamerly state, on Euclidean (not squared) distances. upper[i] is made
+  // exact every iteration (the recomputation is only O(nnz(x)) and its
+  // square is the point's inertia term); lower[i] bounds the distance to
+  // the runner-up centroid from below; half_sep[c] is half the distance
+  // from centroid c to its nearest other centroid. Invariant between
+  // iterations: upper[i] >= d(x_i, c_assigned), lower[i] <= d(x_i, c) for
+  // every c != assigned.
+  std::vector<double> upper(n, 0.0), lower(n, 0.0), d_sq(n, 0.0);
+  std::vector<double> centroid_norm_sq(k, 0.0);
+  std::vector<double> half_sep(k, 0.0);
+  std::vector<double> moved(k, 0.0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    for (std::size_t c = 0; c < k; ++c) {
+      centroid_norm_sq[c] =
+          dense_dot(result.centroids[c], result.centroids[c]);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t o = 0; o < k; ++o) {
+        if (o == c) continue;
+        nearest = std::min(
+            nearest, squared_distance(result.centroids[c], result.centroids[o]));
+      }
+      half_sep[c] = 0.5 * std::sqrt(nearest);
+    }
+
+    // Assignment step: chunk-parallel, every write lands in a per-point slot.
+    parallel_chunks(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const int a = result.assignment[i];
+        if (a >= 0) {
+          const auto ac = static_cast<std::size_t>(a);
+          const double sq = sparse_sq_dist(points, i, result.centroids[ac],
+                                           centroid_norm_sq[ac]);
+          const double d_a = std::sqrt(sq);
+          upper[i] = d_a;
+          d_sq[i] = sq;
+          // Hamerly test: the assigned centroid is certainly still nearest
+          // when its exact distance is within both the runner-up lower
+          // bound and half the separation to the nearest other centroid.
+          if (d_a <= std::max(lower[i], half_sep[ac])) continue;
+        }
+        double best_sq = std::numeric_limits<double>::infinity();
+        double second_sq = std::numeric_limits<double>::infinity();
+        int best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          const double sq =
+              sparse_sq_dist(points, i, result.centroids[c],
+                             centroid_norm_sq[c]);
+          if (sq < best_sq) {
+            second_sq = best_sq;
+            best_sq = sq;
+            best_c = static_cast<int>(c);
+          } else if (sq < second_sq) {
+            second_sq = sq;
+          }
+        }
+        result.assignment[i] = best_c;
+        upper[i] = std::sqrt(best_sq);
+        lower[i] = std::sqrt(second_sq);
+        d_sq[i] = best_sq;
+      }
+    });
+
+    // Serial in-order reduction: inertia plus cluster sums/counts. This is
+    // O(total nonzeros) — negligible next to the distance scans — and its
+    // fixed order is what makes the result thread-count independent.
+    double inertia = 0.0;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      inertia += d_sq[i];
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      const auto row = points.row(i);
+      auto& sum = sums[c];
+      for (std::size_t e = 0; e < row.size(); ++e) {
+        sum[row.indices[e]] += row.values[e];
+      }
+    }
+    result.inertia = inertia;
+
+    // Update step, tracking how far each centroid moved.
+    double max_moved = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto& centroid = result.centroids[c];
+      double moved_sq = 0.0;
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point; the movement
+        // bookkeeping below keeps the bounds valid even for this jump.
+        auto reseeded = points.row_dense(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+        moved_sq = squared_distance(centroid, reseeded);
+        centroid = std::move(reseeded);
+      } else {
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double mean = sums[c][d] / static_cast<double>(counts[c]);
+          const double diff = mean - centroid[d];
+          moved_sq += diff * diff;
+          centroid[d] = mean;
+        }
+      }
+      moved[c] = std::sqrt(moved_sq);
+      max_moved = std::max(max_moved, moved[c]);
+    }
+
+    if (prev_inertia - inertia <=
+        options.tolerance * std::max(prev_inertia, 1e-300)) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+
+    // Carry the bounds across the centroid move: the assigned centroid
+    // moved by moved[a], every other centroid by at most max_moved.
+    for (std::size_t i = 0; i < n; ++i) {
+      upper[i] += moved[static_cast<std::size_t>(result.assignment[i])];
+      lower[i] -= max_moved;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 KMeansResult kmeans(std::span<const std::vector<double>> points,
@@ -158,6 +384,36 @@ KMeansResult kmeans(std::span<const std::vector<double>> points,
     if (runs[r].inertia < runs[best].inertia) best = r;
   }
   return std::move(runs[best]);
+}
+
+KMeansResult kmeans(const SparseMatrix& points, const KMeansOptions& options,
+                    Rng& rng) {
+  require(options.k >= 1, "kmeans: k must be >= 1");
+  require(points.rows() >= static_cast<std::size_t>(options.k),
+          "kmeans: need at least k points");
+  require(options.restarts >= 1, "kmeans: need at least one restart");
+  require(points.cols() >= 1, "kmeans: zero-dimensional points");
+  for (const auto& anchor : options.anchors) {
+    require(anchor.size() == points.cols(),
+            "kmeans: anchor dimensionality mismatch");
+  }
+
+  // Same restart discipline as the dense overload (restart RNGs forked
+  // serially up front, winner picked by (inertia, restart index)), but the
+  // restarts themselves run serially: the parallelism lives inside the
+  // chunked assignment step, and nested parallel regions are unsupported.
+  std::vector<Rng> restart_rngs;
+  restart_rngs.reserve(static_cast<std::size_t>(options.restarts));
+  for (int r = 0; r < options.restarts; ++r) {
+    restart_rngs.push_back(rng.fork(static_cast<std::uint64_t>(r)));
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < restart_rngs.size(); ++r) {
+    auto run = run_once_sparse(points, options, restart_rngs[r]);
+    if (r == 0 || run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
 }
 
 }  // namespace fa::stats

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "src/stats/sparse_matrix.h"
 #include "src/util/rng.h"
 
 namespace fa::stats {
@@ -38,5 +39,19 @@ struct KMeansOptions {
 // points: n rows, all with the same dimensionality >= 1. Requires n >= k.
 KMeansResult kmeans(std::span<const std::vector<double>> points,
                     const KMeansOptions& options, Rng& rng);
+
+// Sparse fast path over a CSR document-term matrix: identical semantics and
+// anchor handling to the dense overload (centroids stay dense, anchors are
+// dense). Point-to-centroid distances use the
+// ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 expansion over only the row's
+// nonzeros, and the assignment step keeps Hamerly-style upper/lower bounds
+// so points whose nearest centroid cannot have changed skip the full
+// centroid scan. The assignment step is chunk-parallel with chunk
+// boundaries fixed by n alone and a serial in-order reduction, so the
+// result is bit-identical at any thread count (see docs/PERF.md). Restarts
+// run serially; the per-point parallelism replaces the dense overload's
+// per-restart parallelism.
+KMeansResult kmeans(const SparseMatrix& points, const KMeansOptions& options,
+                    Rng& rng);
 
 }  // namespace fa::stats

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 
 #include "src/util/error.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::text {
 
@@ -15,20 +16,38 @@ Vectorizer Vectorizer::fit(std::span<const std::string> documents,
   require(options.min_document_frequency >= 1,
           "Vectorizer::fit: min_document_frequency must be >= 1");
 
-  // Document frequency per word; std::map keeps the vocabulary ordering
-  // deterministic across platforms.
-  std::map<std::string, int> doc_freq;
-  for (const std::string& doc : documents) {
-    auto words = fa::tokenize_words(doc);
-    std::sort(words.begin(), words.end());
-    words.erase(std::unique(words.begin(), words.end()), words.end());
-    for (auto& w : words) ++doc_freq[w];
+  // Document frequency per word in one hash-map pass: `last_doc` dedups
+  // repeated words within a document without sorting each document's token
+  // list. The vocabulary order is fixed by a single sort at the end, so it
+  // stays deterministic (and identical to the former std::map-based pass).
+  struct WordStat {
+    int df = 0;
+    std::size_t last_doc = std::numeric_limits<std::size_t>::max();
+  };
+  std::unordered_map<std::string, WordStat> doc_freq;
+  for (std::size_t doc = 0; doc < documents.size(); ++doc) {
+    for (auto& w : fa::tokenize_words(documents[doc])) {
+      WordStat& stat = doc_freq[std::move(w)];
+      if (stat.last_doc != doc) {
+        stat.last_doc = doc;
+        ++stat.df;
+      }
+    }
   }
+  std::vector<std::pair<std::string, int>> kept;  // (word, df)
+  kept.reserve(doc_freq.size());
+  for (auto& [word, stat] : doc_freq) {
+    if (stat.df >= options.min_document_frequency) {
+      kept.emplace_back(word, stat.df);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
 
   Vectorizer v;
   v.options_ = options;
-  for (const auto& [word, df] : doc_freq) {
-    if (df < options.min_document_frequency) continue;
+  v.vocabulary_.reserve(kept.size());
+  v.idf_.reserve(kept.size());
+  for (const auto& [word, df] : kept) {
     v.index_.emplace(word, v.vocabulary_.size());
     v.vocabulary_.push_back(word);
     // Smoothed IDF: ln((1+N)/(1+df)) + 1, never negative.
@@ -66,6 +85,67 @@ std::vector<std::vector<double>> Vectorizer::transform_all(
   out.reserve(documents.size());
   for (const std::string& doc : documents) out.push_back(transform(doc));
   return out;
+}
+
+std::vector<std::pair<std::uint32_t, double>> Vectorizer::transform_sparse(
+    const std::string& document) const {
+  std::vector<std::pair<std::uint32_t, double>> entries;
+  for (const std::string& w : fa::tokenize_words(document)) {
+    const auto it = index_.find(w);
+    if (it != index_.end()) {
+      entries.emplace_back(static_cast<std::uint32_t>(it->second), 1.0);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge duplicate indices by summing counts (small integer sums, so the
+  // term frequencies match the dense accumulation exactly).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].first == entries[i].first) {
+      entries[out - 1].second += entries[i].second;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+  for (auto& [index, value] : entries) value *= idf_[index];
+  if (options_.l2_normalize) {
+    // Entries are index-sorted, so this accumulation visits the same
+    // nonzeros in the same order as the dense norm loop — the normalized
+    // weights come out bit-identical.
+    double norm = 0.0;
+    for (const auto& [index, value] : entries) norm += value * value;
+    if (norm > 0.0) {
+      norm = std::sqrt(norm);
+      for (auto& [index, value] : entries) value /= norm;
+    }
+  }
+  return entries;
+}
+
+stats::SparseMatrix Vectorizer::transform_all_sparse(
+    std::span<const std::string> documents) const {
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> rows(
+      documents.size());
+  parallel_for(documents.size(), [&](std::size_t i) {
+    rows[i] = transform_sparse(documents[i]);
+  });
+  stats::SparseMatrix matrix(dimension());
+  std::vector<std::uint32_t> indices;
+  std::vector<double> values;
+  for (const auto& row : rows) {
+    indices.clear();
+    values.clear();
+    indices.reserve(row.size());
+    values.reserve(row.size());
+    for (const auto& [index, value] : row) {
+      indices.push_back(index);
+      values.push_back(value);
+    }
+    matrix.append_row(indices, values);
+  }
+  return matrix;
 }
 
 }  // namespace fa::text

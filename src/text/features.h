@@ -2,10 +2,14 @@
 // k-means ticket classifier (paper Section III-A).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "src/stats/sparse_matrix.h"
 
 namespace fa::text {
 
@@ -27,6 +31,19 @@ class Vectorizer {
 
   std::vector<double> transform(const std::string& document) const;
   std::vector<std::vector<double>> transform_all(
+      std::span<const std::string> documents) const;
+
+  // Sparse counterparts: (vocabulary index, weight) entries sorted by index.
+  // Weights are bit-identical to the nonzeros of transform() — the dense
+  // path is the reference implementation, kept for cross-checking. A
+  // document with no in-vocabulary word yields an empty row.
+  std::vector<std::pair<std::uint32_t, double>> transform_sparse(
+      const std::string& document) const;
+  // CSR matrix with one row per document and dimension() columns, built
+  // without a dense intermediate. Documents are transformed in parallel
+  // into per-document slots and committed in corpus order (deterministic at
+  // any thread count).
+  stats::SparseMatrix transform_all_sparse(
       std::span<const std::string> documents) const;
 
   std::size_t dimension() const { return vocabulary_.size(); }

@@ -35,6 +35,14 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+void to_lower_into(std::string_view s, std::string& out) {
+  out.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    out[i] =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+  }
+}
+
 std::string trim(std::string_view s) {
   std::size_t b = 0, e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;

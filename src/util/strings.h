@@ -11,6 +11,9 @@ namespace fa {
 std::vector<std::string> split(std::string_view s, char delim);
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 std::string to_lower(std::string_view s);
+// Lowercases `s` into `out`, reusing out's capacity — for hot loops that
+// would otherwise allocate a fresh string per item.
+void to_lower_into(std::string_view s, std::string& out);
 std::string trim(std::string_view s);
 bool starts_with(std::string_view s, std::string_view prefix);
 

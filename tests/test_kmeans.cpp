@@ -108,6 +108,21 @@ TEST(KMeans, RejectsBadArguments) {
   EXPECT_THROW(kmeans(ragged, options, rng), Error);
 }
 
+TEST(KMeans, AnchorsFillingAllClustersSeedEveryCentroid) {
+  // k anchors leave nothing for k-means++ to draw; seeding must use them
+  // as-is (and skip its distance-initialization pass entirely).
+  const std::vector<std::vector<double>> points = {
+      {0.0, 0.0}, {0.5, 0.0}, {10.0, 0.0}, {10.5, 0.0}};
+  KMeansOptions options;
+  options.k = 2;
+  options.restarts = 1;
+  options.anchors = {{0.0, 0.0}, {10.0, 0.0}};
+  Rng rng(10);
+  const auto result = kmeans(points, options, rng);
+  EXPECT_EQ(result.assignment, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_TRUE(result.converged);
+}
+
 TEST(KMeans, RestartsPickLowestInertia) {
   Rng rng(8);
   const auto points = blobs(rng, 30);
