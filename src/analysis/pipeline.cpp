@@ -1,5 +1,6 @@
 #include "src/analysis/pipeline.h"
 
+#include "src/trace/csv_io.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 
@@ -26,6 +27,21 @@ trace::FailureClass AnalysisPipeline::class_of(
 
 ClassLookup AnalysisPipeline::class_lookup() const {
   return [this](const trace::Ticket& t) { return class_of(t); };
+}
+
+LenientAnalysisResult analyze_lenient(const std::string& directory,
+                                      std::uint64_t seed,
+                                      ClassifierOptions options) {
+  LenientAnalysisResult result;
+  auto sanitized = trace::sanitize_database(directory);
+  result.tickets_dropped =
+      sanitized.report.rows_dropped(trace::kTicketsFile);
+  result.report = std::move(sanitized.report);
+  result.db = std::make_shared<const trace::TraceDatabase>(
+      std::move(sanitized.db));
+  result.pipeline =
+      std::make_shared<const AnalysisPipeline>(*result.db, seed, options);
+  return result;
 }
 
 }  // namespace fa::analysis

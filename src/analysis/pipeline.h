@@ -3,12 +3,15 @@
 // analysis (and every bench binary) consumes.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/analysis/classification.h"
 #include "src/analysis/interfailure.h"
 #include "src/trace/database.h"
+#include "src/trace/sanitize.h"
 
 namespace fa::analysis {
 
@@ -40,5 +43,26 @@ class AnalysisPipeline {
   ClassificationResult classification_;
   std::unordered_map<trace::TicketId, trace::FailureClass> predicted_;
 };
+
+// Result of the lenient (sanitizing) analysis entry point: the cleaned
+// database, the pipeline run over it, and the sanitization accounting —
+// in particular how many ticket rows never reached crash extraction /
+// classification because they were quarantined or dropped by repair rules.
+struct LenientAnalysisResult {
+  std::shared_ptr<const trace::TraceDatabase> db;
+  std::shared_ptr<const AnalysisPipeline> pipeline;
+  trace::SanitizationReport report;
+  // Ticket rows present in tickets.csv that were dropped before the
+  // pipeline saw them (quarantines + dedup/orphan drops + cascades).
+  std::size_t tickets_dropped = 0;
+};
+
+// Loads `directory` through trace::sanitize_database instead of the strict
+// loader, then runs the standard pipeline on the repaired database. Strict
+// loading stays the default everywhere else; call this for exports known
+// (or suspected) to be dirty.
+LenientAnalysisResult analyze_lenient(const std::string& directory,
+                                      std::uint64_t seed = 7,
+                                      ClassifierOptions options = {});
 
 }  // namespace fa::analysis

@@ -1,0 +1,321 @@
+#include "src/inject/corruptor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/seed_streams.h"
+#include "src/trace/csv_io.h"
+#include "src/util/csv.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace fa::inject {
+namespace {
+
+using trace::DefectClass;
+using sim::SeedStream;
+using sim::stream_rng;
+
+// Defect classes injected per tickets.csv row, in cumulative-draw order.
+// The order is part of the determinism contract: reordering would reseat
+// every row's defect under an unchanged seed.
+constexpr std::array<DefectClass, 6> kTicketClasses = {
+    DefectClass::kUnparseableField, DefectClass::kDuplicateId,
+    DefectClass::kOutOfWindowTimestamp, DefectClass::kEndBeforeOpen,
+    DefectClass::kOrphanReference, DefectClass::kUnknownEnum};
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "corrupt_database: cannot open " + path);
+  return in;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "corrupt_database: cannot open " + path);
+  return out;
+}
+
+void copy_verbatim(const std::string& in_dir, const std::string& out_dir,
+                   const std::string& file, bool required = true) {
+  const std::string src = in_dir + "/" + file;
+  if (!required && !std::filesystem::exists(src)) return;
+  require(std::filesystem::exists(src),
+          "corrupt_database: missing " + src);
+  std::filesystem::copy_file(src, out_dir + "/" + file,
+                             std::filesystem::copy_options::overwrite_existing);
+}
+
+// The ticket observation window of the input export (meta.csv, or the
+// paper's default), needed to place out-of-window shifts.
+ObservationWindow read_ticket_window(const std::string& in_dir) {
+  ObservationWindow window = ticket_window();
+  const std::string path = in_dir + "/" + trace::kMetaFile;
+  if (!std::filesystem::exists(path)) return window;
+  auto in = open_in(path);
+  CsvReader r(in);
+  trace::expect_header(r, trace::meta_header(), path);
+  std::vector<std::string> row;
+  while (r.read_row(row)) {
+    require(row.size() == 3, "corrupt_database: bad row in " + path);
+    if (row[0] == "ticket") {
+      window = {parse_int(row[1]), parse_int(row[2])};
+    }
+  }
+  return window;
+}
+
+std::size_t count_data_rows(const std::string& path,
+                            const std::vector<std::string>& header) {
+  auto in = open_in(path);
+  CsvReader r(in);
+  trace::expect_header(r, header, path);
+  std::vector<std::string> row;
+  std::size_t n = 0;
+  while (r.read_row(row)) ++n;
+  return n;
+}
+
+// Picks a defect for one row: walks `classes` with their mix rates against
+// a single uniform draw. Returns nullopt for "leave the row clean".
+template <typename Classes>
+std::optional<DefectClass> draw_defect(Rng& rng, const DefectMix& mix,
+                                       const Classes& classes) {
+  double total = 0.0;
+  for (DefectClass cls : classes) total += mix.rate(cls);
+  require(total <= 1.0,
+          "corrupt_database: defect rates for one file exceed 1.0");
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (DefectClass cls : classes) {
+    acc += mix.rate(cls);
+    if (u < acc) return cls;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DefectMix DefectMix::uniform(double rate) {
+  DefectMix mix;
+  for (DefectClass cls : trace::kAllDefectClasses) mix.set_rate(cls, rate);
+  return mix;
+}
+
+double DefectMix::rate(DefectClass cls) const {
+  switch (cls) {
+    case DefectClass::kUnparseableField: return unparseable_field;
+    case DefectClass::kNonFiniteNumeric: return non_finite_numeric;
+    case DefectClass::kDuplicateId: return duplicate_id;
+    case DefectClass::kOutOfWindowTimestamp: return out_of_window;
+    case DefectClass::kEndBeforeOpen: return end_before_open;
+    case DefectClass::kOrphanReference: return orphan_reference;
+    case DefectClass::kTruncatedSeries: return truncated_series;
+    case DefectClass::kUnknownEnum: return unknown_enum;
+  }
+  throw Error("DefectMix::rate: invalid DefectClass");
+}
+
+void DefectMix::set_rate(DefectClass cls, double rate) {
+  switch (cls) {
+    case DefectClass::kUnparseableField: unparseable_field = rate; return;
+    case DefectClass::kNonFiniteNumeric: non_finite_numeric = rate; return;
+    case DefectClass::kDuplicateId: duplicate_id = rate; return;
+    case DefectClass::kOutOfWindowTimestamp: out_of_window = rate; return;
+    case DefectClass::kEndBeforeOpen: end_before_open = rate; return;
+    case DefectClass::kOrphanReference: orphan_reference = rate; return;
+    case DefectClass::kTruncatedSeries: truncated_series = rate; return;
+    case DefectClass::kUnknownEnum: unknown_enum = rate; return;
+  }
+  throw Error("DefectMix::set_rate: invalid DefectClass");
+}
+
+std::size_t InjectionReport::total() const {
+  std::size_t n = 0;
+  for (std::size_t c : injected) n += c;
+  return n;
+}
+
+std::string InjectionReport::to_string() const {
+  std::string out =
+      "injection report: " + std::to_string(total()) + " defects\n";
+  for (DefectClass cls : trace::kAllDefectClasses) {
+    const std::size_t n = count(cls);
+    if (n == 0) continue;
+    out += "  " + std::string(trace::to_string(cls)) + ": " +
+           std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+std::string InjectionReport::counts_csv() const {
+  std::string out = "class,count\n";
+  for (DefectClass cls : trace::kAllDefectClasses) {
+    out += std::string(trace::to_string(cls)) + "," +
+           std::to_string(count(cls)) + "\n";
+  }
+  return out;
+}
+
+InjectionReport corrupt_database(const std::string& in_dir,
+                                 const std::string& out_dir,
+                                 std::uint64_t seed, const DefectMix& mix) {
+  require(std::filesystem::weakly_canonical(in_dir) !=
+              std::filesystem::weakly_canonical(out_dir),
+          "corrupt_database: input and output directory must differ");
+  std::filesystem::create_directories(out_dir);
+
+  InjectionReport report;
+  const auto inject = [&](DefectClass cls) {
+    ++report.injected[static_cast<std::size_t>(cls)];
+  };
+
+  // Untargeted tables travel unchanged.
+  copy_verbatim(in_dir, out_dir, trace::kMetaFile, /*required=*/false);
+  copy_verbatim(in_dir, out_dir, trace::kServersFile);
+  copy_verbatim(in_dir, out_dir, trace::kPowerEventsFile);
+  copy_verbatim(in_dir, out_dir, trace::kSnapshotsFile);
+
+  const ObservationWindow window = read_ticket_window(in_dir);
+  const std::size_t n_servers = count_data_rows(
+      in_dir + "/" + trace::kServersFile, trace::servers_header());
+
+  // ---- tickets.csv: per-row defect draw ----
+  {
+    const std::string path = in_dir + "/" + trace::kTicketsFile;
+    auto in = open_in(path);
+    auto out = open_out(out_dir + "/" + trace::kTicketsFile);
+    CsvReader r(in);
+    CsvWriter w(out);
+    trace::expect_header(r, trace::tickets_header(), path);
+    w.write_row(trace::tickets_header());
+    std::vector<std::string> row;
+    std::size_t index = 0;
+    while (r.read_row(row)) {
+      ++index;
+      require(row.size() == 10, "corrupt_database: bad row in " + path);
+      Rng rng = stream_rng(seed, SeedStream::kInjectTicket, index);
+      const auto defect = draw_defect(rng, mix, kTicketClasses);
+      bool duplicate = false;
+      if (defect) {
+        switch (*defect) {
+          case DefectClass::kUnparseableField:
+            row[3] = "bo!gus";
+            inject(*defect);
+            break;
+          case DefectClass::kDuplicateId:
+            duplicate = true;
+            inject(*defect);
+            break;
+          case DefectClass::kOutOfWindowTimestamp: {
+            const TimePoint opened = parse_int(row[6]);
+            const TimePoint closed = parse_int(row[7]);
+            const Duration shift =
+                (window.end - opened) +
+                kMinutesPerDay * (1 + rng.uniform_int(0, 30));
+            row[6] = std::to_string(opened + shift);
+            row[7] = std::to_string(closed + shift);
+            inject(*defect);
+            break;
+          }
+          case DefectClass::kEndBeforeOpen: {
+            const TimePoint opened = parse_int(row[6]);
+            const TimePoint closed = parse_int(row[7]);
+            if (closed > opened) {
+              std::swap(row[6], row[7]);
+            } else {
+              row[7] = std::to_string(opened - kMinutesPerHour);
+            }
+            inject(*defect);
+            break;
+          }
+          case DefectClass::kOrphanReference:
+            // Only crash tickets carry a mandatory machine reference; a
+            // non-crash row drawn here stays clean (the report counts what
+            // was actually injected, not the nominal rate).
+            if (row[4] == "1") {
+              row[2] = std::to_string(n_servers + 1000 + index);
+              inject(*defect);
+            }
+            break;
+          case DefectClass::kUnknownEnum:
+            row[5] = "gremlins";
+            inject(*defect);
+            break;
+          case DefectClass::kNonFiniteNumeric:
+          case DefectClass::kTruncatedSeries:
+            break;  // not ticket-targeted; unreachable via kTicketClasses
+        }
+      }
+      w.write_row(row);
+      if (duplicate) w.write_row(row);
+    }
+  }
+
+  // ---- weekly_usage.csv: series truncation + non-finite numerics ----
+  {
+    const std::string path = in_dir + "/" + trace::kWeeklyUsageFile;
+    auto in = open_in(path);
+    CsvReader r(in);
+    trace::expect_header(r, trace::weekly_usage_header(), path);
+    struct UsageRow {
+      std::size_t index;  // original data-record index (RNG stream id)
+      std::int64_t server;
+      int week;
+      std::vector<std::string> fields;
+    };
+    std::vector<UsageRow> rows;
+    std::vector<std::string> row;
+    std::size_t index = 0;
+    while (r.read_row(row)) {
+      ++index;
+      require(row.size() == 6, "corrupt_database: bad row in " + path);
+      rows.push_back({index, parse_int(row[0]),
+                      static_cast<int>(parse_int(row[1])), row});
+    }
+
+    // Truncation plan: per server, decide from its own stream whether the
+    // series loses its tail, and how many of its trailing weeks go.
+    std::map<std::int64_t, std::vector<int>> weeks_by_server;
+    for (const UsageRow& u : rows) {
+      weeks_by_server[u.server].push_back(u.week);
+    }
+    std::map<std::int64_t, int> cutoff;  // keep weeks <= cutoff[server]
+    for (auto& [server, weeks] : weeks_by_server) {
+      std::sort(weeks.begin(), weeks.end());
+      weeks.erase(std::unique(weeks.begin(), weeks.end()), weeks.end());
+      if (weeks.size() < 2) continue;  // nothing to truncate from
+      Rng rng = stream_rng(seed, SeedStream::kInjectSeries,
+                           static_cast<std::uint64_t>(server));
+      if (!rng.bernoulli(mix.truncated_series)) continue;
+      // Drop between 1 and all-but-one trailing weeks.
+      const auto dropped = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(weeks.size()) - 1));
+      cutoff[server] = weeks[weeks.size() - dropped - 1];
+      inject(DefectClass::kTruncatedSeries);
+    }
+
+    auto out = open_out(out_dir + "/" + trace::kWeeklyUsageFile);
+    CsvWriter w(out);
+    w.write_row(trace::weekly_usage_header());
+    for (UsageRow& u : rows) {
+      const auto cut = cutoff.find(u.server);
+      if (cut != cutoff.end() && u.week > cut->second) continue;
+      Rng rng = stream_rng(seed, SeedStream::kInjectUsage, u.index);
+      if (rng.uniform() < mix.non_finite_numeric) {
+        static const char* kNonFinite[] = {"nan", "inf", "-inf"};
+        u.fields[2] = kNonFinite[rng.uniform_int(0, 2)];
+        inject(DefectClass::kNonFiniteNumeric);
+      }
+      w.write_row(u.fields);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace fa::inject

@@ -1,0 +1,60 @@
+// Deterministic fault injection for trace CSV exports — the adversarial
+// half of the sanitization subsystem (src/trace/sanitize.h). Takes a clean
+// on-disk export and a seed, and rewrites it with a configurable rate/mix
+// of the sanitizer's defect taxonomy. Every defect decision is drawn from a
+// counter-based per-row RNG stream (sim/seed_streams.h), so the corrupted
+// output is byte-identical across runs and thread counts for a fixed seed:
+// `sanitize(corrupt(clean, seed))` is a reproducible experiment, and the
+// sanitization report can be diffed 1:1 against the injection report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/trace/sanitize.h"
+
+namespace fa::inject {
+
+// Per-row injection probabilities, by defect class. Ticket-level classes
+// apply per tickets.csv row, non-finite numerics per weekly_usage.csv row,
+// and series truncation per server with a monitoring series. Rates of the
+// classes sharing a target file must sum to at most 1.
+struct DefectMix {
+  double unparseable_field = 0.0;   // tickets.csv: subsystem made gibberish
+  double non_finite_numeric = 0.0;  // weekly_usage.csv: cpu_util -> nan/inf
+  double duplicate_id = 0.0;        // tickets.csv: row duplicated, same id
+  double out_of_window = 0.0;       // tickets.csv: shifted past window end
+  double end_before_open = 0.0;     // tickets.csv: opened/closed inverted
+  double orphan_reference = 0.0;    // tickets.csv: crash ticket -> bogus server
+  double truncated_series = 0.0;    // weekly_usage.csv: series tail removed
+  double unknown_enum = 0.0;        // tickets.csv: true_class made gibberish
+
+  // Every class at the same rate.
+  static DefectMix uniform(double rate);
+
+  double rate(trace::DefectClass cls) const;
+  void set_rate(trace::DefectClass cls, double rate);
+};
+
+struct InjectionReport {
+  std::array<std::size_t, trace::kDefectClassCount> injected{};
+
+  std::size_t count(trace::DefectClass cls) const {
+    return injected[static_cast<std::size_t>(cls)];
+  }
+  std::size_t total() const;
+  std::string to_string() const;
+  // Same "class,count" format as SanitizationReport::counts_csv, so the
+  // two reports can be compared with a plain diff.
+  std::string counts_csv() const;
+};
+
+// Copies the export at `in_dir` into `out_dir` (created if missing; must
+// differ from `in_dir`), injecting defects at the configured rates. The
+// input must be a clean strict-loadable export; throws fa::Error otherwise.
+InjectionReport corrupt_database(const std::string& in_dir,
+                                 const std::string& out_dir,
+                                 std::uint64_t seed, const DefectMix& mix);
+
+}  // namespace fa::inject

@@ -21,6 +21,12 @@ enum class SeedStream : std::uint64_t {
   kBackgroundTicket = 4,  // per background ticket: target, timing, text
   kWeeklyUsage = 5,       // per server: usage jitter
   kPowerEvents = 6,       // per server: on/off cycles
+  // Fault-injection streams (src/inject/corruptor.h). Per-row / per-series
+  // counter-based streams, so injection output is bit-reproducible at any
+  // thread count, exactly like the simulation itself.
+  kInjectTicket = 7,      // per ticket row: defect choice + parameters
+  kInjectUsage = 8,       // per weekly-usage row: defect choice + parameters
+  kInjectSeries = 9,      // per server: monitoring-series truncation
 };
 
 inline Rng stream_rng(std::uint64_t seed, SeedStream stream,

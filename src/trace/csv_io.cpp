@@ -1,5 +1,6 @@
 #include "src/trace/csv_io.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -9,6 +10,13 @@
 
 namespace fa::trace {
 namespace {
+
+std::string bracket_join(const std::vector<std::string>& fields) {
+  std::string out = "[";
+  out += join(fields, ",");
+  out += "]";
+  return out;
+}
 
 std::string opt_to_field(const std::optional<double>& v, int precision) {
   return v ? format_double(*v, precision) : "";
@@ -20,7 +28,7 @@ std::string opt_to_field(const std::optional<int>& v) {
 
 std::optional<double> field_to_opt_double(const std::string& s) {
   if (s.empty()) return std::nullopt;
-  return parse_double(s);
+  return parse_finite_double(s);
 }
 
 std::optional<int> field_to_opt_int(const std::string& s) {
@@ -40,14 +48,69 @@ std::ifstream open_in(const std::string& path) {
   return in;
 }
 
+}  // namespace
+
+const std::vector<std::string>& meta_header() {
+  static const std::vector<std::string> h = {"window", "begin", "end"};
+  return h;
+}
+
+const std::vector<std::string>& servers_header() {
+  static const std::vector<std::string> h = {
+      "id",      "type",       "subsystem", "cpu_count",   "memory_gb",
+      "disk_gb", "disk_count", "host_box",  "first_record"};
+  return h;
+}
+
+const std::vector<std::string>& tickets_header() {
+  static const std::vector<std::string> h = {
+      "id",     "incident", "server", "subsystem",   "is_crash",
+      "true_class", "opened",   "closed", "description", "resolution"};
+  return h;
+}
+
+const std::vector<std::string>& weekly_usage_header() {
+  static const std::vector<std::string> h = {
+      "server", "week", "cpu_util", "mem_util", "disk_util", "net_kbps"};
+  return h;
+}
+
+const std::vector<std::string>& power_events_header() {
+  static const std::vector<std::string> h = {"server", "at", "powered_on"};
+  return h;
+}
+
+const std::vector<std::string>& snapshots_header() {
+  static const std::vector<std::string> h = {"server", "month", "box",
+                                             "consolidation"};
+  return h;
+}
+
 void expect_header(CsvReader& reader, const std::vector<std::string>& want,
                    const std::string& path) {
   std::vector<std::string> got;
-  require(reader.read_row(got) && got == want,
-          "load_database: unexpected header in " + path);
+  require(reader.read_row(got), "missing header in " + path);
+  if (got == want) return;
+  std::string msg = "unexpected header in " + path + ": expected " +
+                    bracket_join(want) + ", got " + bracket_join(got);
+  const std::size_t common = std::min(want.size(), got.size());
+  std::size_t diff = common;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (want[i] != got[i]) {
+      diff = i;
+      break;
+    }
+  }
+  if (diff < common) {
+    msg += "; column " + std::to_string(diff) + " is '" + got[diff] +
+           "', expected '" + want[diff] + "'";
+  } else if (got.size() < want.size()) {
+    msg += "; missing column '" + want[got.size()] + "'";
+  } else {
+    msg += "; extra column '" + got[want.size()] + "'";
+  }
+  throw Error(msg);
 }
-
-}  // namespace
 
 void save_database(const TraceDatabase& db, const std::string& directory) {
   std::filesystem::create_directories(directory);
@@ -55,9 +118,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
   {
     // Observation windows travel with the trace: real exports do not share
     // the paper's 2012-2013 spans.
-    auto out = open_out(directory + "/meta.csv");
+    auto out = open_out(directory + "/" + kMetaFile);
     CsvWriter w(out);
-    w.write_row({"window", "begin", "end"});
+    w.write_row(meta_header());
     const auto window_row = [&](const char* name,
                                 const ObservationWindow& window) {
       w.write_row({name, std::to_string(window.begin),
@@ -68,10 +131,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     window_row("onoff", db.onoff_tracking());
   }
   {
-    auto out = open_out(directory + "/servers.csv");
+    auto out = open_out(directory + "/" + kServersFile);
     CsvWriter w(out);
-    w.write_row({"id", "type", "subsystem", "cpu_count", "memory_gb",
-                 "disk_gb", "disk_count", "host_box", "first_record"});
+    w.write_row(servers_header());
     for (const ServerRecord& s : db.servers()) {
       w.write_row({std::to_string(s.id.value), std::string(to_string(s.type)),
                    std::to_string(s.subsystem), std::to_string(s.cpu_count),
@@ -82,11 +144,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     }
   }
   {
-    auto out = open_out(directory + "/tickets.csv");
+    auto out = open_out(directory + "/" + kTicketsFile);
     CsvWriter w(out);
-    w.write_row({"id", "incident", "server", "subsystem", "is_crash",
-                 "true_class", "opened", "closed", "description",
-                 "resolution"});
+    w.write_row(tickets_header());
     for (const Ticket& t : db.tickets()) {
       w.write_row({std::to_string(t.id.value),
                    t.incident.valid() ? std::to_string(t.incident.value) : "",
@@ -98,10 +158,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     }
   }
   {
-    auto out = open_out(directory + "/weekly_usage.csv");
+    auto out = open_out(directory + "/" + kWeeklyUsageFile);
     CsvWriter w(out);
-    w.write_row({"server", "week", "cpu_util", "mem_util", "disk_util",
-                 "net_kbps"});
+    w.write_row(weekly_usage_header());
     for (const ServerRecord& s : db.servers()) {
       for (const WeeklyUsage& u : db.weekly_usage_for(s.id)) {
         w.write_row({std::to_string(u.server.value), std::to_string(u.week),
@@ -112,9 +171,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     }
   }
   {
-    auto out = open_out(directory + "/power_events.csv");
+    auto out = open_out(directory + "/" + kPowerEventsFile);
     CsvWriter w(out);
-    w.write_row({"server", "at", "powered_on"});
+    w.write_row(power_events_header());
     for (const ServerRecord& s : db.servers()) {
       for (const PowerEvent& e : db.power_events_for(s.id)) {
         w.write_row({std::to_string(e.server.value), std::to_string(e.at),
@@ -123,9 +182,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     }
   }
   {
-    auto out = open_out(directory + "/snapshots.csv");
+    auto out = open_out(directory + "/" + kSnapshotsFile);
     CsvWriter w(out);
-    w.write_row({"server", "month", "box", "consolidation"});
+    w.write_row(snapshots_header());
     for (const ServerRecord& s : db.servers()) {
       for (const MonthlySnapshot& snap : db.snapshots_for(s.id)) {
         w.write_row({std::to_string(snap.server.value),
@@ -144,11 +203,11 @@ TraceDatabase load_database(const std::string& directory) {
 
   // meta.csv is optional for backward/hand-authored traces: absent, the
   // paper's default windows apply.
-  if (std::filesystem::exists(directory + "/meta.csv")) {
-    const std::string path = directory + "/meta.csv";
+  if (std::filesystem::exists(directory + "/" + kMetaFile)) {
+    const std::string path = directory + "/" + kMetaFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(r, {"window", "begin", "end"}, path);
+    expect_header(r, meta_header(), path);
     ObservationWindow ticket = db.window();
     ObservationWindow monitoring = db.monitoring();
     ObservationWindow onoff = db.onoff_tracking();
@@ -170,20 +229,17 @@ TraceDatabase load_database(const std::string& directory) {
   }
 
   {
-    const std::string path = directory + "/servers.csv";
+    const std::string path = directory + "/" + kServersFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(r,
-                  {"id", "type", "subsystem", "cpu_count", "memory_gb",
-                   "disk_gb", "disk_count", "host_box", "first_record"},
-                  path);
+    expect_header(r, servers_header(), path);
     while (r.read_row(row)) {
       require(row.size() == 9, "load_database: bad row in " + path);
       ServerRecord s;
       s.type = machine_type_from_string(row[1]);
       s.subsystem = static_cast<Subsystem>(parse_int(row[2]));
       s.cpu_count = static_cast<int>(parse_int(row[3]));
-      s.memory_gb = parse_double(row[4]);
+      s.memory_gb = parse_finite_double(row[4]);
       s.disk_gb = field_to_opt_double(row[5]);
       s.disk_count = field_to_opt_int(row[6]);
       if (!row[7].empty()) {
@@ -196,14 +252,10 @@ TraceDatabase load_database(const std::string& directory) {
     }
   }
   {
-    const std::string path = directory + "/tickets.csv";
+    const std::string path = directory + "/" + kTicketsFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(r,
-                  {"id", "incident", "server", "subsystem", "is_crash",
-                   "true_class", "opened", "closed", "description",
-                   "resolution"},
-                  path);
+    expect_header(r, tickets_header(), path);
     while (r.read_row(row)) {
       require(row.size() == 10, "load_database: bad row in " + path);
       Ticket t;
@@ -221,33 +273,33 @@ TraceDatabase load_database(const std::string& directory) {
       t.closed = parse_int(row[7]);
       t.description = row[8];
       t.resolution = row[9];
-      db.add_ticket(std::move(t));
+      const TicketId assigned = db.add_ticket(std::move(t));
+      require(assigned.value == static_cast<std::int32_t>(parse_int(row[0])),
+              "load_database: non-contiguous ticket ids in " + path);
     }
   }
   {
-    const std::string path = directory + "/weekly_usage.csv";
+    const std::string path = directory + "/" + kWeeklyUsageFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(
-        r, {"server", "week", "cpu_util", "mem_util", "disk_util", "net_kbps"},
-        path);
+    expect_header(r, weekly_usage_header(), path);
     while (r.read_row(row)) {
       require(row.size() == 6, "load_database: bad row in " + path);
       WeeklyUsage u;
       u.server = ServerId{static_cast<std::int32_t>(parse_int(row[0]))};
       u.week = static_cast<int>(parse_int(row[1]));
-      u.cpu_util = parse_double(row[2]);
-      u.mem_util = parse_double(row[3]);
+      u.cpu_util = parse_finite_double(row[2]);
+      u.mem_util = parse_finite_double(row[3]);
       u.disk_util = field_to_opt_double(row[4]);
       u.net_kbps = field_to_opt_double(row[5]);
       db.add_weekly_usage(u);
     }
   }
   {
-    const std::string path = directory + "/power_events.csv";
+    const std::string path = directory + "/" + kPowerEventsFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(r, {"server", "at", "powered_on"}, path);
+    expect_header(r, power_events_header(), path);
     while (r.read_row(row)) {
       require(row.size() == 3, "load_database: bad row in " + path);
       PowerEvent e;
@@ -258,10 +310,10 @@ TraceDatabase load_database(const std::string& directory) {
     }
   }
   {
-    const std::string path = directory + "/snapshots.csv";
+    const std::string path = directory + "/" + kSnapshotsFile;
     auto in = open_in(path);
     CsvReader r(in);
-    expect_header(r, {"server", "month", "box", "consolidation"}, path);
+    expect_header(r, snapshots_header(), path);
     while (r.read_row(row)) {
       require(row.size() == 4, "load_database: bad row in " + path);
       MonthlySnapshot s;

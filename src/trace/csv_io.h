@@ -4,16 +4,44 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/trace/database.h"
+#include "src/util/csv.h"
 
 namespace fa::trace {
+
+// Canonical file names and header rows of the on-disk schema, shared by the
+// strict loader, the lenient sanitizer (sanitize.h) and the fault injector
+// (src/inject/corruptor.h).
+inline const std::string kMetaFile = "meta.csv";
+inline const std::string kServersFile = "servers.csv";
+inline const std::string kTicketsFile = "tickets.csv";
+inline const std::string kWeeklyUsageFile = "weekly_usage.csv";
+inline const std::string kPowerEventsFile = "power_events.csv";
+inline const std::string kSnapshotsFile = "snapshots.csv";
+
+const std::vector<std::string>& meta_header();
+const std::vector<std::string>& servers_header();
+const std::vector<std::string>& tickets_header();
+const std::vector<std::string>& weekly_usage_header();
+const std::vector<std::string>& power_events_header();
+const std::vector<std::string>& snapshots_header();
+
+// Reads the header row of `reader` and throws fa::Error unless it equals
+// `want`; the message names the file, both headers, and the first
+// difference (missing/extra/mismatched column).
+void expect_header(CsvReader& reader, const std::vector<std::string>& want,
+                   const std::string& path);
 
 // Writes servers.csv, tickets.csv, weekly_usage.csv, power_events.csv and
 // snapshots.csv into `directory` (created if missing).
 void save_database(const TraceDatabase& db, const std::string& directory);
 
 // Loads the files written by save_database and returns a finalized database.
+// Strict: the first malformed field, duplicate/non-contiguous id, dangling
+// reference or non-finite numeric throws fa::Error. See sanitize.h for the
+// lenient, repairing loader.
 TraceDatabase load_database(const std::string& directory);
 
 }  // namespace fa::trace

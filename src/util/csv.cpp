@@ -1,5 +1,7 @@
 #include "src/util/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
@@ -81,9 +83,11 @@ bool CsvReader::read_row(std::vector<std::string>& fields) {
 
 std::int64_t parse_int(const std::string& field) {
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(field.c_str(), &end, 10);
   require(end != field.c_str() && *end == '\0',
           "parse_int: invalid integer '" + field + "'");
+  require(errno != ERANGE, "parse_int: out-of-range integer '" + field + "'");
   return v;
 }
 
@@ -92,6 +96,13 @@ double parse_double(const std::string& field) {
   const double v = std::strtod(field.c_str(), &end);
   require(end != field.c_str() && *end == '\0',
           "parse_double: invalid number '" + field + "'");
+  return v;
+}
+
+double parse_finite_double(const std::string& field) {
+  const double v = parse_double(field);
+  require(std::isfinite(v),
+          "parse_finite_double: non-finite number '" + field + "'");
   return v;
 }
 

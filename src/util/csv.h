@@ -33,7 +33,12 @@ class CsvReader {
 };
 
 // Field conversion helpers; throw fa::Error with the offending text.
+// parse_int rejects values outside the int64 range; parse_double accepts
+// anything strtod does, including "nan"/"inf" spellings.
 std::int64_t parse_int(const std::string& field);
 double parse_double(const std::string& field);
+// Like parse_double but additionally rejects non-finite values. Trace
+// loaders use this: a "nan" in an export is a defect, not a measurement.
+double parse_finite_double(const std::string& field);
 
 }  // namespace fa

@@ -114,5 +114,56 @@ TEST(Csv, ParseDoubleInvalidThrows) {
   EXPECT_THROW(parse_double("1.2.3"), Error);
 }
 
+TEST(Csv, ParseIntOutOfRangeThrows) {
+  EXPECT_THROW(parse_int("99999999999999999999999"), Error);
+  EXPECT_THROW(parse_int("-99999999999999999999999"), Error);
+}
+
+TEST(Csv, ParseFiniteDoubleValid) {
+  EXPECT_DOUBLE_EQ(parse_finite_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_finite_double("-0.75"), -0.75);
+}
+
+TEST(Csv, ParseFiniteDoubleRejectsNonFinite) {
+  EXPECT_THROW(parse_finite_double("nan"), Error);
+  EXPECT_THROW(parse_finite_double("NaN"), Error);
+  EXPECT_THROW(parse_finite_double("inf"), Error);
+  EXPECT_THROW(parse_finite_double("-inf"), Error);
+  EXPECT_THROW(parse_finite_double("1e999"), Error);  // overflows to inf
+  EXPECT_THROW(parse_finite_double("bogus"), Error);
+}
+
+TEST(Csv, BareCarriageReturnInUnquotedFieldIsSwallowed) {
+  // A lone \r outside quotes is treated as line-ending noise and dropped;
+  // \r that must survive a round trip has to be quoted (and the writer
+  // always quotes it).
+  const auto rows = parse_all("a\rb,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"ab", "c"}));
+}
+
+TEST(Csv, QuotedFieldSpansPhysicalLines) {
+  const auto rows = parse_all("\"line one\nline two\",x\nnext,y\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "line one\nline two");
+  EXPECT_EQ(rows[0][1], "x");
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"next", "y"}));
+}
+
+TEST(Csv, TrailingRowWithoutFinalNewline) {
+  const auto rows = parse_all("a,b\n\"q\",last");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"q", "last"}));
+}
+
+TEST(Csv, EmptyFileReadsNoRowsRepeatedly) {
+  std::istringstream in("");
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.read_row(row));
+  EXPECT_FALSE(reader.read_row(row));  // stable at EOF
+  EXPECT_TRUE(row.empty());
+}
+
 }  // namespace
 }  // namespace fa

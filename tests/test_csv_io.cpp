@@ -197,5 +197,59 @@ TEST_F(CsvIoTest, CorruptHeaderThrows) {
   EXPECT_THROW(load_database(dir()), Error);
 }
 
+TEST(ExpectHeader, ReportsExpectedActualAndDifferingColumn) {
+  std::istringstream in("id,type,wrong,cpu_count\n");
+  CsvReader reader(in);
+  try {
+    expect_header(reader, {"id", "type", "subsystem", "cpu_count"}, "x.csv");
+    FAIL() << "expect_header should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[id,type,subsystem,cpu_count]"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("[id,type,wrong,cpu_count]"), std::string::npos)
+        << msg;
+    // Pinpoints the first differing column by index and both spellings.
+    EXPECT_NE(msg.find("column 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("subsystem"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wrong"), std::string::npos) << msg;
+  }
+}
+
+TEST(ExpectHeader, ReportsMissingColumns) {
+  std::istringstream in("id,type\n");
+  CsvReader reader(in);
+  try {
+    expect_header(reader, {"id", "type", "subsystem"}, "y.csv");
+    FAIL() << "expect_header should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("missing"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("subsystem"), std::string::npos) << msg;
+  }
+}
+
+TEST(ExpectHeader, ReportsExtraColumns) {
+  std::istringstream in("id,type,extra\n");
+  CsvReader reader(in);
+  try {
+    expect_header(reader, {"id", "type"}, "z.csv");
+    FAIL() << "expect_header should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("extra"), std::string::npos) << msg;
+  }
+}
+
+TEST(ExpectHeader, AcceptsMatchingHeader) {
+  std::istringstream in("id,type\n1,PM\n");
+  CsvReader reader(in);
+  EXPECT_NO_THROW(expect_header(reader, {"id", "type"}, "ok.csv"));
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.read_row(row));  // header consumed, data remains
+  EXPECT_EQ(row[0], "1");
+}
+
 }  // namespace
 }  // namespace fa::trace

@@ -4,10 +4,25 @@
 //       Simulate a datacenter trace and export it as the five-file CSV
 //       schema (servers/tickets/weekly_usage/power_events/snapshots).
 //
-//   fa_trace report DIR
+//   fa_trace report [--lenient] DIR
 //       Load a CSV trace and print the full failure-analysis summary:
 //       population, classification, failure rates, recurrence, repair
-//       times, spatial dependency and reliability metrics.
+//       times, spatial dependency and reliability metrics. With
+//       --lenient, defective rows are repaired or quarantined instead of
+//       aborting the load, and the sanitization report is printed first.
+//
+//   fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]
+//       Load a CSV trace in lenient mode and print the sanitization
+//       report (per-class defect counts, per-file kept/dropped rows).
+//       Optionally write machine-readable per-class counts and the full
+//       defect list as CSV.
+//
+//   fa_trace corrupt --in DIR --out DIR [--seed N] [--rate R]
+//                    [--mix class=rate,...] [--counts-csv FILE]
+//       Deterministically inject defects into a clean export. --rate R
+//       sets every class to rate R; --mix overrides individual classes
+//       (e.g. --mix duplicate_id=0.02,unknown_enum=0.01). Identical
+//       seed + mix produce byte-identical output at any thread count.
 //
 //   fa_trace classify DIR
 //       Load a CSV trace, run crash extraction + k-means classification
@@ -25,6 +40,8 @@
 //   --threads N   worker threads for parallel stages (0 = all cores)
 //   --no-cache    disable the in-process artifact cache
 #include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -40,10 +57,12 @@
 #include "src/analysis/report.h"
 #include "src/analysis/spatial.h"
 #include "src/analysis/transitions.h"
+#include "src/inject/corruptor.h"
 #include "src/sim/simulator.h"
 #include "src/sim/validation.h"
 #include "src/stats/fitting.h"
 #include "src/trace/csv_io.h"
+#include "src/trace/sanitize.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
@@ -56,12 +75,24 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  fa_trace simulate --out DIR [--scale S] [--seed N]\n"
-         "  fa_trace report DIR\n"
+         "  fa_trace report [--lenient] DIR\n"
          "  fa_trace classify DIR\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
+         "  fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]\n"
+         "  fa_trace corrupt --in DIR --out DIR [--seed N] [--rate R]\n"
+         "                   [--mix class=rate,...] [--counts-csv FILE]\n"
          "global flags: --threads N, --no-cache\n";
   return 2;
+}
+
+// Writes `text` to `path`, failing loudly (reports written to an
+// unwritable location must not vanish silently).
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open " + path + " for writing");
+  out << text;
+  require(out.good(), "failed writing " + path);
 }
 
 // Loads a CSV trace and runs the analysis pipeline over it, sharing both
@@ -106,8 +137,20 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return validation.ok() ? 0 : 1;
 }
 
-int cmd_report(const std::string& dir) {
-  const auto ctx = loaded_context(dir);
+int cmd_report(const std::string& dir, bool lenient) {
+  analysis::AnalysisContext ctx;
+  if (lenient) {
+    auto result = analysis::analyze_lenient(dir);
+    std::cout << result.report.to_string();
+    if (result.tickets_dropped > 0) {
+      std::cout << "tickets dropped before analysis: "
+                << result.tickets_dropped << "\n";
+    }
+    std::cout << "\n";
+    ctx = {std::move(result.db), std::move(result.pipeline)};
+  } else {
+    ctx = loaded_context(dir);
+  }
   const trace::TraceDatabase& db = *ctx.db;
   const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
   const auto& failures = pipeline.failures();
@@ -250,6 +293,104 @@ int cmd_transitions(const std::string& dir) {
   return 0;
 }
 
+int cmd_sanitize(const std::vector<std::string>& args) {
+  std::string dir, counts_csv, defects_csv;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--counts-csv" && i + 1 < args.size()) {
+      counts_csv = args[++i];
+    } else if (args[i] == "--defects-csv" && i + 1 < args.size()) {
+      defects_csv = args[++i];
+    } else if (dir.empty() && !args[i].starts_with("--")) {
+      dir = args[i];
+    } else {
+      std::cerr << "sanitize: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+
+  const auto sanitized = trace::sanitize_database(dir);
+  std::cout << sanitized.report.to_string()
+            << "kept: " << sanitized.db.servers().size() << " servers, "
+            << sanitized.db.tickets().size() << " tickets\n";
+  if (!counts_csv.empty()) {
+    write_text_file(counts_csv, sanitized.report.counts_csv());
+  }
+  if (!defects_csv.empty()) {
+    write_text_file(defects_csv, sanitized.report.defects_csv());
+  }
+  return 0;
+}
+
+// Parses "class=rate,class=rate,..." into `mix`; returns false (after
+// printing the offending token) on malformed input.
+bool parse_mix(const std::string& spec, inject::DefectMix& mix) {
+  for (const std::string& entry : split(spec, ',')) {
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "corrupt: --mix entry '" << entry
+                << "' is not class=rate\n";
+      return false;
+    }
+    const std::string name = entry.substr(0, eq);
+    bool known = false;
+    for (trace::DefectClass cls : trace::kAllDefectClasses) {
+      if (trace::to_string(cls) == name) {
+        mix.set_rate(cls, std::atof(entry.c_str() + eq + 1));
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::cerr << "corrupt: unknown defect class '" << name << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_corrupt(const std::vector<std::string>& args) {
+  std::string in_dir, out_dir, mix_spec, counts_csv;
+  std::uint64_t seed = 1;
+  double rate = 0.0;
+  bool have_rate = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--in" && i + 1 < args.size()) {
+      in_dir = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--rate" && i + 1 < args.size()) {
+      rate = std::atof(args[++i].c_str());
+      have_rate = true;
+    } else if (args[i] == "--mix" && i + 1 < args.size()) {
+      mix_spec = args[++i];
+    } else if (args[i] == "--counts-csv" && i + 1 < args.size()) {
+      counts_csv = args[++i];
+    } else {
+      std::cerr << "corrupt: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (in_dir.empty() || out_dir.empty()) return usage();
+  if (!have_rate && mix_spec.empty()) {
+    std::cerr << "corrupt: nothing to inject (give --rate and/or --mix)\n";
+    return usage();
+  }
+  if (have_rate && (rate < 0.0 || rate > 1.0)) return usage();
+
+  inject::DefectMix mix =
+      have_rate ? inject::DefectMix::uniform(rate) : inject::DefectMix{};
+  if (!mix_spec.empty() && !parse_mix(mix_spec, mix)) return usage();
+
+  const auto report = inject::corrupt_database(in_dir, out_dir, seed, mix);
+  std::cout << report.to_string()
+            << "wrote corrupted export to " << out_dir << "\n";
+  if (!counts_csv.empty()) write_text_file(counts_csv, report.counts_csv());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,7 +412,16 @@ int main(int argc, char** argv) {
     if (command == "simulate") {
       return cmd_simulate({args.begin() + 1, args.end()});
     }
-    if (command == "report" && args.size() == 2) return cmd_report(args[1]);
+    if (command == "report" && (args.size() == 2 || args.size() == 3)) {
+      std::vector<std::string> rest(args.begin() + 1, args.end());
+      bool lenient = false;
+      std::erase_if(rest, [&](const std::string& a) {
+        if (a == "--lenient") lenient = true;
+        return a == "--lenient";
+      });
+      if (rest.size() != 1) return usage();
+      return cmd_report(rest[0], lenient);
+    }
     if (command == "classify" && args.size() == 2) {
       return cmd_classify(args[1]);
     }
@@ -281,9 +431,18 @@ int main(int argc, char** argv) {
     if (command == "transitions" && args.size() == 2) {
       return cmd_transitions(args[1]);
     }
+    if (command == "sanitize") {
+      return cmd_sanitize({args.begin() + 1, args.end()});
+    }
+    if (command == "corrupt") {
+      return cmd_corrupt({args.begin() + 1, args.end()});
+    }
     return usage();
   } catch (const fa::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
     return 1;
   }
 }
