@@ -9,23 +9,67 @@
 
 #include "src/analysis/artifact_cache.h"
 #include "src/analysis/report.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
 namespace fa::bench {
+
+namespace {
+
+bool g_verbose = false;
+std::string g_metrics_path;
+std::string g_trace_path;
+
+// Applies a --threads value, exiting with a diagnostic when it is not a
+// number (silently treating "abc" as 0 would fan out to every core).
+void set_threads_or_die(std::string_view value) {
+  const std::string text(value);
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    std::cerr << "invalid --threads value '" << text
+              << "' (expected a non-negative integer)\n";
+    std::exit(2);
+  }
+  ThreadPool::set_default_thread_count(static_cast<std::size_t>(n));
+}
+
+void export_observability_at_exit() {
+  obs::export_registry_files(g_metrics_path, g_trace_path);
+}
+
+}  // namespace
 
 void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--no-cache") {
       analysis::ArtifactCache::global().set_enabled(false);
+    } else if (arg == "--no-obs") {
+      obs::set_enabled(false);
+    } else if (arg == "--verbose") {
+      g_verbose = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      ThreadPool::set_default_thread_count(
-          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+      set_threads_or_die(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      ThreadPool::set_default_thread_count(static_cast<std::size_t>(
-          std::strtoul(arg.substr(10).data(), nullptr, 10)));
+      set_threads_or_die(arg.substr(10));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      g_metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      g_metrics_path = arg.substr(10);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      g_trace_path = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      g_trace_path = arg.substr(12);
     }
+  }
+  if (!g_metrics_path.empty() || !g_trace_path.empty()) {
+    // Touch the (leaked) registry before registering the handler so it
+    // exists whenever the handler runs; atexit order is then irrelevant.
+    obs::MetricsRegistry::global();
+    std::atexit(export_observability_at_exit);
   }
 }
 
@@ -71,7 +115,19 @@ std::string render_binned(const std::string& title,
 }
 
 int finish(const paperref::Comparison& comparison) {
-  std::cout << comparison.render() << std::flush;
+  std::cout << comparison.render();
+  const auto& cache = analysis::ArtifactCache::global();
+  if (g_verbose || !cache.enabled()) {
+    const auto stats = cache.stats();
+    std::cout << "artifact cache" << (cache.enabled() ? "" : " (disabled)")
+              << ": database hits=" << stats.database.hits
+              << " misses=" << stats.database.misses
+              << " builds=" << stats.database.builds
+              << "; pipeline hits=" << stats.pipeline.hits
+              << " misses=" << stats.pipeline.misses
+              << " builds=" << stats.pipeline.builds << "\n";
+  }
+  std::cout << std::flush;
   return 0;
 }
 

@@ -17,9 +17,15 @@
 namespace fa::bench {
 
 // Parses the shared bench flags and applies them process-wide:
-//   --threads N   worker threads for parallel_for (0 = hardware concurrency)
-//   --no-cache    disable the artifact cache (every lookup rebuilds)
-// Unrecognized arguments are ignored so binaries can add their own.
+//   --threads N        worker threads for parallel_for (0 = all cores);
+//                      a non-numeric value is reported and exits with 2
+//   --no-cache         disable the artifact cache (every lookup rebuilds)
+//   --no-obs           turn off metric/span recording at runtime
+//   --metrics PATH     write the metrics JSON snapshot at exit
+//   --trace-out PATH   write the Chrome trace-event JSON at exit
+//   --verbose          print artifact-cache statistics in finish()
+// (--metrics/--trace-out also accept --flag=PATH.) Unrecognized arguments
+// are ignored so binaries can add their own.
 void init(int argc, char** argv);
 
 // Memoized simulate(config) via the global artifact cache. Ablation and

@@ -4,9 +4,12 @@
 // (with an assignments-identical cross-check), checks that the parallel
 // trace is identical to the serial one, and writes the results to
 // BENCH_perf.json (machine-readable; path override: --json PATH; fleet
-// size: --scale F, default 0.3). The google-benchmark microbenchmarks of
-// the underlying kernels (fitting, ECDF, k-means, extraction) run with
-// --micro, which accepts the usual --benchmark_* flags.
+// size: --scale F, default 0.3). --metrics PATH / --trace-out PATH write
+// the observability registry's JSON snapshot and Chrome trace after the
+// stage report; --no-obs turns recording off. The google-benchmark
+// microbenchmarks of the underlying kernels (fitting, ECDF, k-means,
+// extraction) run with --micro, which accepts the usual --benchmark_*
+// flags.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -18,6 +21,8 @@
 
 #include "src/analysis/artifact_cache.h"
 #include "src/analysis/classification.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/analysis/pipeline.h"
 #include "src/analysis/recurrence.h"
 #include "src/sim/simulator.h"
@@ -104,6 +109,7 @@ int run_stage_report(double scale, const std::string& json_path) {
   ThreadPool::set_default_thread_count(0);
   std::vector<SubStageTiming> substages;
   bool sparse_matches_dense = false;
+  stats::IterationStats sparse_stats;
   {
     std::vector<std::string> corpus;
     corpus.reserve(parallel_db.tickets().size());
@@ -133,6 +139,7 @@ int run_stage_report(double scale, const std::string& json_path) {
     const double kmeans_sparse = ms_since(t0);
     substages.push_back({"kmeans", kmeans_dense, kmeans_sparse});
     sparse_matches_dense = dense_run.assignment == sparse_run.assignment;
+    sparse_stats = sparse_run.stats;
   }
 
   // simulate+classify through the artifact cache: cold miss vs warm hit.
@@ -180,6 +187,15 @@ int run_stage_report(double scale, const std::string& json_path) {
                  i + 1 < substages.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"kmeans_prune\": {\n");
+  std::fprintf(out, "    \"distances_computed\": %llu,\n",
+               static_cast<unsigned long long>(sparse_stats.distances_computed));
+  std::fprintf(out, "    \"distances_pruned\": %llu,\n",
+               static_cast<unsigned long long>(sparse_stats.distances_pruned));
+  std::fprintf(out, "    \"prune_ratio\": %.4f,\n", sparse_stats.prune_ratio());
+  std::fprintf(out, "    \"iterations\": %d\n",
+               sparse_stats.total_iterations());
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"sparse_matches_dense\": %s,\n",
                sparse_matches_dense ? "true" : "false");
   std::fprintf(out, "  \"cache\": {\n");
@@ -206,6 +222,11 @@ int run_stage_report(double scale, const std::string& json_path) {
   }
   std::printf("  sparse assignments match dense: %s\n",
               sparse_matches_dense ? "yes" : "NO");
+  std::printf(
+      "  kmeans prune ratio: %.1f%% (%llu of %llu distance evals skipped)\n",
+      100.0 * sparse_stats.prune_ratio(),
+      static_cast<unsigned long long>(sparse_stats.distances_pruned),
+      static_cast<unsigned long long>(sparse_stats.distances_attempted()));
   std::printf("cache:    cold %.1f ms, warm %.3f ms (shared: %s)\n",
               cache_cold, cache_warm, cache_shared ? "yes" : "NO");
   std::printf("wrote %s\n", json_path.c_str());
@@ -325,6 +346,7 @@ int main(int argc, char** argv) {
   bool micro = false;
   double scale = 0.3;
   std::string json_path = "BENCH_perf.json";
+  std::string metrics_path, trace_path;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -334,11 +356,27 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::atof(argv[++i]);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg == "--no-obs") {
+      fa::obs::set_enabled(false);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!micro) return run_stage_report(scale, json_path);
+  if (!micro) {
+    const int rc = run_stage_report(scale, json_path);
+    if (!fa::obs::export_registry_files(metrics_path, trace_path)) return 1;
+    if (!metrics_path.empty()) std::printf("wrote %s\n", metrics_path.c_str());
+    if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
+    return rc;
+  }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();

@@ -1,8 +1,10 @@
 #include "src/analysis/artifact_cache.h"
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace fa::analysis {
@@ -25,6 +27,33 @@ std::shared_ptr<const AnalysisPipeline> build_pipeline(
   ctx->pipeline =
       std::make_shared<const AnalysisPipeline>(*ctx->db, seed, options);
   return {ctx, ctx->pipeline.get()};
+}
+
+// Cache events are rare (a handful per process), so the registry lookup per
+// event is fine; no need to cache counter references here.
+void count_event(const char* name, const char* kind, std::size_t n = 1) {
+  obs::counter(name, {{"kind", kind}}).add(n);
+}
+
+void record_build_seconds(const char* kind,
+                          std::chrono::steady_clock::time_point start) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  obs::histogram("fa.cache.build_seconds", obs::duration_seconds_bounds(),
+                 {{"kind", kind}}, obs::Stability::kTiming)
+      .record(seconds);
+}
+
+// Rough in-memory footprint of a trace database: record payloads plus ticket
+// text. Deterministic for a fixed simulation (derived from sizes only).
+std::size_t estimate_bytes(const trace::TraceDatabase& db) {
+  std::size_t bytes = db.servers().size() * sizeof(trace::ServerRecord);
+  for (const trace::Ticket& t : db.tickets()) {
+    bytes += sizeof(trace::Ticket) + t.description.size() +
+             t.resolution.size();
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -58,15 +87,22 @@ std::shared_ptr<const trace::TraceDatabase> ArtifactCache::database(
     if (enabled_) {
       const auto it = databases_.find(key);
       if (it != databases_.end()) {
-        ++hits_;
+        ++stats_.database.hits;
+        count_event("fa.cache.hits", "database");
         return it->second;
       }
     }
-    ++misses_;
+    ++stats_.database.misses;
+    count_event("fa.cache.misses", "database");
   }
+  const auto start = std::chrono::steady_clock::now();
   auto db = std::make_shared<const trace::TraceDatabase>(
       sim::simulate(config));
+  record_build_seconds("database", start);
+  obs::counter("fa.cache.db_bytes_estimated").add(estimate_bytes(*db));
   std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.database.builds;
+  count_event("fa.cache.builds", "database");
   if (!enabled_) return db;
   // A concurrent miss may have inserted first; keep the incumbent so every
   // caller shares one object.
@@ -84,14 +120,20 @@ std::shared_ptr<const AnalysisPipeline> ArtifactCache::pipeline(
     if (enabled_) {
       const auto it = pipelines_.find(key);
       if (it != pipelines_.end()) {
-        ++hits_;
+        ++stats_.pipeline.hits;
+        count_event("fa.cache.hits", "pipeline");
         return it->second;
       }
     }
-    ++misses_;
+    ++stats_.pipeline.misses;
+    count_event("fa.cache.misses", "pipeline");
   }
+  const auto start = std::chrono::steady_clock::now();
   auto owner = build_pipeline(database(config), seed, options);
+  record_build_seconds("pipeline", start);
   std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pipeline.builds;
+  count_event("fa.cache.builds", "pipeline");
   if (!enabled_) return owner;
   const auto [it, inserted] = pipelines_.emplace(key, std::move(owner));
   return it->second;
@@ -107,14 +149,20 @@ std::shared_ptr<const AnalysisPipeline> ArtifactCache::pipeline(
     if (enabled_) {
       const auto it = pipelines_.find(key);
       if (it != pipelines_.end()) {
-        ++hits_;
+        ++stats_.pipeline.hits;
+        count_event("fa.cache.hits", "pipeline");
         return it->second;
       }
     }
-    ++misses_;
+    ++stats_.pipeline.misses;
+    count_event("fa.cache.misses", "pipeline");
   }
+  const auto start = std::chrono::steady_clock::now();
   auto owner = build_pipeline(std::move(db), seed, options);
+  record_build_seconds("pipeline", start);
   std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pipeline.builds;
+  count_event("fa.cache.builds", "pipeline");
   if (!enabled_) return owner;
   const auto [it, inserted] = pipelines_.emplace(key, std::move(owner));
   return it->second;
@@ -138,18 +186,22 @@ void ArtifactCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   databases_.clear();
   pipelines_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  stats_ = Stats{};
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 std::size_t ArtifactCache::hits() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  return stats_.hits();
 }
 
 std::size_t ArtifactCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return stats_.misses();
 }
 
 AnalysisContext cached_context(const sim::SimulationConfig& config,

@@ -58,7 +58,24 @@ class ArtifactCache {
 
   void clear();
 
-  // Observability for tests and perf tooling.
+  // Per-artifact-kind accounting. `builds` counts actual constructions;
+  // it can exceed the number of cached entries when concurrent misses race
+  // (losers build too, then adopt the winner's object).
+  struct KindStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t builds = 0;
+  };
+  struct Stats {
+    KindStats database;
+    KindStats pipeline;
+    std::size_t hits() const { return database.hits + pipeline.hits; }
+    std::size_t misses() const { return database.misses + pipeline.misses; }
+    std::size_t builds() const { return database.builds + pipeline.builds; }
+  };
+  Stats stats() const;
+
+  // Observability for tests and perf tooling (totals across kinds).
   std::size_t hits() const;
   std::size_t misses() const;
 
@@ -68,8 +85,7 @@ class ArtifactCache {
 
   mutable std::mutex mutex_;
   bool enabled_ = true;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  Stats stats_;
   std::unordered_map<std::uint64_t,
                      std::shared_ptr<const trace::TraceDatabase>>
       databases_;

@@ -4,6 +4,8 @@
 #include <set>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/text/features.h"
 #include "src/text/vocabulary.h"
 #include "src/util/error.h"
@@ -30,6 +32,7 @@ std::vector<const trace::Ticket*> extract_crash_tickets(
 
 CrashExtractionResult extract_crash_tickets_clustered(
     const trace::TraceDatabase& db, Rng& rng) {
+  obs::Span span("analysis.extract_crash_tickets_clustered");
   require(!db.tickets().empty(),
           "extract_crash_tickets_clustered: empty ticket database");
   // Features over descriptions only: resolutions of non-crash tickets reuse
@@ -167,15 +170,23 @@ ClassificationResult classify_tickets(
   }
   text::VectorizerOptions vec_options;
   vec_options.min_document_frequency = options.min_document_frequency;
+  obs::Span vectorize_span("analysis.vectorize");
   const auto vectorizer = text::Vectorizer::fit(corpus, vec_options);
   // CSR features + sparse k-means (see extract_crash_tickets_clustered).
   const auto features = vectorizer.transform_all_sparse(corpus);
+  vectorize_span.close();
+  obs::counter("fa.analysis.vectorized_documents").add(corpus.size());
+  obs::counter("fa.analysis.vocabulary_terms")
+      .add(vectorizer.vocabulary().size());
 
   stats::KMeansOptions km;
   km.k = options.clusters;
   km.restarts = options.kmeans_restarts;
   ClassificationResult result;
-  result.clustering = stats::kmeans(features, km, rng);
+  {
+    obs::Span kmeans_span("analysis.kmeans");
+    result.clustering = stats::kmeans(features, km, rng);
+  }
 
   // Name clusters from the manually-labeled subset. Raw majority voting
   // would assign nearly every mixed cluster to "other" (it holds ~53% of

@@ -1,5 +1,7 @@
 #include "src/analysis/pipeline.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/trace/csv_io.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
@@ -10,10 +12,18 @@ AnalysisPipeline::AnalysisPipeline(const trace::TraceDatabase& db,
                                    std::uint64_t seed,
                                    ClassifierOptions options)
     : db_(&db) {
-  failures_ = extract_crash_tickets(db);
+  obs::Span pipeline_span("analysis.pipeline");
+  {
+    obs::Span stage("analysis.extract_crash_tickets");
+    failures_ = extract_crash_tickets(db);
+  }
+  obs::counter("fa.analysis.crash_tickets").add(failures_.size());
   require(!failures_.empty(), "AnalysisPipeline: no crash tickets in trace");
   Rng rng(seed);
-  classification_ = classify_tickets(failures_, options, rng);
+  {
+    obs::Span stage("analysis.classify_tickets");
+    classification_ = classify_tickets(failures_, options, rng);
+  }
   predicted_ = prediction_map(failures_, classification_);
 }
 

@@ -1,0 +1,285 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace fa::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  // %.17g round-trips doubles: identical values print identically, which
+  // the byte-comparison determinism contract relies on.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_ms(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void append_counter(std::string& out, const CounterSample& c,
+                    const char* indent) {
+  out += indent;
+  out += "{\"name\": \"";
+  append_escaped(out, c.name);
+  out += "\", \"labels\": \"";
+  append_escaped(out, c.labels);
+  out += "\", \"value\": ";
+  out += std::to_string(c.value);
+  out += '}';
+}
+
+void append_gauge(std::string& out, const GaugeSample& g, const char* indent) {
+  out += indent;
+  out += "{\"name\": \"";
+  append_escaped(out, g.name);
+  out += "\", \"labels\": \"";
+  append_escaped(out, g.labels);
+  out += "\", \"value\": ";
+  out += fmt_double(g.value);
+  out += '}';
+}
+
+void append_histogram(std::string& out, const HistogramSample& h,
+                      const char* indent, bool include_sum) {
+  out += indent;
+  out += "{\"name\": \"";
+  append_escaped(out, h.name);
+  out += "\", \"labels\": \"";
+  append_escaped(out, h.labels);
+  out += "\", \"le\": [";
+  for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+    if (b) out += ", ";
+    out += fmt_double(h.bounds[b]);
+  }
+  out += "], \"buckets\": [";
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (b) out += ", ";
+    out += std::to_string(h.buckets[b]);
+  }
+  out += "], \"count\": ";
+  out += std::to_string(h.count);
+  if (include_sum) {
+    out += ", \"sum\": ";
+    out += fmt_double(h.sum);
+  }
+  out += '}';
+}
+
+template <typename Sample, typename Append>
+void append_array(std::string& out, const char* key,
+                  const std::vector<Sample>& samples, Stability keep,
+                  const Append& append, bool last = false) {
+  out += "    \"";
+  out += key;
+  out += "\": [";
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (s.stability != keep) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    append(out, s);
+  }
+  out += first ? "]" : "\n    ]";
+  out += last ? "\n" : ",\n";
+}
+
+// The deterministic section body ("deterministic": {...}), shared verbatim
+// by to_json and deterministic_json so the two stay byte-compatible.
+std::string deterministic_section(const MetricsSnapshot& snap) {
+  std::string out;
+  out += "  \"deterministic\": {\n";
+  append_array(out, "counters", snap.counters, Stability::kDeterministic,
+               [](std::string& o, const CounterSample& c) {
+                 append_counter(o, c, "      ");
+               });
+  append_array(out, "gauges", snap.gauges, Stability::kDeterministic,
+               [](std::string& o, const GaugeSample& g) {
+                 append_gauge(o, g, "      ");
+               });
+  append_array(out, "histograms", snap.histograms, Stability::kDeterministic,
+               [](std::string& o, const HistogramSample& h) {
+                 append_histogram(o, h, "      ", /*include_sum=*/false);
+               },
+               /*last=*/true);
+  out += "  }";
+  return out;
+}
+
+std::string timing_section(const MetricsSnapshot& snap) {
+  std::string out;
+  out += "  \"timing\": {\n";
+  append_array(out, "counters", snap.counters, Stability::kTiming,
+               [](std::string& o, const CounterSample& c) {
+                 append_counter(o, c, "      ");
+               });
+  append_array(out, "gauges", snap.gauges, Stability::kTiming,
+               [](std::string& o, const GaugeSample& g) {
+                 append_gauge(o, g, "      ");
+               });
+  append_array(out, "histograms", snap.histograms, Stability::kTiming,
+               [](std::string& o, const HistogramSample& h) {
+                 append_histogram(o, h, "      ", /*include_sum=*/true);
+               });
+  out += "    \"spans\": [";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanAggregate& s = snap.spans[i];
+    out += i ? ",\n" : "\n";
+    out += "      {\"name\": \"";
+    append_escaped(out, s.name);
+    out += "\", \"count\": ";
+    out += std::to_string(s.count);
+    out += ", \"total_ms\": ";
+    out += fmt_ms(s.total_ms);
+    out += ", \"min_ms\": ";
+    out += fmt_ms(s.min_ms);
+    out += ", \"max_ms\": ";
+    out += fmt_ms(s.max_ms);
+    out += '}';
+  }
+  out += snap.spans.empty() ? "]\n" : "\n    ]\n";
+  out += "  }";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += deterministic_section(snapshot);
+  out += ",\n";
+  out += timing_section(snapshot);
+  out += "\n}\n";
+  return out;
+}
+
+std::string deterministic_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += deterministic_section(snapshot);
+  out += "\n}\n";
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out += i ? ",\n" : "\n";
+    out += "  {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"fa\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"ts\": ";
+    out += fmt_ms(e.start_us);
+    out += ", \"dur\": ";
+    out += fmt_ms(e.dur_us);
+    out += ", \"args\": {\"depth\": ";
+    out += std::to_string(e.depth);
+    out += "}}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string render_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const auto line = [&out](const std::string& name, const std::string& labels,
+                           const std::string& value, const char* tag) {
+    std::string left = name;
+    if (!labels.empty()) left += "{" + labels + "}";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-52s %16s  %s\n", left.c_str(),
+                  value.c_str(), tag);
+    out += buf;
+  };
+  const auto tag = [](Stability s) {
+    return s == Stability::kDeterministic ? "det" : "timing";
+  };
+
+  if (!snapshot.counters.empty()) {
+    out += "counters\n";
+    for (const CounterSample& c : snapshot.counters) {
+      line(c.name, c.labels, std::to_string(c.value), tag(c.stability));
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges\n";
+    for (const GaugeSample& g : snapshot.gauges) {
+      line(g.name, g.labels, fmt_double(g.value), tag(g.stability));
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms\n";
+    for (const HistogramSample& h : snapshot.histograms) {
+      std::string value = std::to_string(h.count);
+      value += " obs";
+      if (h.stability == Stability::kTiming) {
+        value += ", sum " + fmt_ms(h.sum);
+      }
+      line(h.name, h.labels, value, tag(h.stability));
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "spans\n";
+    for (const SpanAggregate& s : snapshot.spans) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-52s %8" PRIu64 "x  total %10.3f ms  min %9.3f  max "
+                    "%9.3f\n",
+                    s.name.c_str(), s.count, s.total_ms, s.min_ms, s.max_ms);
+      out += buf;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::perror(("obs: cannot open " + path).c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (!ok) std::perror(("obs: failed writing " + path).c_str());
+  std::fclose(f);
+  return ok;
+}
+
+bool export_registry_files(const std::string& metrics_path,
+                           const std::string& trace_path) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  bool ok = true;
+  if (!metrics_path.empty()) {
+    ok &= write_text_file(metrics_path, to_json(registry.snapshot()));
+  }
+  if (!trace_path.empty()) {
+    ok &= write_text_file(trace_path, chrome_trace_json(registry.span_events()));
+  }
+  return ok;
+}
+
+}  // namespace fa::obs

@@ -1,0 +1,229 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace fa::obs {
+
+std::string canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::vector<double> duration_seconds_bounds() {
+  return {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0};
+}
+
+std::vector<double> size_bounds() {
+  return {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+          262144.0, 1048576.0};
+}
+
+#ifndef FA_OBS_DISABLED
+inline namespace enabled_impl {
+
+namespace {
+
+// "name{labels}" map key; labels already canonical.
+std::string metric_key(std::string_view name, const std::string& labels) {
+  std::string key(name);
+  key += '{';
+  key += labels;
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_[b] = 0;
+}
+
+void Histogram::record(double v) noexcept {
+  if (!enabled()) return;
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: see the declaration comment.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
+                                  Stability stability) {
+  std::string canonical = canonical_labels(std::move(labels));
+  const std::string key = metric_key(name, canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    auto entry = std::make_unique<CounterEntry>();
+    entry->name = std::string(name);
+    entry->labels = std::move(canonical);
+    entry->stability = stability;
+    it = counters_.emplace(key, std::move(entry)).first;
+  }
+  return it->second->counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels,
+                              Stability stability) {
+  std::string canonical = canonical_labels(std::move(labels));
+  const std::string key = metric_key(name, canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    auto entry = std::make_unique<GaugeEntry>();
+    entry->name = std::string(name);
+    entry->labels = std::move(canonical);
+    entry->stability = stability;
+    it = gauges_.emplace(key, std::move(entry)).first;
+  }
+  return it->second->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      Labels labels, Stability stability) {
+  std::string canonical = canonical_labels(std::move(labels));
+  const std::string key = metric_key(name, canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    auto entry = std::make_unique<HistogramEntry>(
+        std::string(name), std::move(canonical), stability, std::move(bounds));
+    it = histograms_.emplace(key, std::move(entry)).first;
+  }
+  return it->second->histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The maps are keyed by "name{labels}", so iteration order already is
+    // the deterministic (name, labels) order the contract promises.
+    snap.counters.reserve(counters_.size());
+    for (const auto& [key, entry] : counters_) {
+      snap.counters.push_back({entry->name, entry->labels, entry->stability,
+                               entry->counter.value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [key, entry] : gauges_) {
+      snap.gauges.push_back(
+          {entry->name, entry->labels, entry->stability, entry->gauge.value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [key, entry] : histograms_) {
+      HistogramSample sample;
+      sample.name = entry->name;
+      sample.labels = entry->labels;
+      sample.stability = entry->stability;
+      const Histogram& h = entry->histogram;
+      sample.bounds = h.bounds_;
+      sample.buckets.reserve(h.bounds_.size() + 1);
+      for (std::size_t b = 0; b <= h.bounds_.size(); ++b) {
+        sample.buckets.push_back(
+            h.buckets_[b].load(std::memory_order_relaxed));
+      }
+      sample.count = h.count_.load(std::memory_order_relaxed);
+      sample.sum = h.sum_.load(std::memory_order_relaxed);
+      snap.histograms.push_back(std::move(sample));
+    }
+  }
+
+  // Span aggregates, grouped by name (map: sorted output for free).
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanEvent& e : span_events()) {
+    SpanAggregate& agg = by_name[e.name];
+    const double ms = e.dur_us / 1000.0;
+    if (agg.count == 0) {
+      agg.name = e.name;
+      agg.min_ms = agg.max_ms = ms;
+    } else {
+      agg.min_ms = std::min(agg.min_ms, ms);
+      agg.max_ms = std::max(agg.max_ms, ms);
+    }
+    ++agg.count;
+    agg.total_ms += ms;
+  }
+  snap.spans.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) snap.spans.push_back(std::move(agg));
+  return snap;
+}
+
+std::vector<SpanEvent> MetricsRegistry::span_events() const {
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    buffers = span_buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+void MetricsRegistry::reset() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, entry] : counters_) {
+      entry->counter.value_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [key, entry] : gauges_) {
+      entry->gauge.value_.store(0.0, std::memory_order_relaxed);
+    }
+    for (auto& [key, entry] : histograms_) {
+      Histogram& h = entry->histogram;
+      for (std::size_t b = 0; b <= h.bounds_.size(); ++b) {
+        h.buckets_[b].store(0, std::memory_order_relaxed);
+      }
+      h.count_.store(0, std::memory_order_relaxed);
+      h.sum_.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(span_mutex_);
+  for (const auto& buffer : span_buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<SpanBuffer> MetricsRegistry::thread_buffer() {
+  thread_local std::shared_ptr<SpanBuffer> tls;
+  if (!tls) {
+    tls = std::make_shared<SpanBuffer>();
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    tls->tid = next_tid_++;
+    span_buffers_.push_back(tls);
+  }
+  return tls;
+}
+
+}  // inline namespace enabled_impl
+#endif  // FA_OBS_DISABLED
+
+}  // namespace fa::obs

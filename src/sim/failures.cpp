@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/sim/seed_streams.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
@@ -237,9 +238,16 @@ std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
     per_incident[i] = generate_incident(config, fleet, hazard, plans[i], rng);
   });
 
+  obs::counter("fa.sim.incidents").add(plans.size());
+  std::size_t aftershocks = 0;
+
   std::vector<FailureEvent> events;
   std::size_t total = 0;
-  for (const auto& chunk : per_incident) total += chunk.size();
+  for (const auto& chunk : per_incident) {
+    total += chunk.size();
+    for (const FailureEvent& e : chunk) aftershocks += e.is_aftershock ? 1 : 0;
+  }
+  obs::counter("fa.sim.aftershock_events").add(aftershocks);
   events.reserve(total);
   for (auto& chunk : per_incident) {
     events.insert(events.end(), chunk.begin(), chunk.end());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/util/error.h"
 
 namespace fa::sim {
@@ -78,6 +79,8 @@ std::array<double, 5> class_distribution(const SimulationConfig& config,
 }
 
 HazardModel::HazardModel(const SimulationConfig& config, const Fleet& fleet) {
+  static obs::Counter& weight_evals = obs::counter("fa.sim.hazard_weight_evals");
+  weight_evals.add(fleet.servers.size());
   for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
     const trace::ServerRecord& s = fleet.servers[i];
     const double w = machine_weight(config, s, fleet.profiles[i]);
@@ -148,6 +151,10 @@ double HazardModel::ticket_inflation(trace::Subsystem sys,
 trace::ServerId HazardModel::sample_root(trace::Subsystem sys,
                                          trace::MachineType type,
                                          Rng& rng) const {
+  // Root draws happen inside parallel incident generation, but the count is
+  // fixed by the incident plan, so the total stays deterministic.
+  static obs::Counter& root_draws = obs::counter("fa.sim.hazard_root_draws");
+  root_draws.add(1);
   const Stratum& st = stratum(sys, type);
   if (st.members.empty()) return trace::ServerId{};
   const double total = st.cumulative_weight.back();

@@ -1,5 +1,9 @@
 #include "src/sim/simulator.h"
 
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sim/failures.h"
 #include "src/sim/fleet.h"
 #include "src/sim/hazard.h"
@@ -11,28 +15,58 @@
 namespace fa::sim {
 
 trace::TraceDatabase simulate(const SimulationConfig& config) {
+  obs::Span simulate_span("sim.simulate");
+
   // Fleet construction stays serial (machines are cheap to draw and later
   // machines' host-box placement depends on earlier draws); every other
   // phase fans out over the thread pool with counter-based streams.
   Rng fleet_rng = stream_rng(config.seed, SeedStream::kFleet);
-  const Fleet fleet = build_fleet(config, fleet_rng);
-
   trace::TraceDatabase db;
-  for (const trace::ServerRecord& s : fleet.servers) {
-    const trace::ServerId assigned = db.add_server(s);
-    require(assigned == s.id, "simulate: fleet/database id mismatch");
+  Fleet fleet;
+  {
+    obs::Span phase("sim.build_fleet");
+    fleet = build_fleet(config, fleet_rng);
+    for (const trace::ServerRecord& s : fleet.servers) {
+      const trace::ServerId assigned = db.add_server(s);
+      require(assigned == s.id, "simulate: fleet/database id mismatch");
+    }
   }
+  obs::counter("fa.sim.servers").add(fleet.servers.size());
 
   const HazardModel hazard(config, fleet);
-  auto events = generate_failures(config, fleet, hazard, db);
-  emit_crash_tickets(config, std::move(events), db);
-  emit_background_tickets(config, fleet, db);
+  std::size_t event_count = 0;
+  std::vector<FailureEvent> events;
+  {
+    obs::Span phase("sim.generate_failures");
+    events = generate_failures(config, fleet, hazard, db);
+    event_count = events.size();
+  }
+  {
+    obs::Span phase("sim.emit_crash_tickets");
+    emit_crash_tickets(config, std::move(events), db);
+  }
+  {
+    obs::Span phase("sim.emit_background_tickets");
+    emit_background_tickets(config, fleet, db);
+  }
+  {
+    obs::Span phase("sim.emit_workload");
+    emit_weekly_usage(config, fleet, db);
+    emit_monthly_snapshots(fleet, db);
+    emit_power_events(config, fleet, db);
+  }
+  {
+    obs::Span phase("sim.finalize");
+    db.finalize();
+  }
 
-  emit_weekly_usage(config, fleet, db);
-  emit_monthly_snapshots(fleet, db);
-  emit_power_events(config, fleet, db);
-
-  db.finalize();
+  obs::counter("fa.sim.failure_events").add(event_count);
+  obs::counter("fa.sim.tickets").add(db.tickets().size());
+  for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
+    obs::counter("fa.sim.tickets_by_subsystem",
+                 {{"subsystem", std::string(trace::subsystem_name(sys))}})
+        .add(db.ticket_count(sys));
+  }
   return db;
 }
 

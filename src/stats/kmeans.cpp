@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -98,6 +99,9 @@ KMeansResult run_once(std::span<const std::vector<double>> points,
       result.assignment[i] = best_c;
       inertia += best;
     }
+    result.stats.distances_computed +=
+        static_cast<std::uint64_t>(points.size()) *
+        static_cast<std::uint64_t>(options.k);
     result.inertia = inertia;
     // Update step.
     std::vector<std::vector<double>> sums(
@@ -119,8 +123,10 @@ KMeansResult run_once(std::span<const std::vector<double>> points,
         result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
       }
     }
-    if (prev_inertia - inertia <=
-        options.tolerance * std::max(prev_inertia, 1e-300)) {
+    // iter 1 has no previous inertia to compare against (inf - x <= tol*inf
+    // holds, which would declare convergence after a single Lloyd step).
+    if (iter > 1 && prev_inertia - inertia <=
+                        options.tolerance * std::max(prev_inertia, 1e-300)) {
       result.converged = true;
       break;
     }
@@ -237,6 +243,13 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
   std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
   std::vector<std::size_t> counts(k, 0);
 
+  // Prune accounting: per-chunk slots written only by the chunk's worker,
+  // summed serially after the loop, so the totals are schedule-independent
+  // (and integer, so they are bit-identical at any thread count).
+  const std::size_t chunk_count = (n + kAssignChunk - 1) / kAssignChunk;
+  std::vector<std::uint64_t> computed_per_chunk(chunk_count, 0);
+  std::vector<std::uint64_t> pruned_per_chunk(chunk_count, 0);
+
   double prev_inertia = std::numeric_limits<double>::infinity();
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations = iter;
@@ -256,6 +269,7 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
 
     // Assignment step: chunk-parallel, every write lands in a per-point slot.
     parallel_chunks(n, [&](std::size_t b, std::size_t e) {
+      std::uint64_t computed = 0, pruned = 0;
       for (std::size_t i = b; i < e; ++i) {
         const int a = result.assignment[i];
         if (a >= 0) {
@@ -265,11 +279,16 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
           const double d_a = std::sqrt(sq);
           upper[i] = d_a;
           d_sq[i] = sq;
+          ++computed;  // the exactness recompute against the assigned centroid
           // Hamerly test: the assigned centroid is certainly still nearest
           // when its exact distance is within both the runner-up lower
           // bound and half the separation to the nearest other centroid.
-          if (d_a <= std::max(lower[i], half_sep[ac])) continue;
+          if (d_a <= std::max(lower[i], half_sep[ac])) {
+            pruned += k - 1;  // skipped the scan over every other centroid
+            continue;
+          }
         }
+        computed += k;
         double best_sq = std::numeric_limits<double>::infinity();
         double second_sq = std::numeric_limits<double>::infinity();
         int best_c = 0;
@@ -290,6 +309,8 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
         lower[i] = std::sqrt(second_sq);
         d_sq[i] = best_sq;
       }
+      computed_per_chunk[b / kAssignChunk] += computed;
+      pruned_per_chunk[b / kAssignChunk] += pruned;
     });
 
     // Serial in-order reduction: inertia plus cluster sums/counts. This is
@@ -334,8 +355,10 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
       max_moved = std::max(max_moved, moved[c]);
     }
 
-    if (prev_inertia - inertia <=
-        options.tolerance * std::max(prev_inertia, 1e-300)) {
+    // iter 1 has no previous inertia to compare against (inf - x <= tol*inf
+    // holds, which would declare convergence after a single Lloyd step).
+    if (iter > 1 && prev_inertia - inertia <=
+                        options.tolerance * std::max(prev_inertia, 1e-300)) {
       result.converged = true;
       break;
     }
@@ -348,7 +371,27 @@ KMeansResult run_once_sparse(const SparseMatrix& points,
       lower[i] -= max_moved;
     }
   }
+  for (std::uint64_t c : computed_per_chunk) {
+    result.stats.distances_computed += c;
+  }
+  for (std::uint64_t p : pruned_per_chunk) result.stats.distances_pruned += p;
   return result;
+}
+
+// Records one kmeans() call's aggregated work accounting into the metrics
+// registry (fa.kmeans.* families; all deterministic).
+void record_kmeans_metrics(const IterationStats& stats) {
+  static obs::Counter& runs = obs::counter("fa.kmeans.runs");
+  static obs::Counter& restarts = obs::counter("fa.kmeans.restarts");
+  static obs::Counter& iterations = obs::counter("fa.kmeans.iterations");
+  static obs::Counter& computed =
+      obs::counter("fa.kmeans.distances_computed");
+  static obs::Counter& pruned = obs::counter("fa.kmeans.distances_pruned");
+  runs.add(1);
+  restarts.add(stats.iterations_per_restart.size());
+  iterations.add(static_cast<std::uint64_t>(stats.total_iterations()));
+  computed.add(stats.distances_computed);
+  pruned.add(stats.distances_pruned);
 }
 
 }  // namespace
@@ -379,11 +422,21 @@ KMeansResult kmeans(std::span<const std::vector<double>> points,
     runs[r] = run_once(points, options, restart_rngs[r]);
   });
 
+  IterationStats stats;
+  stats.iterations_per_restart.reserve(runs.size());
+  for (const KMeansResult& run : runs) {
+    stats.iterations_per_restart.push_back(run.iterations);
+    stats.distances_computed += run.stats.distances_computed;
+    stats.distances_pruned += run.stats.distances_pruned;
+  }
   std::size_t best = 0;
   for (std::size_t r = 1; r < runs.size(); ++r) {
     if (runs[r].inertia < runs[best].inertia) best = r;
   }
-  return std::move(runs[best]);
+  KMeansResult result = std::move(runs[best]);
+  result.stats = std::move(stats);
+  record_kmeans_metrics(result.stats);
+  return result;
 }
 
 KMeansResult kmeans(const SparseMatrix& points, const KMeansOptions& options,
@@ -409,10 +462,17 @@ KMeansResult kmeans(const SparseMatrix& points, const KMeansOptions& options,
   }
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
+  IterationStats stats;
+  stats.iterations_per_restart.reserve(restart_rngs.size());
   for (std::size_t r = 0; r < restart_rngs.size(); ++r) {
     auto run = run_once_sparse(points, options, restart_rngs[r]);
+    stats.iterations_per_restart.push_back(run.iterations);
+    stats.distances_computed += run.stats.distances_computed;
+    stats.distances_pruned += run.stats.distances_pruned;
     if (r == 0 || run.inertia < best.inertia) best = std::move(run);
   }
+  best.stats = std::move(stats);
+  record_kmeans_metrics(best.stats);
   return best;
 }
 

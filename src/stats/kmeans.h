@@ -5,6 +5,7 @@
 // fa::analysis::TicketClassifier.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -13,12 +14,46 @@
 
 namespace fa::stats {
 
+// Work accounting across all restarts of one kmeans() call. All fields are
+// deterministic for a fixed input at any thread count: iteration counts and
+// Hamerly-prune decisions depend only on per-point state, never on the
+// schedule (see docs/PERF.md), so the prune ratio is a stable, continuously
+// checkable figure rather than a one-off measurement.
+struct IterationStats {
+  // Lloyd iterations each restart ran (index = restart index).
+  std::vector<int> iterations_per_restart;
+  // Point-to-centroid distance evaluations performed in the assignment
+  // steps of every restart, and evaluations skipped by the Hamerly bound
+  // test (sparse path only; the dense reference path never prunes).
+  std::uint64_t distances_computed = 0;
+  std::uint64_t distances_pruned = 0;
+
+  // Evaluations a prune-free assignment step would have performed.
+  std::uint64_t distances_attempted() const {
+    return distances_computed + distances_pruned;
+  }
+  double prune_ratio() const {
+    const std::uint64_t attempted = distances_attempted();
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(distances_pruned) /
+                     static_cast<double>(attempted);
+  }
+  int total_iterations() const {
+    int total = 0;
+    for (int i : iterations_per_restart) total += i;
+    return total;
+  }
+};
+
 struct KMeansResult {
   std::vector<std::vector<double>> centroids;  // k x dim
   std::vector<int> assignment;                 // one entry per point
   double inertia = 0.0;                        // sum of squared distances
-  int iterations = 0;
+  int iterations = 0;                          // winning restart's iterations
   bool converged = false;
+  // Aggregated over all restarts (not just the winner).
+  IterationStats stats;
 };
 
 struct KMeansOptions {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/obs/span.h"
 #include "src/util/csv.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
@@ -113,6 +114,7 @@ void expect_header(CsvReader& reader, const std::vector<std::string>& want,
 }
 
 void save_database(const TraceDatabase& db, const std::string& directory) {
+  obs::Span span("trace.save_database");
   std::filesystem::create_directories(directory);
 
   {
@@ -197,6 +199,7 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
 }
 
 TraceDatabase load_database(const std::string& directory) {
+  obs::Span span("trace.load_database");
   TraceDatabase db;
   std::vector<std::string> row;
   std::int32_t max_incident = -1;

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/trace/csv_io.h"
 #include "src/util/csv.h"
 #include "src/util/error.h"
@@ -305,6 +307,7 @@ std::string SanitizationReport::defects_csv() const {
 }
 
 SanitizedDatabase sanitize_database(const std::string& directory) {
+  obs::Span span("trace.sanitize_database");
   SanitizedDatabase result;
   TraceDatabase& db = result.db;
   SanitizationReport& report = result.report;
@@ -776,6 +779,17 @@ SanitizedDatabase sanitize_database(const std::string& directory) {
   }
 
   db.finalize();
+
+  // Metric families are emitted complete (add(0) for absent classes), so a
+  // clean run and a dirty run export the same set of label values.
+  for (DefectClass cls : kAllDefectClasses) {
+    obs::counter("fa.sanitize.defects",
+                 {{"class", std::string(trace::to_string(cls))}})
+        .add(report.count(cls));
+  }
+  obs::counter("fa.sanitize.repaired").add(report.repaired());
+  obs::counter("fa.sanitize.quarantined").add(report.quarantined());
+  obs::counter("fa.sanitize.cascade_drops").add(report.cascade_drops);
   return result;
 }
 

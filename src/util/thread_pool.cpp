@@ -1,10 +1,43 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
 
 namespace fa {
+
+namespace {
+
+// Per-worker metric handles, resolved once per (worker index, metric) —
+// schedule-dependent values, so the whole family is timing-class.
+struct WorkerMetrics {
+  obs::Counter& items;
+  obs::Counter& busy_us;
+  obs::Counter& idle_us;
+
+  explicit WorkerMetrics(std::size_t worker)
+      : items(obs::counter("fa.pool.worker.items",
+                           {{"worker", std::to_string(worker)}},
+                           obs::Stability::kTiming)),
+        busy_us(obs::counter("fa.pool.worker.busy_us",
+                             {{"worker", std::to_string(worker)}},
+                             obs::Stability::kTiming)),
+        idle_us(obs::counter("fa.pool.worker.idle_us",
+                             {{"worker", std::to_string(worker)}},
+                             obs::Stability::kTiming)) {}
+};
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
 
 // One parallel_for invocation: an atomic work counter the caller and every
 // worker drain together, plus completion bookkeeping. Held by shared_ptr so
@@ -20,7 +53,10 @@ struct ThreadPool::Batch {
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  void run_slice() {
+  // Returns the number of items this thread executed, so callers can
+  // attribute work to individual workers.
+  std::size_t run_slice() {
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
@@ -30,11 +66,13 @@ struct ThreadPool::Batch {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
       }
+      ++executed;
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(done_mutex);
         all_done.notify_all();
       }
     }
+    return executed;
   }
 };
 
@@ -47,7 +85,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
   // size N needs N-1 dedicated workers.
   if (thread_count > 1) threads_.reserve(thread_count - 1);
   for (std::size_t i = 0; i + 1 < thread_count; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -60,10 +98,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
+  WorkerMetrics metrics(worker);
   std::shared_ptr<Batch> previous;
   for (;;) {
     std::shared_ptr<Batch> batch;
+    const auto wait_start = std::chrono::steady_clock::now();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [&] {
@@ -72,7 +112,11 @@ void ThreadPool::worker_loop() {
       if (shutting_down_) return;
       batch = batch_;
     }
-    batch->run_slice();
+    const auto run_start = std::chrono::steady_clock::now();
+    metrics.idle_us.add(us_between(wait_start, run_start));
+    const std::size_t executed = batch->run_slice();
+    metrics.busy_us.add(us_between(run_start, std::chrono::steady_clock::now()));
+    metrics.items.add(executed);
     // Remember the batch we just drained so the next wait doesn't re-enter
     // it if the caller has not retired it yet.
     previous = std::move(batch);
@@ -82,8 +126,23 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Batch shape depends only on n, never on the schedule, so these stay in
+  // the deterministic export.
+  static obs::Counter& batches = obs::counter("fa.pool.batches");
+  static obs::Counter& items = obs::counter("fa.pool.items");
+  static obs::Histogram& batch_items = obs::histogram(
+      "fa.pool.batch_items", obs::size_bounds(), {},
+      obs::Stability::kDeterministic);
+  batches.add(1);
+  items.add(n);
+  batch_items.record(static_cast<double>(n));
   if (threads_.empty() || n == 1) {
+    static WorkerMetrics caller_metrics(0);
+    const auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    caller_metrics.busy_us.add(
+        us_between(start, std::chrono::steady_clock::now()));
+    caller_metrics.items.add(n);
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -94,7 +153,14 @@ void ThreadPool::parallel_for(std::size_t n,
     batch_ = batch;
   }
   work_available_.notify_all();
-  batch->run_slice();
+  {
+    static WorkerMetrics caller_metrics(0);
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t executed = batch->run_slice();
+    caller_metrics.busy_us.add(
+        us_between(start, std::chrono::steady_clock::now()));
+    caller_metrics.items.add(executed);
+  }
   {
     std::unique_lock<std::mutex> lock(batch->done_mutex);
     batch->all_done.wait(lock, [&batch] {

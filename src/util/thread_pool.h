@@ -51,7 +51,9 @@ class ThreadPool {
  private:
   struct Batch;
 
-  void worker_loop();
+  // `worker` is the 1-based dedicated-worker index (the calling thread of a
+  // parallel_for acts as worker 0); used to label per-worker metrics.
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;

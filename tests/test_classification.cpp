@@ -22,15 +22,16 @@ TEST(Classification, ExtractionRecoversExactlyTheCrashTickets) {
 
 TEST(Classification, ClusteredExtractionIsPrecisionFocused) {
   // Unsupervised crash identification over all ticket descriptions: what it
-  // flags must really be crashes (high precision, high overall accuracy);
-  // recall is partial by design — the paper pairs clustering with manual
-  // labeling for exactly this reason.
+  // flags must really be crashes (high precision, high overall accuracy).
+  // Recall may be partial — the paper pairs clustering with manual labeling
+  // for exactly this reason — though fully converged k-means reaches 1.0 on
+  // this synthetic corpus; only the precision/accuracy floors are load-bearing.
   Rng rng(11);
   const auto result = extract_crash_tickets_clustered(db(), rng);
   EXPECT_GT(result.accuracy, 0.95);
   EXPECT_GT(result.precision, 0.80);
   EXPECT_GT(result.recall, 0.15);
-  EXPECT_LT(result.recall, 1.0);
+  EXPECT_LE(result.recall, 1.0);
   EXPECT_FALSE(result.crash_tickets.empty());
 }
 

@@ -1,0 +1,75 @@
+// Compile-out mode: with FA_OBS_DISABLED defined before the headers, the
+// whole obs API must still compile (same spellings as the instrumented
+// code) while recording nothing. Defining the macro in this TU only — and
+// linking against the normally-built libraries — also exercises the
+// inline-namespace separation: stub and full implementation coexist in one
+// binary without ODR trouble.
+#define FA_OBS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace {
+
+using namespace fa;
+
+TEST(ObsDisabled, CompileTimeFlagIsVisible) {
+  EXPECT_FALSE(obs::kCompiledIn);
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsDisabled, EveryOpIsANoOp) {
+  obs::Counter& counter =
+      obs::counter("disabled.counter", {{"k", "v"}});
+  counter.add(42);
+  EXPECT_EQ(counter.value(), 0u);
+
+  obs::Gauge& gauge = obs::gauge("disabled.gauge");
+  gauge.set(3.0);
+  EXPECT_EQ(gauge.value(), 0.0);
+
+  obs::Histogram& histogram =
+      obs::histogram("disabled.hist", {1.0, 2.0});
+  histogram.record(1.5);
+  EXPECT_EQ(histogram.count(), 0u);
+
+  {
+    obs::Span span("disabled.span");
+    span.close();
+  }
+
+  obs::set_enabled(true);  // accepted, still off
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsDisabled, SnapshotsAndExportersAreEmptyButWellFormed) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  const auto snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+  EXPECT_TRUE(snapshot.spans.empty());
+  EXPECT_TRUE(registry.span_events().empty());
+
+  // Exporters are plain functions over snapshot data, so they still
+  // produce valid (empty) documents.
+  EXPECT_NE(obs::to_json(snapshot).find("\"deterministic\""),
+            std::string::npos);
+  EXPECT_NE(obs::chrome_trace_json(registry.span_events())
+                .find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_EQ(obs::render_table(snapshot), "(no metrics recorded)\n");
+}
+
+// Shared plain-data helpers stay available regardless of the macro.
+TEST(ObsDisabled, PlainDataHelpersStillWork) {
+  EXPECT_EQ(obs::canonical_labels({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+  EXPECT_FALSE(obs::duration_seconds_bounds().empty());
+  EXPECT_FALSE(obs::size_bounds().empty());
+}
+
+}  // namespace

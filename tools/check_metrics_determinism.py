@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""End-to-end determinism check for the observability export.
+
+Runs the fa_trace CLI report on the default simulation at --threads 1 and
+--threads 8, then asserts the "deterministic" sections of the two metrics
+snapshots are identical. Per-worker timing data is allowed (and expected)
+to differ; the deterministic counters and histogram bucket counts are not.
+
+Usage: check_metrics_determinism.py <fa_trace_binary> <workdir>
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def run(binary, threads, metrics_path):
+    cmd = [binary, "--threads", str(threads), "--metrics", metrics_path,
+           "report", "--scale", "0.05"]
+    result = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    if result.returncode != 0:
+        sys.stderr.write(f"{' '.join(cmd)} exited {result.returncode}\n")
+        sys.exit(1)
+    with open(metrics_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    binary, workdir = sys.argv[1], sys.argv[2]
+    os.makedirs(workdir, exist_ok=True)
+
+    serial = run(binary, 1, os.path.join(workdir, "metrics_t1.json"))
+    parallel = run(binary, 8, os.path.join(workdir, "metrics_t8.json"))
+
+    det_serial = serial["deterministic"]
+    det_parallel = parallel["deterministic"]
+    if not det_serial.get("counters"):
+        sys.stderr.write("deterministic section is empty — the report "
+                         "pipeline recorded no counters\n")
+        return 1
+    if det_serial != det_parallel:
+        for key in sorted(set(det_serial) | set(det_parallel)):
+            sa = {json.dumps(x, sort_keys=True)
+                  for x in det_serial.get(key, [])}
+            pa = {json.dumps(x, sort_keys=True)
+                  for x in det_parallel.get(key, [])}
+            for entry in sorted(sa ^ pa):
+                side = "threads=1" if entry in sa else "threads=8"
+                sys.stderr.write(f"only at {side} in {key}: {entry}\n")
+        sys.stderr.write("deterministic sections differ between "
+                         "--threads 1 and --threads 8\n")
+        return 1
+    print(f"deterministic sections identical across thread counts "
+          f"({len(det_serial['counters'])} counters, "
+          f"{len(det_serial['histograms'])} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,22 @@
 //       Simulate a datacenter trace and export it as the five-file CSV
 //       schema (servers/tickets/weekly_usage/power_events/snapshots).
 //
-//   fa_trace report [--lenient] DIR
+//   fa_trace report [--lenient] [--scale S] [DIR]
 //       Load a CSV trace and print the full failure-analysis summary:
 //       population, classification, failure rates, recurrence, repair
 //       times, spatial dependency and reliability metrics. With
 //       --lenient, defective rows are repaired or quarantined instead of
 //       aborting the load, and the sanitization report is printed first.
+//       Without DIR, the report runs on a default simulated trace
+//       (paper defaults scaled by --scale, default 0.1) via the artifact
+//       cache — no files needed.
+//
+//   fa_trace profile [COMMAND ...]
+//       Run any fa_trace command (default: report on the default
+//       simulation) with instrumentation on, print the metrics table and
+//       write fa_metrics.json + fa_trace_events.json (paths overridable
+//       with the global --metrics / --trace-out flags). The trace file
+//       loads in chrome://tracing or https://ui.perfetto.dev.
 //
 //   fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]
 //       Load a CSV trace in lenient mode and print the sanitization
@@ -37,8 +47,11 @@
 //       Print the same-server weekly failure class-transition matrix.
 //
 // Global flags (any command):
-//   --threads N   worker threads for parallel stages (0 = all cores)
-//   --no-cache    disable the in-process artifact cache
+//   --threads N       worker threads for parallel stages (0 = all cores)
+//   --no-cache        disable the in-process artifact cache
+//   --no-obs          turn off metric/span recording at runtime
+//   --metrics PATH    write the metrics JSON snapshot before exiting
+//   --trace-out PATH  write the Chrome trace-event JSON before exiting
 #include <cstdlib>
 #include <exception>
 #include <fstream>
@@ -58,6 +71,8 @@
 #include "src/analysis/spatial.h"
 #include "src/analysis/transitions.h"
 #include "src/inject/corruptor.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/sim/validation.h"
 #include "src/stats/fitting.h"
@@ -75,15 +90,24 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  fa_trace simulate --out DIR [--scale S] [--seed N]\n"
-         "  fa_trace report [--lenient] DIR\n"
+         "  fa_trace report [--lenient] [--scale S] [DIR]\n"
          "  fa_trace classify DIR\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
          "  fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]\n"
          "  fa_trace corrupt --in DIR --out DIR [--seed N] [--rate R]\n"
          "                   [--mix class=rate,...] [--counts-csv FILE]\n"
-         "global flags: --threads N, --no-cache\n";
+         "  fa_trace profile [COMMAND ...]\n"
+         "global flags: --threads N, --no-cache, --no-obs,\n"
+         "              --metrics PATH, --trace-out PATH\n";
   return 2;
+}
+
+int unknown_command(const std::string& command) {
+  std::cerr << "fa_trace: unknown command '" << command
+            << "'\navailable commands: simulate, report, classify, fit, "
+               "transitions, sanitize, corrupt, profile\n";
+  return usage();
 }
 
 // Writes `text` to `path`, failing loudly (reports written to an
@@ -137,9 +161,14 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return validation.ok() ? 0 : 1;
 }
 
-int cmd_report(const std::string& dir, bool lenient) {
+int cmd_report(const std::string& dir, bool lenient, double scale) {
   analysis::AnalysisContext ctx;
-  if (lenient) {
+  if (dir.empty()) {
+    // No trace directory: report on the default simulation (via the cache,
+    // so `profile report` exercises the full simulate + analyze path).
+    const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+    ctx = analysis::cached_context(config);
+  } else if (lenient) {
     auto result = analysis::analyze_lenient(dir);
     std::cout << result.report.to_string();
     if (result.tickets_dropped > 0) {
@@ -391,58 +420,117 @@ int cmd_corrupt(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Dispatches a parsed command line (global flags already stripped).
+int run_command(const std::vector<std::string>& args) {
+  const std::string& command = args[0];
+  if (command == "simulate") {
+    return cmd_simulate({args.begin() + 1, args.end()});
+  }
+  if (command == "report") {
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    bool lenient = false;
+    double scale = 0.1;
+    std::string dir;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] == "--lenient") {
+        lenient = true;
+      } else if (rest[i] == "--scale" && i + 1 < rest.size()) {
+        scale = std::atof(rest[++i].c_str());
+      } else if (dir.empty() && !rest[i].starts_with("--")) {
+        dir = rest[i];
+      } else {
+        std::cerr << "report: unknown argument '" << rest[i] << "'\n";
+        return usage();
+      }
+    }
+    if (scale <= 0.0 || scale > 1.0) return usage();
+    return cmd_report(dir, lenient, scale);
+  }
+  if (command == "classify" && args.size() == 2) {
+    return cmd_classify(args[1]);
+  }
+  if (command == "fit" && args.size() == 4) {
+    return cmd_fit(args[1], args[2], args[3]);
+  }
+  if (command == "transitions" && args.size() == 2) {
+    return cmd_transitions(args[1]);
+  }
+  if (command == "sanitize") {
+    return cmd_sanitize({args.begin() + 1, args.end()});
+  }
+  if (command == "corrupt") {
+    return cmd_corrupt({args.begin() + 1, args.end()});
+  }
+  if (command == "classify" || command == "fit" || command == "transitions") {
+    return usage();  // known command, wrong arity
+  }
+  return unknown_command(command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
+  std::string metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-cache") {
       fa::analysis::ArtifactCache::global().set_enabled(false);
+    } else if (arg == "--no-obs") {
+      fa::obs::set_enabled(false);
     } else if (arg == "--threads" && i + 1 < argc) {
-      fa::ThreadPool::set_default_thread_count(
-          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+      const std::string value = argv[++i];
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') {
+        std::cerr << "invalid --threads value '" << value
+                  << "' (expected a non-negative integer)\n";
+        return 2;
+      }
+      fa::ThreadPool::set_default_thread_count(static_cast<std::size_t>(n));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
     } else {
       args.push_back(arg);
     }
   }
+  bool profile = false;
+  if (!args.empty() && args[0] == "profile") {
+    profile = true;
+    args.erase(args.begin());
+    if (metrics_path.empty()) metrics_path = "fa_metrics.json";
+    if (trace_path.empty()) trace_path = "fa_trace_events.json";
+    if (args.empty()) args.emplace_back("report");
+  }
   if (args.empty()) return usage();
+
+  int rc;
   try {
-    const std::string& command = args[0];
-    if (command == "simulate") {
-      return cmd_simulate({args.begin() + 1, args.end()});
-    }
-    if (command == "report" && (args.size() == 2 || args.size() == 3)) {
-      std::vector<std::string> rest(args.begin() + 1, args.end());
-      bool lenient = false;
-      std::erase_if(rest, [&](const std::string& a) {
-        if (a == "--lenient") lenient = true;
-        return a == "--lenient";
-      });
-      if (rest.size() != 1) return usage();
-      return cmd_report(rest[0], lenient);
-    }
-    if (command == "classify" && args.size() == 2) {
-      return cmd_classify(args[1]);
-    }
-    if (command == "fit" && args.size() == 4) {
-      return cmd_fit(args[1], args[2], args[3]);
-    }
-    if (command == "transitions" && args.size() == 2) {
-      return cmd_transitions(args[1]);
-    }
-    if (command == "sanitize") {
-      return cmd_sanitize({args.begin() + 1, args.end()});
-    }
-    if (command == "corrupt") {
-      return cmd_corrupt({args.begin() + 1, args.end()});
-    }
-    return usage();
+    rc = run_command(args);
   } catch (const fa::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
+
+  if (profile) {
+    std::cout << "\n"
+              << fa::obs::render_table(
+                     fa::obs::MetricsRegistry::global().snapshot());
+  }
+  if (!fa::obs::export_registry_files(metrics_path, trace_path)) {
+    if (rc == 0) rc = 1;
+  } else if (profile) {
+    std::cout << "wrote " << metrics_path << " and " << trace_path
+              << " (load the trace in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  return rc;
 }
