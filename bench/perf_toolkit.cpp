@@ -1,31 +1,42 @@
 // Performance toolkit. Default mode times the pipeline stages (simulate,
 // classify) serial vs parallel and cache-cold vs cache-warm, breaks the
 // classify stage into vectorize/kmeans sub-stages timed dense vs sparse
-// (with an assignments-identical cross-check), checks that the parallel
-// trace is identical to the serial one, and writes the results to
-// BENCH_perf.json (machine-readable; path override: --json PATH; fleet
-// size: --scale F, default 0.3). --metrics PATH / --trace-out PATH write
-// the observability registry's JSON snapshot and Chrome trace after the
-// stage report; --no-obs turns recording off. The google-benchmark
-// microbenchmarks of the underlying kernels (fitting, ECDF, k-means,
-// extraction) run with --micro, which accepts the usual --benchmark_*
-// flags.
+// (with an assignments-identical cross-check), times trace save/load CSV
+// vs columnar (with a record-identity and out-of-core-equivalence check),
+// checks that the parallel trace is identical to the serial one, and
+// writes the results to BENCH_perf.json (machine-readable; path override:
+// --json PATH; fleet size: --scale F, default 0.3). --stream S instead
+// runs the out-of-core path end to end — streaming simulate -> columnar
+// file -> chunk-at-a-time summary at scale S (which may exceed 1) — and
+// reports peak RSS alongside the timings (default JSON: BENCH_stream.json).
+// --metrics PATH / --trace-out PATH write the observability registry's
+// JSON snapshot and Chrome trace after the stage report; --no-obs turns
+// recording off. The google-benchmark microbenchmarks of the underlying
+// kernels (fitting, ECDF, k-means, extraction) run with --micro, which
+// accepts the usual --benchmark_* flags.
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/analysis/artifact_cache.h"
 #include "src/analysis/classification.h"
+#include "src/analysis/out_of_core.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/analysis/pipeline.h"
 #include "src/analysis/recurrence.h"
 #include "src/sim/simulator.h"
+#include "src/trace/columnar_io.h"
+#include "src/trace/csv_io.h"
+#include "src/trace/trace_writer.h"
 #include "src/stats/ecdf.h"
 #include "src/stats/fitting.h"
 #include "src/stats/kmeans.h"
@@ -154,6 +165,42 @@ int run_stage_report(double scale, const std::string& json_path) {
   const bool cache_shared = cold.db.get() == warm.db.get() &&
                             cold.pipeline.get() == warm.pipeline.get();
 
+  // Trace IO: save/load the same database as CSV and as the chunked
+  // columnar format, cross-checking record identity and that the
+  // out-of-core chunk summary matches the in-memory one.
+  namespace fs = std::filesystem;
+  const fs::path io_dir = "bench_io_tmp";
+  const fs::path csv_dir = io_dir / "csv";
+  const fs::path fac_path = io_dir / "trace.fac";
+  fs::remove_all(io_dir);
+  fs::create_directories(csv_dir);
+  t0 = Clock::now();
+  trace::save_database(parallel_db, csv_dir.string());
+  const double csv_save = ms_since(t0);
+  std::uint64_t csv_bytes = 0;
+  for (const auto& entry : fs::directory_iterator(csv_dir)) {
+    csv_bytes += entry.file_size();
+  }
+  t0 = Clock::now();
+  const auto csv_loaded = trace::load_database(csv_dir.string());
+  const double csv_load = ms_since(t0);
+  t0 = Clock::now();
+  trace::save_columnar(parallel_db, fac_path.string());
+  const double col_save = ms_since(t0);
+  const std::uint64_t col_bytes = fs::file_size(fac_path);
+  t0 = Clock::now();
+  const auto col_loaded = trace::load_columnar(fac_path.string());
+  const double col_load = ms_since(t0);
+  const std::uint64_t reference_checksum = trace_checksum(parallel_db);
+  const bool io_identical =
+      trace_checksum(csv_loaded) == reference_checksum &&
+      trace_checksum(col_loaded) == reference_checksum;
+  const bool out_of_core_matches =
+      analysis::summarize_columnar(fac_path.string()) ==
+      analysis::summarize_database(parallel_db);
+  const double load_speedup = col_load > 0.0 ? csv_load / col_load : 0.0;
+  fs::remove_all(io_dir);
+
   FILE* out = std::fopen(json_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -198,6 +245,21 @@ int run_stage_report(double scale, const std::string& json_path) {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"sparse_matches_dense\": %s,\n",
                sparse_matches_dense ? "true" : "false");
+  std::fprintf(out, "  \"io\": {\n");
+  std::fprintf(out, "    \"csv_bytes\": %llu,\n",
+               static_cast<unsigned long long>(csv_bytes));
+  std::fprintf(out, "    \"columnar_bytes\": %llu,\n",
+               static_cast<unsigned long long>(col_bytes));
+  std::fprintf(out, "    \"csv_save_ms\": %.3f,\n", csv_save);
+  std::fprintf(out, "    \"columnar_save_ms\": %.3f,\n", col_save);
+  std::fprintf(out, "    \"csv_load_ms\": %.3f,\n", csv_load);
+  std::fprintf(out, "    \"columnar_load_ms\": %.3f,\n", col_load);
+  std::fprintf(out, "    \"load_speedup\": %.2f,\n", load_speedup);
+  std::fprintf(out, "    \"roundtrip_identical\": %s,\n",
+               io_identical ? "true" : "false");
+  std::fprintf(out, "    \"out_of_core_matches\": %s\n",
+               out_of_core_matches ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"cache\": {\n");
   std::fprintf(out, "    \"cold_ms\": %.3f,\n", cache_cold);
   std::fprintf(out, "    \"warm_ms\": %.3f,\n", cache_warm);
@@ -229,8 +291,94 @@ int run_stage_report(double scale, const std::string& json_path) {
       static_cast<unsigned long long>(sparse_stats.distances_attempted()));
   std::printf("cache:    cold %.1f ms, warm %.3f ms (shared: %s)\n",
               cache_cold, cache_warm, cache_shared ? "yes" : "NO");
+  std::printf(
+      "io:       save csv %.1f ms / columnar %.1f ms, load csv %.1f ms / "
+      "columnar %.1f ms (%.1fx)\n",
+      csv_save, col_save, csv_load, col_load, load_speedup);
+  std::printf("          %llu B csv vs %llu B columnar; identical: %s, "
+              "out-of-core matches: %s\n",
+              static_cast<unsigned long long>(csv_bytes),
+              static_cast<unsigned long long>(col_bytes),
+              io_identical ? "yes" : "NO",
+              out_of_core_matches ? "yes" : "NO");
   std::printf("wrote %s\n", json_path.c_str());
-  return identical && cache_shared && sparse_matches_dense ? 0 : 1;
+  return identical && cache_shared && sparse_matches_dense && io_identical &&
+                 out_of_core_matches
+             ? 0
+             : 1;
+}
+
+// Peak resident set in kilobytes (Linux ru_maxrss unit).
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// The out-of-core path end to end: stream the simulator into a columnar
+// file (no database is ever materialized), then summarize it
+// chunk-at-a-time. Peak RSS stays bounded by chunk size, so `scale` may
+// exceed the paper fleet by an order of magnitude.
+int run_stream_report(double scale, const std::string& json_path) {
+  namespace fs = std::filesystem;
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+  const fs::path fac_path = "bench_stream.fac";
+  const long rss_start_kb = peak_rss_kb();
+
+  auto t0 = Clock::now();
+  trace::ColumnarTraceWriter writer(fac_path.string());
+  sim::simulate_to(config, writer);
+  const double generate_ms = ms_since(t0);
+  const long rss_generate_kb = peak_rss_kb();
+  const std::uint64_t servers = writer.server_count();
+  const std::uint64_t tickets = writer.ticket_count();
+  const std::uint64_t file_bytes = fs::file_size(fac_path);
+
+  t0 = Clock::now();
+  const auto summary = analysis::summarize_columnar(fac_path.string());
+  const double analyze_ms = ms_since(t0);
+  const long rss_analyze_kb = peak_rss_kb();
+  fs::remove(fac_path);
+
+  const bool counts_match =
+      summary.servers == servers && summary.tickets == tickets;
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"scale\": %.2f,\n", scale);
+  std::fprintf(out, "  \"servers\": %llu,\n",
+               static_cast<unsigned long long>(servers));
+  std::fprintf(out, "  \"tickets\": %llu,\n",
+               static_cast<unsigned long long>(tickets));
+  std::fprintf(out, "  \"crash_tickets\": %llu,\n",
+               static_cast<unsigned long long>(summary.crash_tickets));
+  std::fprintf(out, "  \"file_bytes\": %llu,\n",
+               static_cast<unsigned long long>(file_bytes));
+  std::fprintf(out, "  \"generate_ms\": %.3f,\n", generate_ms);
+  std::fprintf(out, "  \"analyze_ms\": %.3f,\n", analyze_ms);
+  std::fprintf(out, "  \"rss_start_kb\": %ld,\n", rss_start_kb);
+  std::fprintf(out, "  \"rss_after_generate_kb\": %ld,\n", rss_generate_kb);
+  std::fprintf(out, "  \"rss_after_analyze_kb\": %ld,\n", rss_analyze_kb);
+  std::fprintf(out, "  \"counts_match\": %s\n",
+               counts_match ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("stream scale %.2f: %llu servers, %llu tickets, %llu B file\n",
+              scale, static_cast<unsigned long long>(servers),
+              static_cast<unsigned long long>(tickets),
+              static_cast<unsigned long long>(file_bytes));
+  std::printf("  generate %.1f ms, analyze %.1f ms\n", generate_ms,
+              analyze_ms);
+  std::printf("  peak RSS: start %ld KB, generate %ld KB, analyze %ld KB\n",
+              rss_start_kb, rss_generate_kb, rss_analyze_kb);
+  std::printf("  summary counts match writer tallies: %s\n",
+              counts_match ? "yes" : "NO");
+  std::printf("wrote %s\n", json_path.c_str());
+  return counts_match ? 0 : 1;
 }
 
 std::vector<double> gamma_sample(std::size_t n) {
@@ -345,7 +493,8 @@ BENCHMARK(BM_RecurrenceAnalysis);
 int main(int argc, char** argv) {
   bool micro = false;
   double scale = 0.3;
-  std::string json_path = "BENCH_perf.json";
+  double stream_scale = 0.0;
+  std::string json_path;
   std::string metrics_path, trace_path;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -354,6 +503,8 @@ int main(int argc, char** argv) {
       micro = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--stream" && i + 1 < argc) {
+      stream_scale = std::atof(argv[++i]);
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::atof(argv[++i]);
     } else if (arg == "--metrics" && i + 1 < argc) {
@@ -370,7 +521,14 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
+  if (stream_scale > 0.0) {
+    if (json_path.empty()) json_path = "BENCH_stream.json";
+    const int rc = run_stream_report(stream_scale, json_path);
+    if (!fa::obs::export_registry_files(metrics_path, trace_path)) return 1;
+    return rc;
+  }
   if (!micro) {
+    if (json_path.empty()) json_path = "BENCH_perf.json";
     const int rc = run_stage_report(scale, json_path);
     if (!fa::obs::export_registry_files(metrics_path, trace_path)) return 1;
     if (!metrics_path.empty()) std::printf("wrote %s\n", metrics_path.c_str());

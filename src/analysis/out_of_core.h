@@ -1,0 +1,65 @@
+// Chunk-at-a-time analysis over columnar trace files.
+//
+// The in-memory pipeline (pipeline.h) joins whole tables; this path streams
+// a columnar file chunk by chunk, keeping O(one chunk + one byte per
+// server) of state, so Table II-class populations and Fig. 2-class failure
+// rates compute on fleets far larger than RAM. Results are checked against
+// the in-memory counterpart in tests and bench/perf_toolkit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/trace/columnar_io.h"
+#include "src/trace/database.h"
+
+namespace fa::analysis {
+
+// Calls fn(view) for every chunk of `table`, in file order.
+void for_each_chunk(
+    const trace::ChunkReader& reader, trace::columnar::Table table,
+    const std::function<void(const trace::columnar::ChunkView&)>& fn);
+
+// Aggregates for one (machine type, subsystem) stratum.
+struct ScopeSummary {
+  std::uint64_t servers = 0;
+  std::uint64_t crash_tickets = 0;  // opened within the ticket window
+  // Fig. 2-style mean weekly failure rate: crash tickets in the window
+  // divided by (servers x weeks). 0 when the stratum is empty.
+  double mean_weekly_failure_rate = 0.0;
+
+  bool operator==(const ScopeSummary&) const = default;
+};
+
+struct OutOfCoreSummary {
+  std::uint64_t servers = 0;
+  std::uint64_t tickets = 0;
+  std::uint64_t crash_tickets = 0;
+  std::uint64_t weekly_usage_rows = 0;
+  std::uint64_t power_events = 0;
+  std::uint64_t snapshots = 0;
+  // Indexed [machine type][subsystem]: the Table II population layout.
+  std::array<std::array<ScopeSummary, trace::kSubsystemCount>,
+             trace::kMachineTypeCount>
+      by_scope{};
+  // Per machine type over all subsystems (the Fig. 2 "All" bars).
+  std::array<ScopeSummary, trace::kMachineTypeCount> by_type{};
+
+  bool operator==(const OutOfCoreSummary&) const = default;
+};
+
+// Streams `path` chunk-at-a-time: one pass over the server chunks builds a
+// one-byte-per-server scope index, one pass over the ticket chunks counts
+// crash tickets per stratum; monitoring-table volumes come straight from
+// the footer. Peak memory is one chunk plus the scope index — independent
+// of fleet size.
+OutOfCoreSummary summarize_columnar(const std::string& path,
+                                    bool use_mmap = true);
+
+// The same aggregates from a finalized in-memory database, for
+// equivalence checks against the streaming path.
+OutOfCoreSummary summarize_database(const trace::TraceDatabase& db);
+
+}  // namespace fa::analysis

@@ -186,8 +186,7 @@ SimulationConfig SimulationConfig::paper_defaults() {
 }
 
 SimulationConfig SimulationConfig::scaled(double factor) const {
-  require(factor > 0.0 && factor <= 1.0,
-          "SimulationConfig::scaled: factor must be in (0, 1]");
+  require(factor > 0.0, "SimulationConfig::scaled: factor must be > 0");
   SimulationConfig c = *this;
   const auto scale = [factor](int n) {
     if (n == 0) return 0;

@@ -188,8 +188,9 @@ struct SimulationConfig {
   // Returns the paper-calibrated default configuration.
   static SimulationConfig paper_defaults();
 
-  // A proportionally shrunk copy (populations and ticket volumes scaled by
-  // `factor`) for fast tests; factor in (0, 1].
+  // A proportionally scaled copy (populations and ticket volumes scaled by
+  // `factor`): shrunk for fast tests, grown (factor > 1) for out-of-core
+  // scale runs.
   SimulationConfig scaled(double factor) const;
 
   // Stable 64-bit fingerprint over every field (including the seed): equal

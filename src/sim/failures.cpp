@@ -209,7 +209,7 @@ std::vector<FailureEvent> generate_incident(const SimulationConfig& config,
 std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
                                             const Fleet& fleet,
                                             const HazardModel& hazard,
-                                            trace::TraceDatabase& db) {
+                                            trace::TraceWriter& writer) {
   // Serial planning pass: fix the incident count per stratum and allocate
   // incident ids in the canonical (subsystem, type, index) order.
   std::vector<IncidentPlan> plans;
@@ -225,7 +225,7 @@ std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
       for (int i = 0; i < n; ++i) {
         const std::uint64_t stream =
             static_cast<std::uint64_t>(i) * 16 + stratum;
-        plans.push_back({sys, type, db.new_incident(), mix, stream});
+        plans.push_back({sys, type, writer.new_incident(), mix, stream});
       }
     }
   }

@@ -15,7 +15,7 @@
 #include "src/sim/config.h"
 #include "src/sim/fleet.h"
 #include "src/sim/hazard.h"
-#include "src/trace/database.h"
+#include "src/trace/trace_writer.h"
 #include "src/util/rng.h"
 
 namespace fa::sim {
@@ -34,13 +34,13 @@ struct FailureEvent {
 };
 
 // Generates all failure events of the observation year, sorted by time.
-// Incident ids are allocated from `db`. Randomness is derived from
+// Incident ids are allocated from `writer`. Randomness is derived from
 // `config.seed` via one counter-based stream per primary incident, and the
 // per-incident generation fans out over the global thread pool — the output
 // is bit-identical at any thread count.
 std::vector<FailureEvent> generate_failures(const SimulationConfig& config,
                                             const Fleet& fleet,
                                             const HazardModel& hazard,
-                                            trace::TraceDatabase& db);
+                                            trace::TraceWriter& writer);
 
 }  // namespace fa::sim

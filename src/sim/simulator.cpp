@@ -14,21 +14,20 @@
 
 namespace fa::sim {
 
-trace::TraceDatabase simulate(const SimulationConfig& config) {
+void simulate_to(const SimulationConfig& config, trace::TraceWriter& writer) {
   obs::Span simulate_span("sim.simulate");
 
   // Fleet construction stays serial (machines are cheap to draw and later
   // machines' host-box placement depends on earlier draws); every other
   // phase fans out over the thread pool with counter-based streams.
   Rng fleet_rng = stream_rng(config.seed, SeedStream::kFleet);
-  trace::TraceDatabase db;
   Fleet fleet;
   {
     obs::Span phase("sim.build_fleet");
     fleet = build_fleet(config, fleet_rng);
     for (const trace::ServerRecord& s : fleet.servers) {
-      const trace::ServerId assigned = db.add_server(s);
-      require(assigned == s.id, "simulate: fleet/database id mismatch");
+      const trace::ServerId assigned = writer.add_server(s);
+      require(assigned == s.id, "simulate: fleet/writer id mismatch");
     }
   }
   obs::counter("fa.sim.servers").add(fleet.servers.size());
@@ -38,34 +37,45 @@ trace::TraceDatabase simulate(const SimulationConfig& config) {
   std::vector<FailureEvent> events;
   {
     obs::Span phase("sim.generate_failures");
-    events = generate_failures(config, fleet, hazard, db);
+    events = generate_failures(config, fleet, hazard, writer);
     event_count = events.size();
   }
+  std::array<int, trace::kSubsystemCount> crash_count{};
   {
     obs::Span phase("sim.emit_crash_tickets");
-    emit_crash_tickets(config, std::move(events), db);
+    crash_count = emit_crash_tickets(config, fleet, std::move(events), writer);
   }
   {
     obs::Span phase("sim.emit_background_tickets");
-    emit_background_tickets(config, fleet, db);
+    emit_background_tickets(config, fleet, crash_count, writer);
   }
   {
     obs::Span phase("sim.emit_workload");
-    emit_weekly_usage(config, fleet, db);
-    emit_monthly_snapshots(fleet, db);
-    emit_power_events(config, fleet, db);
+    emit_weekly_usage(config, fleet, writer);
+    emit_monthly_snapshots(fleet, writer);
+    emit_power_events(config, fleet, writer);
   }
   {
-    obs::Span phase("sim.finalize");
-    db.finalize();
+    obs::Span phase("sim.writer_finish");
+    writer.finish();
   }
 
   obs::counter("fa.sim.failure_events").add(event_count);
-  obs::counter("fa.sim.tickets").add(db.tickets().size());
+  obs::counter("fa.sim.tickets").add(writer.ticket_count());
   for (trace::Subsystem sys = 0; sys < trace::kSubsystemCount; ++sys) {
     obs::counter("fa.sim.tickets_by_subsystem",
                  {{"subsystem", std::string(trace::subsystem_name(sys))}})
-        .add(db.ticket_count(sys));
+        .add(writer.ticket_count(sys));
+  }
+}
+
+trace::TraceDatabase simulate(const SimulationConfig& config) {
+  trace::TraceDatabase db;
+  trace::DatabaseTraceWriter writer(db);
+  simulate_to(config, writer);
+  {
+    obs::Span phase("sim.finalize");
+    db.finalize();
   }
   return db;
 }

@@ -15,6 +15,11 @@
 namespace fa::sim {
 namespace {
 
+// Parallel render blocks are committed serially after each block, so peak
+// memory is one block of rendered tickets even when the writer streams to
+// disk. Stream ids stay global indexes: block size cannot affect output.
+constexpr std::size_t kRenderBlock = 8192;
+
 stats::LogNormal repair_distribution(const RepairSpec& spec) {
   return stats::LogNormal::from_mean_median(spec.mean_hours,
                                             spec.median_hours);
@@ -22,9 +27,9 @@ stats::LogNormal repair_distribution(const RepairSpec& spec) {
 
 }  // namespace
 
-void emit_crash_tickets(const SimulationConfig& config,
-                        std::vector<FailureEvent> events,
-                        trace::TraceDatabase& db) {
+std::array<int, trace::kSubsystemCount> emit_crash_tickets(
+    const SimulationConfig& config, const Fleet& fleet,
+    std::vector<FailureEvent> events, trace::TraceWriter& writer) {
   // Serial planning pass over the (time-sorted) events: distinct servers per
   // incident decide monitoring-loss eligibility, and an incident's first
   // event is exempt from loss.
@@ -51,54 +56,60 @@ void emit_crash_tickets(const SimulationConfig& config,
     repair.push_back(repair_distribution(spec));
   }
 
-  // Parallel rendering pass: each failure event renders its ticket (or its
-  // monitoring loss) from a private stream into its own slot.
-  std::vector<std::optional<trace::Ticket>> rendered(events.size());
-  parallel_for(events.size(), [&](std::size_t i) {
-    const FailureEvent& e = events[i];
-    Rng rng = stream_rng(config.seed, SeedStream::kCrashTicket, i);
-    if (loss_eligible[i] && rng.bernoulli(config.monitoring_loss_probability)) {
-      return;  // the monitoring server itself was down; ticket never filed
+  // Parallel rendering in blocks: each failure event renders its ticket (or
+  // its monitoring loss) from a private stream into its own slot, then the
+  // block commits serially — ticket ids follow event order, as before.
+  std::array<int, trace::kSubsystemCount> crash_count{};
+  std::vector<std::optional<trace::Ticket>> rendered(
+      std::min(kRenderBlock, events.size()));
+  for (std::size_t block = 0; block < events.size(); block += kRenderBlock) {
+    const std::size_t n = std::min(kRenderBlock, events.size() - block);
+    parallel_for(n, [&](std::size_t j) {
+      const std::size_t i = block + j;
+      const FailureEvent& e = events[i];
+      rendered[j].reset();
+      Rng rng = stream_rng(config.seed, SeedStream::kCrashTicket, i);
+      if (loss_eligible[i] &&
+          rng.bernoulli(config.monitoring_loss_probability)) {
+        return;  // the monitoring server itself was down; ticket never filed
+      }
+
+      trace::Ticket t;
+      t.incident = e.incident;
+      t.server = e.server;
+      t.subsystem = fleet.server(e.server).subsystem;
+      t.is_crash = true;
+      t.true_class = e.recorded_class;
+      t.opened = e.at;
+      // Repair effort follows the true cause; a vaguely-written ticket still
+      // took however long its real problem took to fix. The down time also
+      // includes the (short) queueing interval before the repair starts.
+      const double queue_hours =
+          config.queueing.median_hours *
+          std::exp(config.queueing.sigma * rng.normal());
+      const double repair_hours =
+          repair[static_cast<std::size_t>(e.cause_class)].sample(rng);
+      t.closed = e.at +
+                 std::max<Duration>(1, from_hours(queue_hours + repair_hours));
+      auto text =
+          text::generate_crash_text(e.recorded_class, config.text_style, rng);
+      t.description = std::move(text.description);
+      t.resolution = std::move(text.resolution);
+      rendered[j] = std::move(t);
+    });
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!rendered[j]) continue;
+      ++crash_count[rendered[j]->subsystem];
+      writer.add_ticket(std::move(*rendered[j]));
     }
-
-    trace::Ticket t;
-    t.incident = e.incident;
-    t.server = e.server;
-    t.subsystem = db.server(e.server).subsystem;
-    t.is_crash = true;
-    t.true_class = e.recorded_class;
-    t.opened = e.at;
-    // Repair effort follows the true cause; a vaguely-written ticket still
-    // took however long its real problem took to fix. The down time also
-    // includes the (short) queueing interval before the repair starts.
-    const double queue_hours =
-        config.queueing.median_hours *
-        std::exp(config.queueing.sigma * rng.normal());
-    const double repair_hours =
-        repair[static_cast<std::size_t>(e.cause_class)].sample(rng);
-    t.closed =
-        e.at + std::max<Duration>(1, from_hours(queue_hours + repair_hours));
-    auto text =
-        text::generate_crash_text(e.recorded_class, config.text_style, rng);
-    t.description = std::move(text.description);
-    t.resolution = std::move(text.resolution);
-    rendered[i] = std::move(t);
-  });
-
-  // Serial commit pass: ticket ids follow event order, as before.
-  for (auto& slot : rendered) {
-    if (slot) db.add_ticket(std::move(*slot));
   }
+  return crash_count;
 }
 
-void emit_background_tickets(const SimulationConfig& config,
-                             const Fleet& fleet, trace::TraceDatabase& db) {
-  // Crash tickets already present, per subsystem.
-  std::array<int, trace::kSubsystemCount> crash_count{};
-  for (const trace::Ticket& t : db.tickets()) {
-    if (t.is_crash) ++crash_count[t.subsystem];
-  }
-
+void emit_background_tickets(
+    const SimulationConfig& config, const Fleet& fleet,
+    const std::array<int, trace::kSubsystemCount>& crash_count,
+    trace::TraceWriter& writer) {
   // Index servers per subsystem for cheap random targeting.
   std::array<std::vector<trace::ServerId>, trace::kSubsystemCount> by_system;
   for (const trace::ServerRecord& s : fleet.servers) {
@@ -122,28 +133,34 @@ void emit_background_tickets(const SimulationConfig& config,
   const auto background_repair =
       stats::LogNormal::from_mean_median(48.0, 8.0);
 
-  std::vector<trace::Ticket> rendered(slots.size());
-  parallel_for(slots.size(), [&](std::size_t i) {
-    const trace::Subsystem sys = slots[i].sys;
-    Rng rng = stream_rng(config.seed, SeedStream::kBackgroundTicket, i);
-    trace::Ticket t;
-    t.server = by_system[sys][static_cast<std::size_t>(rng.uniform_int(
-        0, static_cast<std::int64_t>(by_system[sys].size()) - 1))];
-    t.subsystem = sys;
-    t.is_crash = false;
-    t.true_class = trace::FailureClass::kOther;
-    t.opened = year.begin + static_cast<Duration>(rng.uniform(
-                                0.0, static_cast<double>(year.length() - 1)));
-    t.closed =
-        t.opened + std::max<Duration>(
-                       1, from_hours(background_repair.sample(rng)));
-    auto text = text::generate_background_text(rng);
-    t.description = std::move(text.description);
-    t.resolution = std::move(text.resolution);
-    rendered[i] = std::move(t);
-  });
-
-  for (auto& t : rendered) db.add_ticket(std::move(t));
+  std::vector<trace::Ticket> rendered(std::min(kRenderBlock, slots.size()));
+  for (std::size_t block = 0; block < slots.size(); block += kRenderBlock) {
+    const std::size_t n = std::min(kRenderBlock, slots.size() - block);
+    parallel_for(n, [&](std::size_t j) {
+      const std::size_t i = block + j;
+      const trace::Subsystem sys = slots[i].sys;
+      Rng rng = stream_rng(config.seed, SeedStream::kBackgroundTicket, i);
+      trace::Ticket t;
+      t.server = by_system[sys][static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(by_system[sys].size()) - 1))];
+      t.subsystem = sys;
+      t.is_crash = false;
+      t.true_class = trace::FailureClass::kOther;
+      t.opened =
+          year.begin + static_cast<Duration>(rng.uniform(
+                           0.0, static_cast<double>(year.length() - 1)));
+      t.closed =
+          t.opened + std::max<Duration>(
+                         1, from_hours(background_repair.sample(rng)));
+      auto text = text::generate_background_text(rng);
+      t.description = std::move(text.description);
+      t.resolution = std::move(text.resolution);
+      rendered[j] = std::move(t);
+    });
+    for (std::size_t j = 0; j < n; ++j) {
+      writer.add_ticket(std::move(rendered[j]));
+    }
+  }
 }
 
 }  // namespace fa::sim

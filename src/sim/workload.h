@@ -6,7 +6,7 @@
 
 #include "src/sim/config.h"
 #include "src/sim/fleet.h"
-#include "src/trace/database.h"
+#include "src/trace/trace_writer.h"
 #include "src/util/rng.h"
 
 namespace fa::sim {
@@ -14,17 +14,18 @@ namespace fa::sim {
 // Weekly usage rows over the ticket year, jittered around each machine's
 // static mean profile. Disk/network columns are filled for VMs only,
 // mirroring the gaps in the paper's dataset. One RNG stream per server,
-// generated in parallel; row order stays (server, week).
+// generated in parallel blocks and committed serially; row order stays
+// (server, week) and memory stays one block of rows.
 void emit_weekly_usage(const SimulationConfig& config, const Fleet& fleet,
-                       trace::TraceDatabase& db);
+                       trace::TraceWriter& writer);
 
 // Monthly (box, consolidation) snapshots for every VM existing that month.
-void emit_monthly_snapshots(const Fleet& fleet, trace::TraceDatabase& db);
+void emit_monthly_snapshots(const Fleet& fleet, trace::TraceWriter& writer);
 
 // Power off/on event pairs for VMs inside the fine-grained on/off window,
 // with Poisson cycle counts matching each VM's monthly on/off frequency.
-// One RNG stream per server, generated in parallel.
+// One RNG stream per server, generated in parallel blocks.
 void emit_power_events(const SimulationConfig& config, const Fleet& fleet,
-                       trace::TraceDatabase& db);
+                       trace::TraceWriter& writer);
 
 }  // namespace fa::sim

@@ -1,0 +1,484 @@
+#include "src/trace/chunk.h"
+
+#include "src/util/error.h"
+#include "src/util/strings.h"
+
+namespace fa::trace::columnar {
+namespace {
+
+constexpr std::size_t kBlockAlign = 8;
+
+std::size_t padded(std::size_t size, std::size_t align = kBlockAlign) {
+  return (size + align - 1) / align * align;
+}
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+void pad_to(std::vector<std::byte>& out, std::size_t align) {
+  out.resize(padded(out.size(), align), std::byte{0});
+}
+
+bool int_like(Encoding e) {
+  switch (e) {
+    case Encoding::kInt64:
+    case Encoding::kInt32:
+    case Encoding::kUInt8:
+    case Encoding::kOptInt32:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string_view table_name(Table table) {
+  switch (table) {
+    case Table::kServers: return "servers";
+    case Table::kTickets: return "tickets";
+    case Table::kWeeklyUsage: return "weekly_usage";
+    case Table::kPowerEvents: return "power_events";
+    case Table::kSnapshots: return "snapshots";
+  }
+  throw Error("unknown columnar table");
+}
+
+std::string_view encoding_name(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kInt64: return "i64";
+    case Encoding::kInt32: return "i32";
+    case Encoding::kUInt8: return "u8";
+    case Encoding::kFloat64: return "f64";
+    case Encoding::kOptFloat64: return "opt_f64";
+    case Encoding::kOptInt32: return "opt_i32";
+    case Encoding::kStringDict: return "str_dict";
+  }
+  throw Error("unknown columnar encoding");
+}
+
+const std::vector<ColumnSpec>& table_schema(Table table) {
+  static const std::vector<ColumnSpec> servers = {
+      {"type", Encoding::kUInt8},
+      {"subsystem", Encoding::kUInt8},
+      {"cpu_count", Encoding::kInt32},
+      {"memory_gb", Encoding::kFloat64},
+      {"disk_gb", Encoding::kOptFloat64},
+      {"disk_count", Encoding::kOptInt32},
+      {"host_box", Encoding::kInt32},
+      {"first_record", Encoding::kInt64},
+  };
+  static const std::vector<ColumnSpec> tickets = {
+      {"incident", Encoding::kInt32},
+      {"server", Encoding::kInt32},
+      {"subsystem", Encoding::kUInt8},
+      {"is_crash", Encoding::kUInt8},
+      {"true_class", Encoding::kUInt8},
+      {"opened", Encoding::kInt64},
+      {"closed", Encoding::kInt64},
+      {"description", Encoding::kStringDict},
+      {"resolution", Encoding::kStringDict},
+  };
+  static const std::vector<ColumnSpec> weekly_usage = {
+      {"server", Encoding::kInt32},
+      {"week", Encoding::kInt32},
+      {"cpu_util", Encoding::kFloat64},
+      {"mem_util", Encoding::kFloat64},
+      {"disk_util", Encoding::kOptFloat64},
+      {"net_kbps", Encoding::kOptFloat64},
+  };
+  static const std::vector<ColumnSpec> power_events = {
+      {"server", Encoding::kInt32},
+      {"at", Encoding::kInt64},
+      {"powered_on", Encoding::kUInt8},
+  };
+  static const std::vector<ColumnSpec> snapshots = {
+      {"server", Encoding::kInt32},
+      {"month", Encoding::kInt32},
+      {"box", Encoding::kInt32},
+      {"consolidation", Encoding::kInt32},
+  };
+  switch (table) {
+    case Table::kServers: return servers;
+    case Table::kTickets: return tickets;
+    case Table::kWeeklyUsage: return weekly_usage;
+    case Table::kPowerEvents: return power_events;
+    case Table::kSnapshots: return snapshots;
+  }
+  throw Error("unknown columnar table");
+}
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  std::size_t i = 0;
+  // Word-wise FNV-1a: one xor/multiply per 8-byte word instead of per byte
+  // (chunks are 8-aligned, so only the footer tail takes the byte loop).
+  // Every byte still feeds the hash, so any single-byte flip changes it.
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data + i, sizeof(word));
+    hash ^= word;
+    hash *= 1099511628211ULL;
+  }
+  for (; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// ---- ChunkBuilder ----
+
+ChunkBuilder::ChunkBuilder(Table table) : table_(table) {
+  const auto& schema = table_schema(table);
+  columns_.resize(schema.size());
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    columns_[i].encoding = schema[i].encoding;
+  }
+}
+
+ChunkBuilder::Column& ChunkBuilder::column_for(std::size_t index,
+                                               Encoding expected) {
+  require(index < columns_.size(), "columnar: column index out of range");
+  Column& c = columns_[index];
+  require(c.encoding == expected,
+          "columnar: column " + std::to_string(index) + " of " +
+              std::string(table_name(table_)) + " expects encoding " +
+              std::string(encoding_name(c.encoding)) + ", got " +
+              std::string(encoding_name(expected)));
+  require(c.size == rows_, "columnar: column appended out of row order");
+  ++c.size;
+  return c;
+}
+
+void ChunkBuilder::add_int(std::size_t column, std::int64_t v) {
+  require(column < columns_.size(), "columnar: column index out of range");
+  const Encoding e = columns_[column].encoding;
+  require(e == Encoding::kInt64 || e == Encoding::kInt32 ||
+              e == Encoding::kUInt8,
+          "columnar: add_int on a non-integer column");
+  Column& c = column_for(column, e);
+  if (e == Encoding::kInt32) {
+    require(v >= INT32_MIN && v <= INT32_MAX,
+            "columnar: value out of int32 range");
+  } else if (e == Encoding::kUInt8) {
+    require(v >= 0 && v <= UINT8_MAX, "columnar: value out of uint8 range");
+  }
+  c.ints.push_back(v);
+}
+
+void ChunkBuilder::add_double(std::size_t column, double v) {
+  column_for(column, Encoding::kFloat64).doubles.push_back(v);
+}
+
+void ChunkBuilder::add_opt_double(std::size_t column,
+                                  const std::optional<double>& v) {
+  Column& c = column_for(column, Encoding::kOptFloat64);
+  c.present.push_back(v.has_value() ? 1 : 0);
+  c.doubles.push_back(v.value_or(0.0));
+}
+
+void ChunkBuilder::add_opt_int(std::size_t column,
+                               const std::optional<std::int32_t>& v) {
+  Column& c = column_for(column, Encoding::kOptInt32);
+  c.present.push_back(v.has_value() ? 1 : 0);
+  c.ints.push_back(v.value_or(0));
+}
+
+void ChunkBuilder::add_string(std::size_t column, std::string_view v) {
+  Column& c = column_for(column, Encoding::kStringDict);
+  auto [it, inserted] =
+      c.dict_lookup.try_emplace(std::string(v),
+                                static_cast<std::uint32_t>(c.dict.size()));
+  if (inserted) c.dict.emplace_back(v);
+  c.indices.push_back(it->second);
+}
+
+void ChunkBuilder::next_row() {
+  ++rows_;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    require(columns_[i].size == rows_,
+            "columnar: row " + std::to_string(rows_ - 1) + " of " +
+                std::string(table_name(table_)) + " left column " +
+                std::string(table_schema(table_)[i].name) + " unset");
+  }
+}
+
+ChunkInfo ChunkBuilder::encode(std::vector<std::byte>& out) {
+  require(out.size() % kBlockAlign == 0,
+          "columnar: chunk output buffer not 8-aligned");
+  ChunkInfo info;
+  info.rows = rows_;
+  info.offset = out.size();
+  info.columns.resize(columns_.size());
+
+  for (std::size_t ci = 0; ci < columns_.size(); ++ci) {
+    Column& c = columns_[ci];
+    ColumnBlockInfo& block = info.columns[ci];
+    block.offset = out.size();
+
+    auto stat_ints = [&](bool optional_col) {
+      ColumnStats s;
+      for (std::size_t r = 0; r < c.ints.size(); ++r) {
+        if (optional_col && !c.present[r]) continue;
+        if (!s.has_minmax) {
+          s.has_minmax = true;
+          s.min = s.max = c.ints[r];
+        } else {
+          s.min = std::min(s.min, c.ints[r]);
+          s.max = std::max(s.max, c.ints[r]);
+        }
+      }
+      return s;
+    };
+
+    auto write_bitmap = [&] {
+      std::vector<std::uint8_t> bitmap(padded((rows_ + 7) / 8), 0);
+      for (std::uint32_t r = 0; r < rows_; ++r) {
+        if (c.present[r]) bitmap[r / 8] |= std::uint8_t(1u << (r % 8));
+      }
+      append_bytes(out, bitmap.data(), bitmap.size());
+    };
+
+    switch (c.encoding) {
+      case Encoding::kInt64:
+        append_bytes(out, c.ints.data(), c.ints.size() * sizeof(std::int64_t));
+        block.stats = stat_ints(false);
+        break;
+      case Encoding::kInt32: {
+        std::vector<std::int32_t> narrow(c.ints.begin(), c.ints.end());
+        append_bytes(out, narrow.data(),
+                     narrow.size() * sizeof(std::int32_t));
+        block.stats = stat_ints(false);
+        break;
+      }
+      case Encoding::kUInt8: {
+        std::vector<std::uint8_t> narrow(c.ints.begin(), c.ints.end());
+        append_bytes(out, narrow.data(), narrow.size());
+        block.stats = stat_ints(false);
+        break;
+      }
+      case Encoding::kFloat64:
+        append_bytes(out, c.doubles.data(),
+                     c.doubles.size() * sizeof(double));
+        break;
+      case Encoding::kOptFloat64:
+        write_bitmap();
+        append_bytes(out, c.doubles.data(),
+                     c.doubles.size() * sizeof(double));
+        break;
+      case Encoding::kOptInt32: {
+        write_bitmap();
+        std::vector<std::int32_t> narrow(c.ints.begin(), c.ints.end());
+        append_bytes(out, narrow.data(),
+                     narrow.size() * sizeof(std::int32_t));
+        block.stats = stat_ints(true);
+        break;
+      }
+      case Encoding::kStringDict: {
+        const auto dict_count = static_cast<std::uint32_t>(c.dict.size());
+        block.extra = dict_count;
+        append_bytes(out, &dict_count, sizeof(dict_count));
+        std::vector<std::uint32_t> offsets;
+        offsets.reserve(c.dict.size() + 1);
+        std::uint32_t pos = 0;
+        offsets.push_back(0);
+        for (const std::string& s : c.dict) {
+          require(s.size() <= UINT32_MAX - pos,
+                  "columnar: dictionary blob exceeds 4 GiB");
+          pos += static_cast<std::uint32_t>(s.size());
+          offsets.push_back(pos);
+        }
+        append_bytes(out, offsets.data(),
+                     offsets.size() * sizeof(std::uint32_t));
+        for (const std::string& s : c.dict) {
+          append_bytes(out, s.data(), s.size());
+        }
+        pad_to(out, 4);
+        append_bytes(out, c.indices.data(),
+                     c.indices.size() * sizeof(std::uint32_t));
+        break;
+      }
+    }
+
+    block.size = out.size() - block.offset;
+    pad_to(out, kBlockAlign);
+
+    if (!int_like(c.encoding)) block.stats = ColumnStats{};
+
+    // Reset for the next chunk, keeping capacity.
+    c.ints.clear();
+    c.doubles.clear();
+    c.present.clear();
+    c.indices.clear();
+    c.dict.clear();
+    c.dict_lookup.clear();
+    c.size = 0;
+  }
+
+  info.size = out.size() - info.offset;
+  info.checksum = fnv1a(out.data() + info.offset, info.size);
+  rows_ = 0;
+  return info;
+}
+
+// ---- ColumnView ----
+
+std::int64_t ColumnView::int_at(std::uint32_t row) const {
+  switch (encoding_) {
+    case Encoding::kInt64: {
+      std::int64_t v;
+      std::memcpy(&v, values_ + row * sizeof(v), sizeof(v));
+      return v;
+    }
+    case Encoding::kInt32:
+    case Encoding::kOptInt32: {
+      std::int32_t v;
+      std::memcpy(&v, values_ + row * sizeof(v), sizeof(v));
+      return v;
+    }
+    case Encoding::kUInt8:
+      return static_cast<std::int64_t>(
+          static_cast<std::uint8_t>(values_[row]));
+    default:
+      throw Error("columnar: int_at on a non-integer column");
+  }
+}
+
+double ColumnView::double_at(std::uint32_t row) const {
+  require(encoding_ == Encoding::kFloat64 ||
+              encoding_ == Encoding::kOptFloat64,
+          "columnar: double_at on a non-double column");
+  double v;
+  std::memcpy(&v, values_ + row * sizeof(v), sizeof(v));
+  return v;
+}
+
+bool ColumnView::present_at(std::uint32_t row) const {
+  if (bitmap_ == nullptr) return true;
+  const auto byte = static_cast<std::uint8_t>(bitmap_[row / 8]);
+  return (byte >> (row % 8)) & 1u;
+}
+
+std::string_view ColumnView::string_at(std::uint32_t row) const {
+  require(encoding_ == Encoding::kStringDict,
+          "columnar: string_at on a non-dictionary column");
+  const std::uint32_t slot = indices_[row];
+  require(slot < dict_count_, "columnar: dictionary index out of range");
+  return {dict_bytes_ + dict_offsets_[slot],
+          dict_offsets_[slot + 1] - dict_offsets_[slot]};
+}
+
+std::span<const std::int64_t> ColumnView::i64_span() const {
+  require(encoding_ == Encoding::kInt64, "columnar: not an int64 column");
+  return {reinterpret_cast<const std::int64_t*>(values_), rows_};
+}
+
+std::span<const std::int32_t> ColumnView::i32_span() const {
+  require(encoding_ == Encoding::kInt32 || encoding_ == Encoding::kOptInt32,
+          "columnar: not an int32 column");
+  return {reinterpret_cast<const std::int32_t*>(values_), rows_};
+}
+
+std::span<const std::uint8_t> ColumnView::u8_span() const {
+  require(encoding_ == Encoding::kUInt8, "columnar: not a uint8 column");
+  return {reinterpret_cast<const std::uint8_t*>(values_), rows_};
+}
+
+std::span<const double> ColumnView::f64_span() const {
+  require(encoding_ == Encoding::kFloat64 ||
+              encoding_ == Encoding::kOptFloat64,
+          "columnar: not a double column");
+  return {reinterpret_cast<const double*>(values_), rows_};
+}
+
+// ---- ChunkView ----
+
+ChunkView::ChunkView(Table table, const ChunkInfo& info, const std::byte* base,
+                     std::vector<std::byte> owned)
+    : table_(table), rows_(info.rows), owned_(std::move(owned)) {
+  if (!owned_.empty()) base = owned_.data();
+  const auto& schema = table_schema(table);
+  require(info.columns.size() == schema.size(),
+          "columnar: chunk directory column count mismatch");
+  columns_.resize(schema.size());
+  for (std::size_t ci = 0; ci < schema.size(); ++ci) {
+    const ColumnBlockInfo& block = info.columns[ci];
+    require(block.offset >= info.offset &&
+                block.offset + block.size <= info.offset + info.size,
+            "columnar: column block escapes its chunk");
+    const std::byte* p = base + (block.offset - info.offset);
+    ColumnView& view = columns_[ci];
+    view.encoding_ = schema[ci].encoding;
+    view.rows_ = rows_;
+
+    const std::size_t bitmap_bytes = padded((rows_ + 7) / 8);
+    auto expect_size = [&](std::size_t want) {
+      require(block.size == want,
+              "columnar: column " + std::string(schema[ci].name) + " of " +
+                  std::string(table_name(table)) + " has size " +
+                  std::to_string(block.size) + " bytes, expected " +
+                  std::to_string(want));
+    };
+
+    switch (schema[ci].encoding) {
+      case Encoding::kInt64:
+      case Encoding::kFloat64:
+        expect_size(rows_ * 8ull);
+        view.values_ = p;
+        break;
+      case Encoding::kInt32:
+        expect_size(rows_ * 4ull);
+        view.values_ = p;
+        break;
+      case Encoding::kUInt8:
+        expect_size(rows_);
+        view.values_ = p;
+        break;
+      case Encoding::kOptFloat64:
+        expect_size(bitmap_bytes + rows_ * 8ull);
+        view.bitmap_ = p;
+        view.values_ = p + bitmap_bytes;
+        break;
+      case Encoding::kOptInt32:
+        expect_size(bitmap_bytes + rows_ * 4ull);
+        view.bitmap_ = p;
+        view.values_ = p + bitmap_bytes;
+        break;
+      case Encoding::kStringDict: {
+        require(block.size >= sizeof(std::uint32_t),
+                "columnar: dictionary block truncated");
+        std::uint32_t dict_count;
+        std::memcpy(&dict_count, p, sizeof(dict_count));
+        require(dict_count == block.extra,
+                "columnar: dictionary cardinality disagrees with footer");
+        const std::size_t offsets_bytes =
+            (std::size_t(dict_count) + 1) * sizeof(std::uint32_t);
+        require(block.size >= sizeof(std::uint32_t) + offsets_bytes,
+                "columnar: dictionary offsets truncated");
+        view.dict_count_ = dict_count;
+        view.dict_offsets_ = reinterpret_cast<const std::uint32_t*>(
+            p + sizeof(std::uint32_t));
+        const std::size_t blob_start = sizeof(std::uint32_t) + offsets_bytes;
+        const std::uint32_t blob_size = view.dict_offsets_[dict_count];
+        const std::size_t indices_start =
+            padded(blob_start + blob_size, 4);
+        expect_size(indices_start + rows_ * sizeof(std::uint32_t));
+        view.dict_bytes_ = reinterpret_cast<const char*>(p + blob_start);
+        view.indices_ = reinterpret_cast<const std::uint32_t*>(
+            p + indices_start);
+        break;
+      }
+    }
+  }
+}
+
+const ColumnView& ChunkView::column(std::size_t index) const {
+  require(index < columns_.size(), "columnar: column index out of range");
+  return columns_[index];
+}
+
+}  // namespace fa::trace::columnar

@@ -1,0 +1,222 @@
+// Chunked binary columnar codec underneath the ".fac" trace format
+// (columnar_io.h). One chunk holds up to N rows of one table as per-column
+// blocks: fixed-width numerics stored raw (zero-copy viewable), optional
+// columns behind a presence bitmap, and free-text columns dictionary-coded
+// per chunk. Every integer-like column carries a min/max footer so readers
+// can skip chunks that cannot match a predicate (predicate pushdown,
+// filters.h).
+//
+// Layout of an encoded chunk (all integers little-endian, blocks 8-aligned):
+//   column block 0 | pad | column block 1 | pad | ...
+// Block payload by encoding:
+//   kInt64 / kFloat64   rows x 8 bytes
+//   kInt32              rows x 4 bytes
+//   kUInt8              rows x 1 byte
+//   kOptFloat64         presence bitmap (ceil(rows/8), padded to 8) + rows x 8
+//   kOptInt32           presence bitmap (ceil(rows/8), padded to 8) + rows x 4
+//   kStringDict         u32 dict_count | u32 offsets[dict_count+1] |
+//                       dict bytes (padded to 4) | u32 indices[rows]
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/types.h"
+#include "src/util/sim_time.h"
+
+namespace fa::trace::columnar {
+
+static_assert(std::endian::native == std::endian::little,
+              "the columnar trace format assumes a little-endian host");
+
+// The five tables of the CSV schema (docs/SCHEMA.md), in file order.
+enum class Table : std::uint8_t {
+  kServers = 0,
+  kTickets = 1,
+  kWeeklyUsage = 2,
+  kPowerEvents = 3,
+  kSnapshots = 4,
+};
+inline constexpr int kTableCount = 5;
+inline constexpr std::array<Table, kTableCount> kAllTables = {
+    Table::kServers, Table::kTickets, Table::kWeeklyUsage,
+    Table::kPowerEvents, Table::kSnapshots};
+std::string_view table_name(Table table);
+
+enum class Encoding : std::uint8_t {
+  kInt64 = 0,
+  kInt32 = 1,
+  kUInt8 = 2,
+  kFloat64 = 3,
+  kOptFloat64 = 4,
+  kOptInt32 = 5,
+  kStringDict = 6,
+};
+std::string_view encoding_name(Encoding encoding);
+
+struct ColumnSpec {
+  std::string_view name;
+  Encoding encoding;
+};
+
+// Column order mirrors the CSV headers minus the regenerable row-index id
+// columns (servers.id / tickets.id are their row positions).
+const std::vector<ColumnSpec>& table_schema(Table table);
+
+// Column indexes, so pushdown/aggregation code never hard-codes positions.
+namespace col {
+enum ServersCol { kServerType = 0, kServerSubsystem, kServerCpuCount,
+                  kServerMemoryGb, kServerDiskGb, kServerDiskCount,
+                  kServerHostBox, kServerFirstRecord };
+enum TicketsCol { kTicketIncident = 0, kTicketServer, kTicketSubsystem,
+                  kTicketIsCrash, kTicketTrueClass, kTicketOpened,
+                  kTicketClosed, kTicketDescription, kTicketResolution };
+enum UsageCol { kUsageServer = 0, kUsageWeek, kUsageCpuUtil,
+                kUsageMemUtil, kUsageDiskUtil, kUsageNetKbps };
+enum PowerCol { kPowerServer = 0, kPowerAt, kPowerOn };
+enum SnapshotsCol { kSnapServer = 0, kSnapMonth, kSnapBox,
+                    kSnapConsolidation };
+}  // namespace col
+
+// Min/max footer of one integer-like column block (over present values for
+// optional columns; absent when the chunk holds no present value).
+struct ColumnStats {
+  bool has_minmax = false;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+// Directory entry of one encoded column block, stored in the file footer.
+struct ColumnBlockInfo {
+  std::uint64_t offset = 0;  // absolute file offset of the block
+  std::uint64_t size = 0;    // unpadded payload size in bytes
+  std::uint32_t extra = 0;   // kStringDict: dictionary cardinality
+  ColumnStats stats;
+};
+
+// Directory entry of one chunk, stored in the file footer.
+struct ChunkInfo {
+  std::uint64_t offset = 0;     // absolute file offset (8-aligned)
+  std::uint64_t size = 0;       // total padded chunk size in bytes
+  std::uint32_t rows = 0;
+  std::uint64_t checksum = 0;   // FNV-1a over the chunk's bytes
+  std::vector<ColumnBlockInfo> columns;
+};
+
+// FNV-1a over a byte range (chunk + footer integrity checks).
+std::uint64_t fnv1a(const std::byte* data, std::size_t size);
+
+// ---- encoding ----
+
+// Accumulates rows of one table column-wise, then encodes one chunk.
+// Typed appends must follow the column's declared encoding; next_row()
+// validates that every column advanced exactly once.
+class ChunkBuilder {
+ public:
+  explicit ChunkBuilder(Table table);
+
+  Table table() const { return table_; }
+  std::uint32_t rows() const { return rows_; }
+
+  void add_int(std::size_t column, std::int64_t v);      // kInt64/kInt32/kUInt8
+  void add_double(std::size_t column, double v);         // kFloat64
+  void add_opt_double(std::size_t column, const std::optional<double>& v);
+  void add_opt_int(std::size_t column, const std::optional<std::int32_t>& v);
+  void add_string(std::size_t column, std::string_view v);  // kStringDict
+  void next_row();
+
+  // Appends the encoded chunk to `out` (which must be 8-aligned at its
+  // current size; encode pads its own tail to 8) and returns the directory
+  // entry with offsets relative to the chunk start. Clears the builder for
+  // the next chunk.
+  ChunkInfo encode(std::vector<std::byte>& out);
+
+ private:
+  struct Column {
+    Encoding encoding;
+    std::vector<std::int64_t> ints;      // int-like values (0 when absent)
+    std::vector<double> doubles;         // kFloat64 / kOptFloat64
+    std::vector<std::uint8_t> present;   // optional columns, 1 per row
+    std::vector<std::uint32_t> indices;  // kStringDict row -> dict slot
+    std::vector<std::string> dict;       // kStringDict slot -> string
+    std::unordered_map<std::string, std::uint32_t> dict_lookup;
+    std::size_t size = 0;                // rows appended so far
+  };
+
+  Column& column_for(std::size_t index, Encoding expected);
+
+  Table table_;
+  std::vector<Column> columns_;
+  std::uint32_t rows_ = 0;
+};
+
+// ---- decoding ----
+
+// Zero-copy view of one decoded column block. Spans point into the chunk's
+// backing bytes (an mmap region or the reader's buffer) — the owning
+// ChunkView/ChunkReader must outlive them.
+class ColumnView {
+ public:
+  Encoding encoding() const { return encoding_; }
+  std::uint32_t rows() const { return rows_; }
+
+  // Generic accessors (valid per encoding; bounds unchecked on the row).
+  std::int64_t int_at(std::uint32_t row) const;
+  double double_at(std::uint32_t row) const;
+  bool present_at(std::uint32_t row) const;  // non-optional: always true
+  std::string_view string_at(std::uint32_t row) const;
+
+  // Typed zero-copy spans (throw on encoding mismatch).
+  std::span<const std::int64_t> i64_span() const;
+  std::span<const std::int32_t> i32_span() const;
+  std::span<const std::uint8_t> u8_span() const;
+  std::span<const double> f64_span() const;
+
+  std::uint32_t dict_size() const { return dict_count_; }
+
+ private:
+  friend class ChunkView;
+
+  Encoding encoding_ = Encoding::kInt64;
+  std::uint32_t rows_ = 0;
+  const std::byte* values_ = nullptr;    // numeric payload
+  const std::byte* bitmap_ = nullptr;    // optional columns
+  // kStringDict:
+  std::uint32_t dict_count_ = 0;
+  const std::uint32_t* dict_offsets_ = nullptr;
+  const char* dict_bytes_ = nullptr;
+  const std::uint32_t* indices_ = nullptr;
+};
+
+// One decoded chunk: per-column views over its backing bytes. When `owned`
+// is non-empty the view carries its own copy (buffered reads); otherwise it
+// borrows the reader's mapping.
+class ChunkView {
+ public:
+  // `base` must point at the chunk start and stay valid for the view's
+  // lifetime; `info.columns[i].offset` are absolute file offsets, and
+  // `chunk_file_offset` anchors them.
+  ChunkView(Table table, const ChunkInfo& info, const std::byte* base,
+            std::vector<std::byte> owned = {});
+
+  Table table() const { return table_; }
+  std::uint32_t rows() const { return rows_; }
+  std::size_t column_count() const { return columns_.size(); }
+  const ColumnView& column(std::size_t index) const;
+
+ private:
+  Table table_;
+  std::uint32_t rows_ = 0;
+  std::vector<ColumnView> columns_;
+  std::vector<std::byte> owned_;
+};
+
+}  // namespace fa::trace::columnar

@@ -1,0 +1,745 @@
+#include "src/trace/columnar_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/util/error.h"
+
+namespace fa::trace {
+namespace {
+
+using columnar::ChunkInfo;
+using columnar::ChunkView;
+using columnar::ColumnBlockInfo;
+using columnar::Encoding;
+using columnar::Table;
+using columnar::fnv1a;
+using columnar::kTableCount;
+using columnar::table_schema;
+
+constexpr std::size_t kHeaderBytes = 8;   // magic + version
+constexpr std::size_t kTailBytes = 24;    // footer size + checksum + magic
+
+obs::Counter& chunks_written_counter() {
+  static obs::Counter& c = obs::counter("fa.trace.columnar.chunks_written");
+  return c;
+}
+obs::Counter& rows_written_counter() {
+  static obs::Counter& c = obs::counter("fa.trace.columnar.rows_written");
+  return c;
+}
+obs::Counter& chunks_read_counter() {
+  static obs::Counter& c = obs::counter("fa.trace.columnar.chunks_read");
+  return c;
+}
+
+// ---- footer serialization ----
+
+struct FooterWriter {
+  std::vector<std::byte> bytes;
+
+  template <typename T>
+  void put(T v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(T));
+  }
+};
+
+struct FooterParser {
+  const std::byte* p;
+  const std::byte* end;
+
+  template <typename T>
+  T get() {
+    require(p + sizeof(T) <= end, "columnar: footer truncated");
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
+};
+
+FileReport build_report(
+    const std::array<std::vector<ChunkInfo>, kTableCount>& directory,
+    const std::array<std::uint64_t, kTableCount>& row_counts,
+    std::uint64_t footer_bytes) {
+  FileReport report;
+  report.footer_bytes = footer_bytes;
+  for (int t = 0; t < kTableCount; ++t) {
+    const Table table = columnar::kAllTables[t];
+    report.rows[t] = row_counts[t];
+    report.chunks[t] = directory[t].size();
+    for (const ChunkInfo& chunk : directory[t]) {
+      report.data_bytes += chunk.size;
+    }
+    const auto& schema = table_schema(table);
+    for (std::size_t ci = 0; ci < schema.size(); ++ci) {
+      ColumnReport col;
+      col.table = table;
+      col.name = std::string(schema[ci].name);
+      col.encoding = schema[ci].encoding;
+      for (const ChunkInfo& chunk : directory[t]) {
+        const ColumnBlockInfo& block = chunk.columns[ci];
+        col.bytes += block.size;
+        if (schema[ci].encoding == Encoding::kStringDict) {
+          col.dict_entries += block.extra;
+          col.max_dict_entries =
+              std::max<std::uint64_t>(col.max_dict_entries, block.extra);
+        }
+      }
+      report.columns.push_back(std::move(col));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+bool is_columnar_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == 4 &&
+         std::memcmp(magic, kColumnarMagic.data(), 4) == 0;
+}
+
+// ---- ColumnarWriter ----
+
+ColumnarWriter::ColumnarWriter(const std::string& path,
+                               std::uint32_t chunk_rows)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      chunk_rows_(chunk_rows),
+      window_(ticket_window()),
+      monitoring_(monitoring_window()),
+      onoff_(onoff_window()) {
+  require(chunk_rows_ > 0, "columnar: chunk_rows must be positive");
+  require(static_cast<bool>(out_),
+          "columnar: cannot open " + path + " for writing");
+  builders_.reserve(kTableCount);
+  for (Table table : columnar::kAllTables) builders_.emplace_back(table);
+  out_.write(kColumnarMagic.data(), kColumnarMagic.size());
+  const std::uint32_t version = kColumnarVersion;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  offset_ = kHeaderBytes;
+}
+
+ColumnarWriter::~ColumnarWriter() = default;
+
+void ColumnarWriter::set_windows(ObservationWindow ticket,
+                                 ObservationWindow monitoring,
+                                 ObservationWindow onoff_tracking) {
+  require(!finished_, "columnar: set_windows after finish");
+  window_ = ticket;
+  monitoring_ = monitoring;
+  onoff_ = onoff_tracking;
+}
+
+void ColumnarWriter::append_rows_metric(Table table) {
+  const auto t = static_cast<std::size_t>(table);
+  ++row_counts_[t];
+  rows_written_counter().add(1);
+  if (builders_[t].rows() >= chunk_rows_) flush_chunk(table);
+}
+
+void ColumnarWriter::add_server(const ServerRecord& record) {
+  require(!finished_, "columnar: write after finish");
+  append_record(builders_[static_cast<std::size_t>(Table::kServers)], record);
+  append_rows_metric(Table::kServers);
+}
+
+void ColumnarWriter::add_ticket(const Ticket& ticket) {
+  require(!finished_, "columnar: write after finish");
+  append_record(builders_[static_cast<std::size_t>(Table::kTickets)], ticket);
+  append_rows_metric(Table::kTickets);
+}
+
+void ColumnarWriter::add_weekly_usage(const WeeklyUsage& usage) {
+  require(!finished_, "columnar: write after finish");
+  append_record(builders_[static_cast<std::size_t>(Table::kWeeklyUsage)],
+                usage);
+  append_rows_metric(Table::kWeeklyUsage);
+}
+
+void ColumnarWriter::add_power_event(const PowerEvent& event) {
+  require(!finished_, "columnar: write after finish");
+  append_record(builders_[static_cast<std::size_t>(Table::kPowerEvents)],
+                event);
+  append_rows_metric(Table::kPowerEvents);
+}
+
+void ColumnarWriter::add_monthly_snapshot(const MonthlySnapshot& snapshot) {
+  require(!finished_, "columnar: write after finish");
+  append_record(builders_[static_cast<std::size_t>(Table::kSnapshots)],
+                snapshot);
+  append_rows_metric(Table::kSnapshots);
+}
+
+void ColumnarWriter::flush_chunk(Table table) {
+  const auto t = static_cast<std::size_t>(table);
+  if (builders_[t].rows() == 0) return;
+  scratch_.clear();
+  ChunkInfo info = builders_[t].encode(scratch_);
+  info.offset += offset_;
+  for (ColumnBlockInfo& block : info.columns) block.offset += offset_;
+  out_.write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
+  offset_ += scratch_.size();
+  directory_[t].push_back(std::move(info));
+  chunks_written_counter().add(1);
+}
+
+void ColumnarWriter::finish() {
+  require(!finished_, "columnar: finish called twice");
+  for (Table table : columnar::kAllTables) flush_chunk(table);
+  write_footer();
+  out_.flush();
+  require(static_cast<bool>(out_), "columnar: write failed for " + path_);
+  out_.close();
+  finished_ = true;
+}
+
+void ColumnarWriter::write_footer() {
+  FooterWriter f;
+  f.put<std::int64_t>(window_.begin);
+  f.put<std::int64_t>(window_.end);
+  f.put<std::int64_t>(monitoring_.begin);
+  f.put<std::int64_t>(monitoring_.end);
+  f.put<std::int64_t>(onoff_.begin);
+  f.put<std::int64_t>(onoff_.end);
+  f.put<std::int32_t>(next_incident_);
+  f.put<std::uint32_t>(chunk_rows_);
+  for (int t = 0; t < kTableCount; ++t) {
+    f.put<std::uint64_t>(row_counts_[t]);
+    f.put<std::uint32_t>(static_cast<std::uint32_t>(directory_[t].size()));
+    for (const ChunkInfo& chunk : directory_[t]) {
+      f.put<std::uint64_t>(chunk.offset);
+      f.put<std::uint64_t>(chunk.size);
+      f.put<std::uint32_t>(chunk.rows);
+      f.put<std::uint64_t>(chunk.checksum);
+      f.put<std::uint32_t>(static_cast<std::uint32_t>(chunk.columns.size()));
+      for (const ColumnBlockInfo& block : chunk.columns) {
+        f.put<std::uint64_t>(block.offset);
+        f.put<std::uint64_t>(block.size);
+        f.put<std::uint32_t>(block.extra);
+        f.put<std::uint8_t>(block.stats.has_minmax ? 1 : 0);
+        f.put<std::int64_t>(block.stats.min);
+        f.put<std::int64_t>(block.stats.max);
+      }
+    }
+  }
+  const std::uint64_t footer_size = f.bytes.size();
+  const std::uint64_t footer_checksum = fnv1a(f.bytes.data(), f.bytes.size());
+  f.put<std::uint64_t>(footer_size);
+  f.put<std::uint64_t>(footer_checksum);
+  f.bytes.insert(f.bytes.end(),
+                 reinterpret_cast<const std::byte*>(kColumnarMagic.data()),
+                 reinterpret_cast<const std::byte*>(kColumnarMagic.data()) +
+                     kColumnarMagic.size());
+  f.put<std::uint32_t>(kColumnarVersion);
+  out_.write(reinterpret_cast<const char*>(f.bytes.data()),
+             static_cast<std::streamsize>(f.bytes.size()));
+  offset_ += f.bytes.size();
+  report_ = build_report(directory_, row_counts_, footer_size + kTailBytes);
+}
+
+const FileReport& ColumnarWriter::report() const {
+  require(finished_, "columnar: report only available after finish");
+  return report_;
+}
+
+// ---- ChunkReader ----
+
+ChunkReader::ChunkReader(const std::string& path, bool use_mmap)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  require(fd_ >= 0, "columnar: cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("columnar: " + path + " is not a regular file");
+  }
+  file_size_ = static_cast<std::uint64_t>(st.st_size);
+
+  if (use_mmap && file_size_ > 0) {
+    void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (map != MAP_FAILED) {
+      mapping_ = static_cast<const std::byte*>(map);
+      mapping_size_ = file_size_;
+    }
+  }
+  if (mapping_ == nullptr) {
+    stream_.open(path, std::ios::binary);
+    if (!stream_) {
+      ::close(fd_);
+      fd_ = -1;
+      throw Error("columnar: cannot open " + path);
+    }
+  }
+
+  auto read_at = [&](std::uint64_t offset, void* dest, std::size_t size) {
+    if (mapping_ != nullptr) {
+      std::memcpy(dest, mapping_ + offset, size);
+      return;
+    }
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(offset));
+    stream_.read(static_cast<char*>(dest),
+                 static_cast<std::streamsize>(size));
+    require(stream_.gcount() == static_cast<std::streamsize>(size),
+            "columnar: short read from " + path_);
+  };
+
+  try {
+    require(file_size_ >= kHeaderBytes + kTailBytes,
+            "columnar: " + path + " is truncated (no header/tail)");
+
+    char magic[4];
+    std::uint32_t version = 0;
+    read_at(0, magic, 4);
+    require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0,
+            "columnar: " + path + " is not a columnar trace file "
+            "(bad magic)");
+    read_at(4, &version, sizeof(version));
+    require(version == kColumnarVersion,
+            "columnar: " + path + " has unsupported format version " +
+                std::to_string(version));
+
+    std::uint64_t footer_size = 0;
+    std::uint64_t footer_checksum = 0;
+    read_at(file_size_ - kTailBytes, &footer_size, sizeof(footer_size));
+    read_at(file_size_ - kTailBytes + 8, &footer_checksum,
+            sizeof(footer_checksum));
+    read_at(file_size_ - kTailBytes + 16, magic, 4);
+    read_at(file_size_ - kTailBytes + 20, &version, sizeof(version));
+    require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0 &&
+                version == kColumnarVersion,
+            "columnar: " + path + " has a corrupt or truncated tail");
+    require(footer_size <= file_size_ - kHeaderBytes - kTailBytes,
+            "columnar: " + path + " footer escapes the file (truncated?)");
+    const std::uint64_t footer_start = file_size_ - kTailBytes - footer_size;
+    footer_bytes_ = footer_size + kTailBytes;
+
+    std::vector<std::byte> footer(footer_size);
+    read_at(footer_start, footer.data(), footer.size());
+    require(fnv1a(footer.data(), footer.size()) == footer_checksum,
+            "columnar: " + path + " footer checksum mismatch (corrupt)");
+
+    FooterParser p{footer.data(), footer.data() + footer.size()};
+    window_.begin = p.get<std::int64_t>();
+    window_.end = p.get<std::int64_t>();
+    monitoring_.begin = p.get<std::int64_t>();
+    monitoring_.end = p.get<std::int64_t>();
+    onoff_.begin = p.get<std::int64_t>();
+    onoff_.end = p.get<std::int64_t>();
+    next_incident_ = p.get<std::int32_t>();
+    chunk_rows_ = p.get<std::uint32_t>();
+    for (int t = 0; t < kTableCount; ++t) {
+      const Table table = columnar::kAllTables[t];
+      row_counts_[t] = p.get<std::uint64_t>();
+      const std::uint32_t chunk_count = p.get<std::uint32_t>();
+      std::uint64_t rows_seen = 0;
+      directory_[t].reserve(chunk_count);
+      for (std::uint32_t i = 0; i < chunk_count; ++i) {
+        ChunkInfo chunk;
+        chunk.offset = p.get<std::uint64_t>();
+        chunk.size = p.get<std::uint64_t>();
+        chunk.rows = p.get<std::uint32_t>();
+        chunk.checksum = p.get<std::uint64_t>();
+        const std::uint32_t column_count = p.get<std::uint32_t>();
+        require(column_count == table_schema(table).size(),
+                "columnar: " + path + " chunk directory column count "
+                "mismatch");
+        require(chunk.offset % 8 == 0 &&
+                    chunk.offset >= kHeaderBytes &&
+                    chunk.size <= footer_start &&
+                    chunk.offset <= footer_start - chunk.size,
+                "columnar: " + path + " chunk escapes the data region");
+        chunk.columns.resize(column_count);
+        for (ColumnBlockInfo& block : chunk.columns) {
+          block.offset = p.get<std::uint64_t>();
+          block.size = p.get<std::uint64_t>();
+          block.extra = p.get<std::uint32_t>();
+          block.stats.has_minmax = p.get<std::uint8_t>() != 0;
+          block.stats.min = p.get<std::int64_t>();
+          block.stats.max = p.get<std::int64_t>();
+        }
+        rows_seen += chunk.rows;
+        directory_[t].push_back(std::move(chunk));
+      }
+      require(rows_seen == row_counts_[t],
+              "columnar: " + path + " chunk rows disagree with table "
+              "row count");
+    }
+    require(p.p == p.end, "columnar: " + path + " footer has trailing bytes");
+  } catch (...) {
+    if (mapping_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(mapping_), mapping_size_);
+      mapping_ = nullptr;
+    }
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+ChunkReader::~ChunkReader() {
+  if (mapping_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(mapping_), mapping_size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t ChunkReader::row_count(Table table) const {
+  return row_counts_[static_cast<std::size_t>(table)];
+}
+
+std::size_t ChunkReader::chunk_count(Table table) const {
+  return directory_[static_cast<std::size_t>(table)].size();
+}
+
+const ChunkInfo& ChunkReader::chunk_info(Table table,
+                                         std::size_t index) const {
+  const auto& chunks = directory_[static_cast<std::size_t>(table)];
+  require(index < chunks.size(), "columnar: chunk index out of range");
+  return chunks[index];
+}
+
+ChunkView ChunkReader::chunk(Table table, std::size_t index) const {
+  const ChunkInfo& info = chunk_info(table, index);
+  chunks_read_counter().add(1);
+  if (mapping_ != nullptr) {
+    const std::byte* base = mapping_ + info.offset;
+    require(fnv1a(base, info.size) == info.checksum,
+            "columnar: " + path_ + " chunk checksum mismatch (corrupt)");
+    return ChunkView(table, info, base);
+  }
+  std::vector<std::byte> owned(info.size);
+  stream_.clear();
+  stream_.seekg(static_cast<std::streamoff>(info.offset));
+  stream_.read(reinterpret_cast<char*>(owned.data()),
+               static_cast<std::streamsize>(owned.size()));
+  require(stream_.gcount() == static_cast<std::streamsize>(owned.size()),
+          "columnar: short read from " + path_);
+  require(fnv1a(owned.data(), owned.size()) == info.checksum,
+          "columnar: " + path_ + " chunk checksum mismatch (corrupt)");
+  return ChunkView(table, info, nullptr, std::move(owned));
+}
+
+FileReport ChunkReader::report() const {
+  return build_report(directory_, row_counts_, footer_bytes_);
+}
+
+// ---- record bridge ----
+
+void append_record(columnar::ChunkBuilder& b, const ServerRecord& r) {
+  using namespace columnar::col;
+  b.add_int(kServerType, static_cast<std::int64_t>(r.type));
+  b.add_int(kServerSubsystem, r.subsystem);
+  b.add_int(kServerCpuCount, r.cpu_count);
+  b.add_double(kServerMemoryGb, r.memory_gb);
+  b.add_opt_double(kServerDiskGb, r.disk_gb);
+  b.add_opt_int(kServerDiskCount, r.disk_count);
+  b.add_int(kServerHostBox, r.host_box.value);
+  b.add_int(kServerFirstRecord, r.first_record);
+  b.next_row();
+}
+
+void append_record(columnar::ChunkBuilder& b, const Ticket& t) {
+  using namespace columnar::col;
+  b.add_int(kTicketIncident, t.incident.value);
+  b.add_int(kTicketServer, t.server.value);
+  b.add_int(kTicketSubsystem, t.subsystem);
+  b.add_int(kTicketIsCrash, t.is_crash ? 1 : 0);
+  b.add_int(kTicketTrueClass, static_cast<std::int64_t>(t.true_class));
+  b.add_int(kTicketOpened, t.opened);
+  b.add_int(kTicketClosed, t.closed);
+  b.add_string(kTicketDescription, t.description);
+  b.add_string(kTicketResolution, t.resolution);
+  b.next_row();
+}
+
+void append_record(columnar::ChunkBuilder& b, const WeeklyUsage& u) {
+  using namespace columnar::col;
+  b.add_int(kUsageServer, u.server.value);
+  b.add_int(kUsageWeek, u.week);
+  b.add_double(kUsageCpuUtil, u.cpu_util);
+  b.add_double(kUsageMemUtil, u.mem_util);
+  b.add_opt_double(kUsageDiskUtil, u.disk_util);
+  b.add_opt_double(kUsageNetKbps, u.net_kbps);
+  b.next_row();
+}
+
+void append_record(columnar::ChunkBuilder& b, const PowerEvent& e) {
+  using namespace columnar::col;
+  b.add_int(kPowerServer, e.server.value);
+  b.add_int(kPowerAt, e.at);
+  b.add_int(kPowerOn, e.powered_on ? 1 : 0);
+  b.next_row();
+}
+
+void append_record(columnar::ChunkBuilder& b, const MonthlySnapshot& s) {
+  using namespace columnar::col;
+  b.add_int(kSnapServer, s.server.value);
+  b.add_int(kSnapMonth, s.month);
+  b.add_int(kSnapBox, s.box.value);
+  b.add_int(kSnapConsolidation, s.consolidation);
+  b.next_row();
+}
+
+ServerRecord decode_server(const ChunkView& view, std::uint32_t row,
+                           std::int64_t first_row_id) {
+  using namespace columnar::col;
+  ServerRecord r;
+  r.id = ServerId{static_cast<std::int32_t>(first_row_id + row)};
+  const std::int64_t type = view.column(kServerType).int_at(row);
+  require(type >= 0 && type < kMachineTypeCount,
+          "columnar: invalid machine type " + std::to_string(type));
+  r.type = static_cast<MachineType>(type);
+  const std::int64_t sys = view.column(kServerSubsystem).int_at(row);
+  require(sys >= 0 && sys < kSubsystemCount,
+          "columnar: invalid subsystem " + std::to_string(sys));
+  r.subsystem = static_cast<Subsystem>(sys);
+  r.cpu_count = static_cast<int>(view.column(kServerCpuCount).int_at(row));
+  r.memory_gb = view.column(kServerMemoryGb).double_at(row);
+  if (view.column(kServerDiskGb).present_at(row)) {
+    r.disk_gb = view.column(kServerDiskGb).double_at(row);
+  }
+  if (view.column(kServerDiskCount).present_at(row)) {
+    r.disk_count =
+        static_cast<int>(view.column(kServerDiskCount).int_at(row));
+  }
+  r.host_box = BoxId{
+      static_cast<std::int32_t>(view.column(kServerHostBox).int_at(row))};
+  r.first_record = view.column(kServerFirstRecord).int_at(row);
+  return r;
+}
+
+Ticket decode_ticket(const ChunkView& view, std::uint32_t row,
+                     std::int64_t first_row_id) {
+  using namespace columnar::col;
+  Ticket t;
+  t.id = TicketId{static_cast<std::int32_t>(first_row_id + row)};
+  t.incident = IncidentId{
+      static_cast<std::int32_t>(view.column(kTicketIncident).int_at(row))};
+  t.server = ServerId{
+      static_cast<std::int32_t>(view.column(kTicketServer).int_at(row))};
+  const std::int64_t sys = view.column(kTicketSubsystem).int_at(row);
+  require(sys >= 0 && sys < kSubsystemCount,
+          "columnar: invalid subsystem " + std::to_string(sys));
+  t.subsystem = static_cast<Subsystem>(sys);
+  const std::int64_t crash = view.column(kTicketIsCrash).int_at(row);
+  require(crash == 0 || crash == 1,
+          "columnar: invalid is_crash " + std::to_string(crash));
+  t.is_crash = crash != 0;
+  const std::int64_t cls = view.column(kTicketTrueClass).int_at(row);
+  require(cls >= 0 && cls < kFailureClassCount,
+          "columnar: invalid failure class " + std::to_string(cls));
+  t.true_class = static_cast<FailureClass>(cls);
+  t.opened = view.column(kTicketOpened).int_at(row);
+  t.closed = view.column(kTicketClosed).int_at(row);
+  t.description = std::string(view.column(kTicketDescription).string_at(row));
+  t.resolution = std::string(view.column(kTicketResolution).string_at(row));
+  return t;
+}
+
+WeeklyUsage decode_weekly_usage(const ChunkView& view, std::uint32_t row) {
+  using namespace columnar::col;
+  WeeklyUsage u;
+  u.server = ServerId{
+      static_cast<std::int32_t>(view.column(kUsageServer).int_at(row))};
+  u.week = static_cast<int>(view.column(kUsageWeek).int_at(row));
+  u.cpu_util = view.column(kUsageCpuUtil).double_at(row);
+  u.mem_util = view.column(kUsageMemUtil).double_at(row);
+  if (view.column(kUsageDiskUtil).present_at(row)) {
+    u.disk_util = view.column(kUsageDiskUtil).double_at(row);
+  }
+  if (view.column(kUsageNetKbps).present_at(row)) {
+    u.net_kbps = view.column(kUsageNetKbps).double_at(row);
+  }
+  return u;
+}
+
+PowerEvent decode_power_event(const ChunkView& view, std::uint32_t row) {
+  using namespace columnar::col;
+  PowerEvent e;
+  e.server = ServerId{
+      static_cast<std::int32_t>(view.column(kPowerServer).int_at(row))};
+  e.at = view.column(kPowerAt).int_at(row);
+  e.powered_on = view.column(kPowerOn).int_at(row) != 0;
+  return e;
+}
+
+MonthlySnapshot decode_snapshot(const ChunkView& view, std::uint32_t row) {
+  using namespace columnar::col;
+  MonthlySnapshot s;
+  s.server = ServerId{
+      static_cast<std::int32_t>(view.column(kSnapServer).int_at(row))};
+  s.month = static_cast<int>(view.column(kSnapMonth).int_at(row));
+  s.box = BoxId{
+      static_cast<std::int32_t>(view.column(kSnapBox).int_at(row))};
+  s.consolidation =
+      static_cast<int>(view.column(kSnapConsolidation).int_at(row));
+  return s;
+}
+
+// ---- whole-database convenience ----
+
+FileReport save_columnar(const TraceDatabase& db, const std::string& path,
+                         std::uint32_t chunk_rows) {
+  obs::Span span("trace.columnar.save");
+  ColumnarWriter writer(path, chunk_rows);
+  writer.set_windows(db.window(), db.monitoring(), db.onoff_tracking());
+  std::int32_t next_incident = 0;
+  for (const Ticket& t : db.tickets()) {
+    next_incident = std::max(next_incident, t.incident.value + 1);
+  }
+  writer.set_next_incident(next_incident);
+  for (const ServerRecord& s : db.servers()) writer.add_server(s);
+  for (const Ticket& t : db.tickets()) writer.add_ticket(t);
+  for (const ServerRecord& s : db.servers()) {
+    for (const WeeklyUsage& u : db.weekly_usage_for(s.id)) {
+      writer.add_weekly_usage(u);
+    }
+  }
+  for (const ServerRecord& s : db.servers()) {
+    for (const PowerEvent& e : db.power_events_for(s.id)) {
+      writer.add_power_event(e);
+    }
+  }
+  for (const ServerRecord& s : db.servers()) {
+    for (const MonthlySnapshot& m : db.snapshots_for(s.id)) {
+      writer.add_monthly_snapshot(m);
+    }
+  }
+  writer.finish();
+  return writer.report();
+}
+
+TraceDatabase load_columnar(const std::string& path, bool use_mmap) {
+  obs::Span span("trace.columnar.load");
+  ChunkReader reader(path, use_mmap);
+  TraceDatabase db;
+  db.set_windows(reader.window(), reader.monitoring(),
+                 reader.onoff_tracking());
+  db.reserve(reader.row_count(Table::kServers),
+             reader.row_count(Table::kTickets),
+             reader.row_count(Table::kWeeklyUsage),
+             reader.row_count(Table::kPowerEvents),
+             reader.row_count(Table::kSnapshots));
+
+  std::int64_t first_row = 0;
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kServers); ++i) {
+    const ChunkView view = reader.chunk(Table::kServers, i);
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      db.add_server(decode_server(view, r, first_row));
+    }
+    first_row += view.rows();
+  }
+  first_row = 0;
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kTickets); ++i) {
+    using namespace columnar::col;
+    const columnar::ChunkInfo& info = reader.chunk_info(Table::kTickets, i);
+    // The footer min/max stats validate whole chunks of enum-like columns
+    // at once; fall back to per-row checks only when a chunk lacks stats.
+    const auto in_range = [&](std::size_t column, std::int64_t lo,
+                              std::int64_t hi) {
+      const columnar::ColumnStats& stats = info.columns[column].stats;
+      return stats.has_minmax && stats.min >= lo && stats.max <= hi;
+    };
+    if (!in_range(kTicketSubsystem, 0, kSubsystemCount - 1) ||
+        !in_range(kTicketIsCrash, 0, 1) ||
+        !in_range(kTicketTrueClass, 0, kFailureClassCount - 1)) {
+      const ChunkView view = reader.chunk(Table::kTickets, i);
+      for (std::uint32_t r = 0; r < view.rows(); ++r) {
+        db.add_ticket(decode_ticket(view, r, first_row));
+      }
+      first_row += view.rows();
+      continue;
+    }
+    const ChunkView view = reader.chunk(Table::kTickets, i);
+    const auto incident = view.column(kTicketIncident).i32_span();
+    const auto server = view.column(kTicketServer).i32_span();
+    const auto subsystem = view.column(kTicketSubsystem).u8_span();
+    const auto is_crash = view.column(kTicketIsCrash).u8_span();
+    const auto true_class = view.column(kTicketTrueClass).u8_span();
+    const auto opened = view.column(kTicketOpened).i64_span();
+    const auto closed = view.column(kTicketClosed).i64_span();
+    const columnar::ColumnView& description =
+        view.column(kTicketDescription);
+    const columnar::ColumnView& resolution =
+        view.column(kTicketResolution);
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      Ticket t;
+      t.id = TicketId{static_cast<std::int32_t>(first_row + r)};
+      t.incident = IncidentId{incident[r]};
+      t.server = ServerId{server[r]};
+      t.subsystem = static_cast<Subsystem>(subsystem[r]);
+      t.is_crash = is_crash[r] != 0;
+      t.true_class = static_cast<FailureClass>(true_class[r]);
+      t.opened = opened[r];
+      t.closed = closed[r];
+      t.description = std::string(description.string_at(r));
+      t.resolution = std::string(resolution.string_at(r));
+      db.add_ticket(std::move(t));
+    }
+    first_row += view.rows();
+  }
+  // The monitoring tables are the row-count bulk of a trace; decode them
+  // through typed column spans instead of the per-value generic accessors.
+  using namespace columnar::col;
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kWeeklyUsage); ++i) {
+    const ChunkView view = reader.chunk(Table::kWeeklyUsage, i);
+    const auto server = view.column(kUsageServer).i32_span();
+    const auto week = view.column(kUsageWeek).i32_span();
+    const auto cpu = view.column(kUsageCpuUtil).f64_span();
+    const auto mem = view.column(kUsageMemUtil).f64_span();
+    const columnar::ColumnView& disk = view.column(kUsageDiskUtil);
+    const columnar::ColumnView& net = view.column(kUsageNetKbps);
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      WeeklyUsage u;
+      u.server = ServerId{server[r]};
+      u.week = week[r];
+      u.cpu_util = cpu[r];
+      u.mem_util = mem[r];
+      if (disk.present_at(r)) u.disk_util = disk.double_at(r);
+      if (net.present_at(r)) u.net_kbps = net.double_at(r);
+      db.add_weekly_usage(u);
+    }
+  }
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kPowerEvents); ++i) {
+    const ChunkView view = reader.chunk(Table::kPowerEvents, i);
+    const auto server = view.column(kPowerServer).i32_span();
+    const auto at = view.column(kPowerAt).i64_span();
+    const auto on = view.column(kPowerOn).u8_span();
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      db.add_power_event({ServerId{server[r]}, at[r], on[r] != 0});
+    }
+  }
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kSnapshots); ++i) {
+    const ChunkView view = reader.chunk(Table::kSnapshots, i);
+    const auto server = view.column(kSnapServer).i32_span();
+    const auto month = view.column(kSnapMonth).i32_span();
+    const auto box = view.column(kSnapBox).i32_span();
+    const auto consolidation = view.column(kSnapConsolidation).i32_span();
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      db.add_monthly_snapshot(
+          {ServerId{server[r]}, month[r], BoxId{box[r]}, consolidation[r]});
+    }
+  }
+  for (std::int32_t i = 0; i < reader.next_incident(); ++i) {
+    db.new_incident();
+  }
+  db.finalize();
+  return db;
+}
+
+}  // namespace fa::trace

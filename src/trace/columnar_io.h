@@ -1,0 +1,206 @@
+// Chunked binary columnar persistence of a trace (".fac" files).
+//
+// One file holds all five tables of the CSV schema as a sequence of
+// independent chunks (chunk.h), followed by a footer directory that records
+// observation windows, the incident counter, and per-chunk/per-column
+// offsets, checksums and min/max statistics. Readers locate everything from
+// the footer, so chunks stream out in generation order and analysis can
+// skip chunks wholesale via the min/max stats (predicate pushdown,
+// filters.h).
+//
+// File layout (little-endian):
+//   "FACT" magic | u32 version                        -- 8-byte header
+//   chunk bytes ... (each 8-aligned, tables interleaved in write order)
+//   footer payload (directory; see columnar_io.cpp)
+//   u64 footer_size | u64 footer_checksum | "FACT" | u32 version  -- tail
+//
+// The tail duplicates the magic so truncation anywhere — mid-chunk,
+// mid-footer, or of the tail itself — is detected before any chunk is
+// trusted. CSV (csv_io.h) remains the canonical interchange format; this
+// format exists for out-of-core scale (docs/SCHEMA.md "Columnar format").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/chunk.h"
+#include "src/trace/database.h"
+
+namespace fa::trace {
+
+inline constexpr std::array<char, 4> kColumnarMagic = {'F', 'A', 'C', 'T'};
+inline constexpr std::uint32_t kColumnarVersion = 1;
+inline constexpr std::uint32_t kDefaultChunkRows = 65536;
+
+// True when `path` names an existing regular file starting with the
+// columnar magic (used by CLI surfaces to dispatch CSV-dir vs columnar).
+bool is_columnar_file(const std::string& path);
+
+// ---- size/compression report (fa_trace convert / info) ----
+
+struct ColumnReport {
+  columnar::Table table;
+  std::string name;
+  columnar::Encoding encoding;
+  std::uint64_t bytes = 0;           // payload bytes across all chunks
+  std::uint64_t dict_entries = 0;    // kStringDict: summed per-chunk sizes
+  std::uint64_t max_dict_entries = 0;  // kStringDict: largest per-chunk dict
+};
+
+struct FileReport {
+  std::array<std::uint64_t, columnar::kTableCount> rows{};
+  std::array<std::uint64_t, columnar::kTableCount> chunks{};
+  std::uint64_t data_bytes = 0;    // chunk payloads, padding included
+  std::uint64_t footer_bytes = 0;  // directory + tail
+  std::vector<ColumnReport> columns;  // table-major, schema order
+};
+
+// ---- streaming writer ----
+
+// Appends records of any table in any order, cutting a chunk whenever a
+// table accumulates `chunk_rows` rows; finish() flushes partial chunks and
+// writes the footer. Record ids are implicit (row position), so callers
+// must append servers/tickets in id order — the simulator and the CSV
+// bridge both do. Not thread-safe; the streaming simulator commits from
+// its serial sections only, which also keeps files bit-identical at any
+// --threads setting.
+class ColumnarWriter {
+ public:
+  explicit ColumnarWriter(const std::string& path,
+                          std::uint32_t chunk_rows = kDefaultChunkRows);
+  ~ColumnarWriter();
+  ColumnarWriter(const ColumnarWriter&) = delete;
+  ColumnarWriter& operator=(const ColumnarWriter&) = delete;
+
+  // Defaults to the paper windows; call before finish() to override.
+  void set_windows(ObservationWindow ticket, ObservationWindow monitoring,
+                   ObservationWindow onoff_tracking);
+  // Records the incident counter persisted in the footer (the next fresh
+  // incident id; max referenced id + 1).
+  void set_next_incident(std::int32_t next) { next_incident_ = next; }
+
+  void add_server(const ServerRecord& record);
+  void add_ticket(const Ticket& ticket);
+  void add_weekly_usage(const WeeklyUsage& usage);
+  void add_power_event(const PowerEvent& event);
+  void add_monthly_snapshot(const MonthlySnapshot& snapshot);
+
+  // Flushes pending chunks and writes the footer + tail. Without this call
+  // the file has no valid tail and readers reject it.
+  void finish();
+  bool finished() const { return finished_; }
+
+  // Valid after finish().
+  const FileReport& report() const;
+
+ private:
+  void append_rows_metric(columnar::Table table);
+  void flush_chunk(columnar::Table table);
+  void write_footer();
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;  // bytes written so far
+  std::uint32_t chunk_rows_;
+  ObservationWindow window_;
+  ObservationWindow monitoring_;
+  ObservationWindow onoff_;
+  std::int32_t next_incident_ = 0;
+  std::vector<columnar::ChunkBuilder> builders_;
+  std::array<std::vector<columnar::ChunkInfo>, columnar::kTableCount>
+      directory_;
+  std::array<std::uint64_t, columnar::kTableCount> row_counts_{};
+  std::vector<std::byte> scratch_;
+  bool finished_ = false;
+  FileReport report_;
+};
+
+// ---- reader ----
+
+// Opens a columnar file, validates header/tail/footer, and decodes chunks
+// on demand. Prefers mmap (zero-copy column views into the mapping); falls
+// back to buffered pread-style reads when mapping fails or `use_mmap` is
+// false, in which case each ChunkView owns a copy of just its chunk —
+// memory stays bounded by chunk size either way. Every chunk() call
+// verifies the chunk's checksum before returning a view.
+class ChunkReader {
+ public:
+  explicit ChunkReader(const std::string& path, bool use_mmap = true);
+  ~ChunkReader();
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  const std::string& path() const { return path_; }
+  bool mmapped() const { return mapping_ != nullptr; }
+
+  const ObservationWindow& window() const { return window_; }
+  const ObservationWindow& monitoring() const { return monitoring_; }
+  const ObservationWindow& onoff_tracking() const { return onoff_; }
+  std::int32_t next_incident() const { return next_incident_; }
+
+  std::uint64_t row_count(columnar::Table table) const;
+  std::size_t chunk_count(columnar::Table table) const;
+  // Footer directory entry (min/max stats for pushdown) — no chunk IO.
+  const columnar::ChunkInfo& chunk_info(columnar::Table table,
+                                        std::size_t index) const;
+  // Decodes chunk `index` of `table`, verifying its checksum.
+  columnar::ChunkView chunk(columnar::Table table, std::size_t index) const;
+
+  // Size/compression report reconstructed from the footer (no chunk IO).
+  FileReport report() const;
+
+ private:
+  std::string path_;
+  std::uint64_t file_size_ = 0;
+  const std::byte* mapping_ = nullptr;  // non-null in mmap mode
+  std::uint64_t mapping_size_ = 0;
+  int fd_ = -1;
+  mutable std::ifstream stream_;  // buffered mode
+  ObservationWindow window_;
+  ObservationWindow monitoring_;
+  ObservationWindow onoff_;
+  std::int32_t next_incident_ = 0;
+  std::uint32_t chunk_rows_ = 0;
+  std::uint64_t footer_bytes_ = 0;
+  std::array<std::vector<columnar::ChunkInfo>, columnar::kTableCount>
+      directory_;
+  std::array<std::uint64_t, columnar::kTableCount> row_counts_{};
+};
+
+// ---- record bridge (shared by the loader, converter and tests) ----
+
+// Appends one record as the builder's next row (schema order, chunk.h).
+void append_record(columnar::ChunkBuilder& builder, const ServerRecord& r);
+void append_record(columnar::ChunkBuilder& builder, const Ticket& t);
+void append_record(columnar::ChunkBuilder& builder, const WeeklyUsage& u);
+void append_record(columnar::ChunkBuilder& builder, const PowerEvent& e);
+void append_record(columnar::ChunkBuilder& builder, const MonthlySnapshot& s);
+
+// Decodes row `row` of a chunk into a record. `first_row_id` is the file-wide
+// row index of the chunk's first row (ids are implicit row positions).
+ServerRecord decode_server(const columnar::ChunkView& view, std::uint32_t row,
+                           std::int64_t first_row_id);
+Ticket decode_ticket(const columnar::ChunkView& view, std::uint32_t row,
+                     std::int64_t first_row_id);
+WeeklyUsage decode_weekly_usage(const columnar::ChunkView& view,
+                                std::uint32_t row);
+PowerEvent decode_power_event(const columnar::ChunkView& view,
+                              std::uint32_t row);
+MonthlySnapshot decode_snapshot(const columnar::ChunkView& view,
+                                std::uint32_t row);
+
+// ---- whole-database convenience ----
+
+// Writes a finalized database to `path`; returns the size report.
+FileReport save_columnar(const TraceDatabase& db, const std::string& path,
+                         std::uint32_t chunk_rows = kDefaultChunkRows);
+
+// Loads a columnar file into a finalized in-memory database (the
+// compatibility path; see analysis/out_of_core.h for the streaming path).
+TraceDatabase load_columnar(const std::string& path, bool use_mmap = true);
+
+}  // namespace fa::trace

@@ -11,10 +11,15 @@ namespace {
 template <typename Row, typename Key>
 std::unordered_map<ServerId, std::pair<std::size_t, std::size_t>> build_ranges(
     std::vector<Row>& rows, Key key) {
-  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+  const auto less = [&](const Row& a, const Row& b) {
     if (a.server != b.server) return a.server < b.server;
     return key(a) < key(b);
-  });
+  };
+  // Loaders and the simulator emit rows grouped by server already; skip the
+  // sort when the order holds.
+  if (!std::is_sorted(rows.begin(), rows.end(), less)) {
+    std::sort(rows.begin(), rows.end(), less);
+  }
   std::unordered_map<ServerId, std::pair<std::size_t, std::size_t>> ranges;
   std::size_t begin = 0;
   for (std::size_t i = 0; i <= rows.size(); ++i) {
@@ -78,6 +83,17 @@ void TraceDatabase::add_power_event(PowerEvent event) {
 void TraceDatabase::add_monthly_snapshot(MonthlySnapshot snapshot) {
   require(!finalized_, "TraceDatabase: mutation after finalize");
   snapshots_.push_back(snapshot);
+}
+
+void TraceDatabase::reserve(std::size_t servers, std::size_t tickets,
+                            std::size_t weekly_usage,
+                            std::size_t power_events, std::size_t snapshots) {
+  require(!finalized_, "TraceDatabase: mutation after finalize");
+  servers_.reserve(servers);
+  tickets_.reserve(tickets);
+  weekly_usage_.reserve(weekly_usage);
+  power_events_.reserve(power_events);
+  snapshots_.reserve(snapshots);
 }
 
 IncidentId TraceDatabase::new_incident() {

@@ -28,6 +28,11 @@ class TraceDatabase {
   void add_weekly_usage(WeeklyUsage usage);
   void add_power_event(PowerEvent event);
   void add_monthly_snapshot(MonthlySnapshot snapshot);
+  // Pre-sizes the table vectors for loaders that know row counts up front
+  // (the columnar footer carries them; CSV does not).
+  void reserve(std::size_t servers, std::size_t tickets,
+               std::size_t weekly_usage, std::size_t power_events,
+               std::size_t snapshots);
   // Allocates a fresh incident id (tickets sharing one incident share it).
   IncidentId new_incident();
 

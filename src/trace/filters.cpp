@@ -1,5 +1,7 @@
 #include "src/trace/filters.h"
 
+#include "src/obs/metrics.h"
+
 namespace fa::trace {
 
 TicketFilter& TicketFilter::crash_only(bool value) {
@@ -62,6 +64,103 @@ std::vector<const Ticket*> TicketFilter::apply(
   std::vector<const Ticket*> out;
   for (const Ticket* t : tickets) {
     if (matches(db, *t)) out.push_back(t);
+  }
+  return out;
+}
+
+bool TicketFilter::chunk_may_match(const columnar::ChunkInfo& info) const {
+  using namespace columnar::col;
+  const auto& opened = info.columns[kTicketOpened].stats;
+  if (opened.has_minmax) {
+    if (opened_begin_ && opened.max < *opened_begin_) return false;
+    if (opened_end_ && opened.min >= *opened_end_) return false;
+  }
+  const auto& server = info.columns[kTicketServer].stats;
+  if (server_ && server.has_minmax &&
+      (server_->value < server.min || server_->value > server.max)) {
+    return false;
+  }
+  const auto& crash = info.columns[kTicketIsCrash].stats;
+  if (crash_only_ && crash.has_minmax && crash.max == 0) return false;
+  const auto& sys = info.columns[kTicketSubsystem].stats;
+  if (subsystem_ && sys.has_minmax &&
+      (*subsystem_ < sys.min || *subsystem_ > sys.max)) {
+    return false;
+  }
+  const auto& closed = info.columns[kTicketClosed].stats;
+  if (min_repair_ && opened.has_minmax && closed.has_minmax &&
+      closed.max - opened.min < *min_repair_) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Ticket> TicketFilter::scan_columnar(
+    const ChunkReader& reader) const {
+  static obs::Counter& skipped =
+      obs::counter("fa.trace.pushdown.chunks_skipped");
+  static obs::Counter& scanned =
+      obs::counter("fa.trace.pushdown.chunks_scanned");
+
+  // A machine-type predicate is the one row check that needs server-side
+  // context; gather just the types (one byte per server) in a single pass.
+  std::vector<std::uint8_t> server_types;
+  if (machine_type_) {
+    server_types.reserve(reader.row_count(columnar::Table::kServers));
+    const std::size_t chunks = reader.chunk_count(columnar::Table::kServers);
+    for (std::size_t i = 0; i < chunks; ++i) {
+      const columnar::ChunkView view =
+          reader.chunk(columnar::Table::kServers, i);
+      const auto types = view.column(columnar::col::kServerType).u8_span();
+      server_types.insert(server_types.end(), types.begin(), types.end());
+    }
+  }
+
+  std::vector<Ticket> out;
+  std::int64_t first_row = 0;
+  const std::size_t chunks = reader.chunk_count(columnar::Table::kTickets);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const columnar::ChunkInfo& info =
+        reader.chunk_info(columnar::Table::kTickets, i);
+    if (!chunk_may_match(info)) {
+      skipped.add(1);
+      first_row += info.rows;
+      continue;
+    }
+    scanned.add(1);
+    const columnar::ChunkView view =
+        reader.chunk(columnar::Table::kTickets, i);
+    for (std::uint32_t r = 0; r < view.rows(); ++r) {
+      using namespace columnar::col;
+      // Cheap column probes first; decode the full row (strings) last.
+      if (crash_only_ && view.column(kTicketIsCrash).int_at(r) == 0) continue;
+      if (subsystem_ &&
+          view.column(kTicketSubsystem).int_at(r) != *subsystem_) {
+        continue;
+      }
+      const TimePoint opened = view.column(kTicketOpened).int_at(r);
+      if (opened_begin_ && opened < *opened_begin_) continue;
+      if (opened_end_ && opened >= *opened_end_) continue;
+      const auto server = static_cast<std::int32_t>(
+          view.column(kTicketServer).int_at(r));
+      if (server_ && server != server_->value) continue;
+      if (min_repair_ &&
+          view.column(kTicketClosed).int_at(r) - opened < *min_repair_) {
+        continue;
+      }
+      if (machine_type_) {
+        if (server < 0 ||
+            static_cast<std::size_t>(server) >= server_types.size()) {
+          continue;
+        }
+        if (static_cast<MachineType>(server_types[server]) !=
+            *machine_type_) {
+          continue;
+        }
+      }
+      out.push_back(decode_ticket(view, r, first_row));
+    }
+    first_row += info.rows;
   }
   return out;
 }

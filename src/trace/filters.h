@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/trace/columnar_io.h"
 #include "src/trace/database.h"
 
 namespace fa::trace {
@@ -31,6 +32,24 @@ class TicketFilter {
   std::vector<const Ticket*> apply(
       const TraceDatabase& db,
       std::span<const Ticket* const> tickets) const;
+
+  // ---- columnar predicate pushdown ----
+
+  // True unless the footer min/max stats of a ticket chunk prove no row can
+  // match: the opened range misses [opened_begin, opened_end), the server-id
+  // range misses a server() predicate, every row is non-crash under
+  // crash_only(), the subsystem range misses a subsystem() predicate, or
+  // even the widest possible repair time (max closed - min opened) is below
+  // repair_at_least(). Conservative: never skips a matching chunk.
+  bool chunk_may_match(const columnar::ChunkInfo& info) const;
+
+  // Scans the ticket table of a columnar file chunk-at-a-time, skipping
+  // chunks via chunk_may_match and materializing matching tickets only.
+  // Skipped/scanned chunk counts land in the deterministic counters
+  // fa.trace.pushdown.chunks_skipped / .chunks_scanned. A machine_type()
+  // predicate reads the servers table once (one byte of state per server);
+  // everything else needs no server-side state at all.
+  std::vector<Ticket> scan_columnar(const ChunkReader& reader) const;
 
  private:
   bool crash_only_ = false;

@@ -1,0 +1,144 @@
+// Streaming sink interface for trace generation.
+//
+// The simulator emits records through this interface instead of mutating a
+// TraceDatabase directly, so the same generation code can either build the
+// classic in-memory database (DatabaseTraceWriter) or stream chunks straight
+// to a columnar file (ColumnarTraceWriter) with memory bounded by chunk
+// size. The base class owns id assignment (server/ticket ids are contiguous
+// append positions, incident ids a simple counter) and per-subsystem ticket
+// tallies, so every sink agrees on ids and the simulator can emit its
+// volume metrics without a database to query.
+//
+// Writers are not thread-safe: the simulator's parallel phases render into
+// private slots and commit through the writer from their serial sections
+// only, which is also what keeps emitted traces bit-identical at any
+// --threads setting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/trace/columnar_io.h"
+#include "src/trace/database.h"
+#include "src/trace/records.h"
+
+namespace fa::trace {
+
+class TraceWriter {
+ public:
+  virtual ~TraceWriter() = default;
+
+  // Assign ids (contiguous append order) and forward to the sink.
+  ServerId add_server(ServerRecord record);
+  TicketId add_ticket(Ticket ticket);
+  void add_weekly_usage(const WeeklyUsage& usage);
+  void add_power_event(const PowerEvent& event);
+  void add_monthly_snapshot(const MonthlySnapshot& snapshot);
+
+  // Allocates a fresh incident id. Virtual so DatabaseTraceWriter can share
+  // the database's own counter.
+  virtual IncidentId new_incident();
+
+  // Overrides the observation windows (defaults: the paper windows).
+  virtual void set_windows(ObservationWindow ticket,
+                           ObservationWindow monitoring,
+                           ObservationWindow onoff_tracking) = 0;
+
+  // Flushes sink state (columnar: pending chunks + footer). Must be the
+  // last call; adding records afterwards is an error in the columnar sink.
+  virtual void finish() = 0;
+
+  // ---- emission tallies (valid at any point during generation) ----
+  std::size_t server_count() const { return next_server_; }
+  std::size_t ticket_count() const { return next_ticket_; }
+  std::size_t ticket_count(Subsystem sys) const {
+    return tickets_by_subsystem_[sys];
+  }
+  std::int32_t next_incident_value() const { return next_incident_; }
+
+ protected:
+  virtual void do_add_server(const ServerRecord& record) = 0;
+  virtual void do_add_ticket(Ticket ticket) = 0;
+  virtual void do_add_weekly_usage(const WeeklyUsage& usage) = 0;
+  virtual void do_add_power_event(const PowerEvent& event) = 0;
+  virtual void do_add_monthly_snapshot(const MonthlySnapshot& snapshot) = 0;
+
+ private:
+  std::int32_t next_server_ = 0;
+  std::int32_t next_ticket_ = 0;
+  std::int32_t next_incident_ = 0;
+  std::array<std::size_t, kSubsystemCount> tickets_by_subsystem_{};
+};
+
+// Sink building the classic in-memory TraceDatabase. finish() does NOT
+// finalize the database — the caller decides when (and whether) to index.
+class DatabaseTraceWriter final : public TraceWriter {
+ public:
+  explicit DatabaseTraceWriter(TraceDatabase& db) : db_(db) {}
+
+  IncidentId new_incident() override { return db_.new_incident(); }
+  void set_windows(ObservationWindow ticket, ObservationWindow monitoring,
+                   ObservationWindow onoff_tracking) override {
+    db_.set_windows(ticket, monitoring, onoff_tracking);
+  }
+  void finish() override {}
+
+ protected:
+  void do_add_server(const ServerRecord& record) override;
+  void do_add_ticket(Ticket ticket) override;
+  void do_add_weekly_usage(const WeeklyUsage& usage) override {
+    db_.add_weekly_usage(usage);
+  }
+  void do_add_power_event(const PowerEvent& event) override {
+    db_.add_power_event(event);
+  }
+  void do_add_monthly_snapshot(const MonthlySnapshot& snapshot) override {
+    db_.add_monthly_snapshot(snapshot);
+  }
+
+ private:
+  TraceDatabase& db_;
+};
+
+// Sink streaming chunks to a columnar file as records arrive; peak memory
+// is one partial chunk per table regardless of fleet size.
+class ColumnarTraceWriter final : public TraceWriter {
+ public:
+  explicit ColumnarTraceWriter(const std::string& path,
+                               std::uint32_t chunk_rows = kDefaultChunkRows)
+      : writer_(path, chunk_rows) {}
+
+  void set_windows(ObservationWindow ticket, ObservationWindow monitoring,
+                   ObservationWindow onoff_tracking) override {
+    writer_.set_windows(ticket, monitoring, onoff_tracking);
+  }
+  void finish() override {
+    writer_.set_next_incident(next_incident_value());
+    writer_.finish();
+  }
+
+  // Valid after finish().
+  const FileReport& report() const { return writer_.report(); }
+
+ protected:
+  void do_add_server(const ServerRecord& record) override {
+    writer_.add_server(record);
+  }
+  void do_add_ticket(Ticket ticket) override { writer_.add_ticket(ticket); }
+  void do_add_weekly_usage(const WeeklyUsage& usage) override {
+    writer_.add_weekly_usage(usage);
+  }
+  void do_add_power_event(const PowerEvent& event) override {
+    writer_.add_power_event(event);
+  }
+  void do_add_monthly_snapshot(const MonthlySnapshot& snapshot) override {
+    writer_.add_monthly_snapshot(snapshot);
+  }
+
+ private:
+  ColumnarWriter writer_;
+};
+
+}  // namespace fa::trace

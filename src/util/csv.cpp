@@ -15,69 +15,84 @@ bool needs_quoting(const std::string& field) {
   return field.find_first_of(",\"\n\r") != std::string::npos;
 }
 
-std::string quote(const std::string& field) {
-  std::string out = "\"";
-  for (char c : field) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 }  // namespace
 
 CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  line_.clear();
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) *out_ << ',';
-    *out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+    if (i > 0) line_ += ',';
+    const std::string& field = fields[i];
+    if (needs_quoting(field)) {
+      line_ += '"';
+      for (char c : field) {
+        if (c == '"') line_ += '"';
+        line_ += c;
+      }
+      line_ += '"';
+    } else {
+      line_ += field;
+    }
   }
-  *out_ << '\n';
+  line_ += '\n';
+  out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
 }
 
 CsvReader::CsvReader(std::istream& in) : in_(&in) {}
 
 bool CsvReader::read_row(std::vector<std::string>& fields) {
-  fields.clear();
-  std::string field;
+  // Overwrite the caller's field strings in place and trim the vector at
+  // the end, so their capacities survive from row to row.
+  std::size_t count = 0;
+  const auto next_field = [&]() -> std::string& {
+    if (count == fields.size()) fields.emplace_back();
+    std::string& field = fields[count++];
+    field.clear();
+    return field;
+  };
+
+  if (!std::getline(*in_, line_)) {
+    fields.clear();
+    return false;
+  }
+  std::string* field = &next_field();
   bool in_quotes = false;
-  bool saw_any = false;
-  int ch = 0;
-  while ((ch = in_->get()) != std::char_traits<char>::eof()) {
-    saw_any = true;
-    const char c = static_cast<char>(ch);
+  std::size_t i = 0;
+  while (true) {
+    if (i == line_.size()) {
+      if (!in_quotes) break;
+      // Embedded newline inside a quoted field: the record continues on
+      // the next physical line.
+      *field += '\n';
+      require(static_cast<bool>(std::getline(*in_, line_)),
+              "CsvReader: unterminated quoted field at end of input");
+      i = 0;
+      continue;
+    }
+    const char c = line_[i++];
     if (in_quotes) {
       if (c == '"') {
-        if (in_->peek() == '"') {
-          field += '"';
-          in_->get();
+        if (i < line_.size() && line_[i] == '"') {
+          *field += '"';
+          ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field += c;
+        *field += c;
       }
-      continue;
-    }
-    if (c == '"') {
+    } else if (c == '"') {
       in_quotes = true;
     } else if (c == ',') {
-      fields.push_back(std::move(field));
-      field.clear();
-    } else if (c == '\n') {
-      fields.push_back(std::move(field));
-      return true;
+      field = &next_field();
     } else if (c == '\r') {
-      // Swallow; a following '\n' terminates the row.
+      // Swallow; CRLF line endings terminate the row via getline.
     } else {
-      field += c;
+      *field += c;
     }
   }
-  if (!saw_any) return false;
-  require(!in_quotes, "CsvReader: unterminated quoted field at end of input");
-  fields.push_back(std::move(field));
+  fields.resize(count);
   return true;
 }
 

@@ -14,10 +14,13 @@ class CsvWriter {
   // The writer does not own the stream; callers keep it alive.
   explicit CsvWriter(std::ostream& out);
 
+  // Renders the row into an internal buffer and writes it with a single
+  // stream call; steady-state rows allocate nothing.
   void write_row(const std::vector<std::string>& fields);
 
  private:
   std::ostream* out_;
+  std::string line_;  // reused across rows
 };
 
 class CsvReader {
@@ -25,11 +28,14 @@ class CsvReader {
   explicit CsvReader(std::istream& in);
 
   // Reads the next record (handles quoted fields with embedded commas,
-  // quotes and newlines). Returns false at end of input.
+  // quotes and newlines). Returns false at end of input. Field strings in
+  // `fields` are reused in place, so a caller looping with one vector pays
+  // no per-field allocation once capacities warm up.
   bool read_row(std::vector<std::string>& fields);
 
  private:
   std::istream* in_;
+  std::string line_;  // reused across rows
 };
 
 // Field conversion helpers; throw fa::Error with the offending text.

@@ -1,0 +1,446 @@
+#include "src/trace/columnar_io.h"
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/out_of_core.h"
+#include "src/inject/corruptor.h"
+#include "src/sim/simulator.h"
+#include "src/trace/csv_io.h"
+#include "src/trace/filters.h"
+#include "src/trace/sanitize.h"
+#include "src/trace/trace_writer.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_support.h"
+
+namespace fa::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Field-by-field record equality between two finalized databases.
+void expect_databases_equal(const TraceDatabase& a, const TraceDatabase& b) {
+  EXPECT_EQ(a.window().begin, b.window().begin);
+  EXPECT_EQ(a.window().end, b.window().end);
+  EXPECT_EQ(a.monitoring().begin, b.monitoring().begin);
+  EXPECT_EQ(a.monitoring().end, b.monitoring().end);
+  EXPECT_EQ(a.onoff_tracking().begin, b.onoff_tracking().begin);
+  EXPECT_EQ(a.onoff_tracking().end, b.onoff_tracking().end);
+
+  ASSERT_EQ(a.servers().size(), b.servers().size());
+  for (std::size_t i = 0; i < a.servers().size(); ++i) {
+    const ServerRecord& x = a.servers()[i];
+    const ServerRecord& y = b.servers()[i];
+    ASSERT_EQ(x.id, y.id);
+    ASSERT_EQ(x.type, y.type);
+    ASSERT_EQ(x.subsystem, y.subsystem);
+    ASSERT_EQ(x.cpu_count, y.cpu_count);
+    ASSERT_EQ(x.memory_gb, y.memory_gb);
+    ASSERT_EQ(x.disk_gb, y.disk_gb);
+    ASSERT_EQ(x.disk_count, y.disk_count);
+    ASSERT_EQ(x.host_box, y.host_box);
+    ASSERT_EQ(x.first_record, y.first_record);
+  }
+  ASSERT_EQ(a.tickets().size(), b.tickets().size());
+  for (std::size_t i = 0; i < a.tickets().size(); ++i) {
+    const Ticket& x = a.tickets()[i];
+    const Ticket& y = b.tickets()[i];
+    ASSERT_EQ(x.id, y.id);
+    ASSERT_EQ(x.incident, y.incident);
+    ASSERT_EQ(x.server, y.server);
+    ASSERT_EQ(x.subsystem, y.subsystem);
+    ASSERT_EQ(x.is_crash, y.is_crash);
+    ASSERT_EQ(x.true_class, y.true_class);
+    ASSERT_EQ(x.opened, y.opened);
+    ASSERT_EQ(x.closed, y.closed);
+    ASSERT_EQ(x.description, y.description);
+    ASSERT_EQ(x.resolution, y.resolution);
+  }
+  for (const ServerRecord& s : a.servers()) {
+    const auto ua = a.weekly_usage_for(s.id);
+    const auto ub = b.weekly_usage_for(s.id);
+    ASSERT_EQ(ua.size(), ub.size());
+    for (std::size_t i = 0; i < ua.size(); ++i) {
+      ASSERT_EQ(ua[i].week, ub[i].week);
+      ASSERT_EQ(ua[i].cpu_util, ub[i].cpu_util);
+      ASSERT_EQ(ua[i].mem_util, ub[i].mem_util);
+      ASSERT_EQ(ua[i].disk_util, ub[i].disk_util);
+      ASSERT_EQ(ua[i].net_kbps, ub[i].net_kbps);
+    }
+    const auto pa = a.power_events_for(s.id);
+    const auto pb = b.power_events_for(s.id);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i].at, pb[i].at);
+      ASSERT_EQ(pa[i].powered_on, pb[i].powered_on);
+    }
+    const auto sa = a.snapshots_for(s.id);
+    const auto sb = b.snapshots_for(s.id);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa[i].month, sb[i].month);
+      ASSERT_EQ(sa[i].box, sb[i].box);
+      ASSERT_EQ(sa[i].consolidation, sb[i].consolidation);
+    }
+  }
+  EXPECT_EQ(a.incidents().size(), b.incidents().size());
+}
+
+class ColumnarIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fa_columnar_io_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ColumnarIoTest, IsColumnarFileDetection) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"));
+  EXPECT_TRUE(is_columnar_file(path("trace.fac")));
+
+  save_database(db, path("csvdir"));
+  EXPECT_FALSE(is_columnar_file(path("csvdir")));
+  EXPECT_FALSE(is_columnar_file(path("csvdir") + "/tickets.csv"));
+  EXPECT_FALSE(is_columnar_file(path("missing.fac")));
+}
+
+// The tentpole acceptance check: CSV -> columnar -> CSV is byte-exact.
+TEST_F(ColumnarIoTest, CsvColumnarCsvRoundTripIsByteExact) {
+  save_database(fa::testing::small_simulated_db(), path("in"));
+
+  const TraceDatabase from_csv = load_database(path("in"));
+  save_columnar(from_csv, path("trace.fac"));
+  const TraceDatabase from_fac = load_columnar(path("trace.fac"));
+  save_database(from_fac, path("out"));
+
+  for (const char* file :
+       {"meta.csv", "servers.csv", "tickets.csv", "weekly_usage.csv",
+        "power_events.csv", "snapshots.csv"}) {
+    EXPECT_EQ(read_file(dir_ / "in" / file), read_file(dir_ / "out" / file))
+        << file << " changed across the columnar round trip";
+  }
+}
+
+TEST_F(ColumnarIoTest, LoadColumnarPreservesEveryRecord) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"));
+  const TraceDatabase loaded = load_columnar(path("trace.fac"));
+  EXPECT_TRUE(loaded.finalized());
+  expect_databases_equal(db, loaded);
+}
+
+TEST_F(ColumnarIoTest, SmallChunksRoundTripAcrossManyChunks) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  const FileReport report = save_columnar(db, path("tiny.fac"), 64);
+
+  ChunkReader reader(path("tiny.fac"));
+  EXPECT_GT(reader.chunk_count(columnar::Table::kTickets), 1u);
+  EXPECT_EQ(reader.row_count(columnar::Table::kTickets), db.tickets().size());
+  EXPECT_EQ(report.rows[static_cast<int>(columnar::Table::kServers)],
+            db.servers().size());
+
+  expect_databases_equal(db, load_columnar(path("tiny.fac")));
+}
+
+TEST_F(ColumnarIoTest, CustomWindowsAndIncidentCounterRoundTrip) {
+  TraceDatabase db;
+  const ObservationWindow monitoring{0, 1000 * kMinutesPerDay};
+  const ObservationWindow ticket{100 * kMinutesPerDay, 600 * kMinutesPerDay};
+  const ObservationWindow onoff{200 * kMinutesPerDay, 260 * kMinutesPerDay};
+  db.set_windows(ticket, monitoring, onoff);
+  ServerRecord s;
+  s.type = MachineType::kPhysical;
+  s.first_record = monitoring.begin;
+  const ServerId server = db.add_server(s);
+  Ticket t;
+  t.incident = db.new_incident();
+  t.server = server;
+  t.is_crash = true;
+  t.opened = ticket.begin + from_days(1.0);
+  t.closed = t.opened + from_hours(2.0);
+  db.add_ticket(std::move(t));
+  db.finalize();
+
+  save_columnar(db, path("tiny.fac"));
+  ChunkReader reader(path("tiny.fac"));
+  EXPECT_EQ(reader.window().begin, ticket.begin);
+  EXPECT_EQ(reader.window().end, ticket.end);
+  EXPECT_EQ(reader.monitoring().end, monitoring.end);
+  EXPECT_EQ(reader.onoff_tracking().begin, onoff.begin);
+  EXPECT_EQ(reader.next_incident(), 1);
+
+  const TraceDatabase loaded = load_columnar(path("tiny.fac"));
+  EXPECT_EQ(loaded.window().begin, ticket.begin);
+  EXPECT_EQ(loaded.onoff_tracking().end, onoff.end);
+  // The loaded database hands out fresh incident ids above the persisted
+  // counter (no reuse after a round trip).
+  TraceDatabase reopened = load_columnar(path("tiny.fac"));
+  EXPECT_EQ(reopened.new_incident(), IncidentId{1});
+}
+
+TEST_F(ColumnarIoTest, MmapAndBufferedReadsAreEquivalent) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"), 256);
+
+  ChunkReader mapped(path("trace.fac"), /*use_mmap=*/true);
+  ChunkReader buffered(path("trace.fac"), /*use_mmap=*/false);
+  EXPECT_TRUE(mapped.mmapped());
+  EXPECT_FALSE(buffered.mmapped());
+
+  for (columnar::Table table : columnar::kAllTables) {
+    ASSERT_EQ(mapped.chunk_count(table), buffered.chunk_count(table));
+    for (std::size_t c = 0; c < mapped.chunk_count(table); ++c) {
+      const columnar::ChunkView va = mapped.chunk(table, c);
+      const columnar::ChunkView vb = buffered.chunk(table, c);
+      ASSERT_EQ(va.rows(), vb.rows());
+      ASSERT_EQ(va.column_count(), vb.column_count());
+    }
+  }
+
+  expect_databases_equal(load_columnar(path("trace.fac"), true),
+                         load_columnar(path("trace.fac"), false));
+}
+
+TEST_F(ColumnarIoTest, TruncatedFilesAreRejected) {
+  save_columnar(fa::testing::small_simulated_db(), path("trace.fac"), 512);
+  const std::string bytes = read_file(dir_ / "trace.fac");
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Truncation points: empty, header only, mid-chunk, mid-footer, one byte
+  // short of a valid tail.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{8}, bytes.size() / 2, bytes.size() - 16,
+        bytes.size() - 1}) {
+    write_file(dir_ / "cut.fac", bytes.substr(0, keep));
+    EXPECT_THROW(ChunkReader reader(path("cut.fac")), Error)
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(ColumnarIoTest, CorruptChunkFailsItsChecksum) {
+  save_columnar(fa::testing::small_simulated_db(), path("trace.fac"), 512);
+  std::string bytes = read_file(dir_ / "trace.fac");
+
+  ChunkReader clean(path("trace.fac"));
+  const columnar::ChunkInfo& first =
+      clean.chunk_info(columnar::Table::kServers, 0);
+  // Flip one bit inside the first server chunk's payload. The footer still
+  // parses, so the reader opens — the chunk read must fail its checksum.
+  bytes[first.offset + first.size / 2] ^= 0x01;
+  write_file(dir_ / "bad.fac", bytes);
+
+  ChunkReader reader(path("bad.fac"));
+  EXPECT_THROW(reader.chunk(columnar::Table::kServers, 0), Error);
+  EXPECT_THROW(load_columnar(path("bad.fac")), Error);
+}
+
+TEST_F(ColumnarIoTest, CorruptFooterIsRejectedAtOpen) {
+  save_columnar(fa::testing::small_simulated_db(), path("trace.fac"));
+  std::string bytes = read_file(dir_ / "trace.fac");
+  // The footer payload sits just before the 24-byte tail.
+  bytes[bytes.size() - 32] ^= 0x01;
+  write_file(dir_ / "bad.fac", bytes);
+  EXPECT_THROW(ChunkReader reader(path("bad.fac")), Error);
+}
+
+TEST_F(ColumnarIoTest, WrongMagicIsRejected) {
+  write_file(dir_ / "bogus.fac", std::string(64, 'x'));
+  EXPECT_FALSE(is_columnar_file(path("bogus.fac")));
+  EXPECT_THROW(ChunkReader reader(path("bogus.fac")), Error);
+  EXPECT_THROW(load_columnar(path("bogus.fac")), Error);
+}
+
+TEST_F(ColumnarIoTest, UnfinishedWriterLeavesUnreadableFile) {
+  {
+    ColumnarWriter writer(path("partial.fac"));
+    ServerRecord s;
+    s.type = MachineType::kPhysical;
+    writer.add_server(s);
+    // No finish(): no footer, no tail.
+  }
+  EXPECT_THROW(ChunkReader reader(path("partial.fac")), Error);
+}
+
+TEST_F(ColumnarIoTest, ReaderReportMatchesWriterReport) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  const FileReport written = save_columnar(db, path("trace.fac"), 1024);
+  const FileReport read = ChunkReader(path("trace.fac")).report();
+
+  EXPECT_EQ(written.rows, read.rows);
+  EXPECT_EQ(written.chunks, read.chunks);
+  EXPECT_EQ(written.data_bytes, read.data_bytes);
+  EXPECT_EQ(written.footer_bytes, read.footer_bytes);
+  ASSERT_EQ(written.columns.size(), read.columns.size());
+  for (std::size_t i = 0; i < written.columns.size(); ++i) {
+    EXPECT_EQ(written.columns[i].name, read.columns[i].name);
+    EXPECT_EQ(written.columns[i].bytes, read.columns[i].bytes);
+    EXPECT_EQ(written.columns[i].dict_entries, read.columns[i].dict_entries);
+  }
+}
+
+// The streamed writer must emit bit-identical files at any --threads.
+TEST_F(ColumnarIoTest, StreamedWritesAreThreadCountDeterministic) {
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.05);
+
+  ThreadPool::set_default_thread_count(1);
+  {
+    ColumnarTraceWriter writer(path("t1.fac"));
+    sim::simulate_to(config, writer);
+  }
+  ThreadPool::set_default_thread_count(8);
+  {
+    ColumnarTraceWriter writer(path("t8.fac"));
+    sim::simulate_to(config, writer);
+  }
+  ThreadPool::set_default_thread_count(0);
+
+  const std::string a = read_file(dir_ / "t1.fac");
+  const std::string b = read_file(dir_ / "t8.fac");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "streamed columnar output depends on thread count";
+}
+
+TEST_F(ColumnarIoTest, StreamedFileMatchesInMemorySimulation) {
+  const auto config = sim::SimulationConfig::paper_defaults().scaled(0.05);
+  {
+    ColumnarTraceWriter writer(path("stream.fac"));
+    sim::simulate_to(config, writer);
+  }
+  expect_databases_equal(sim::simulate(config),
+                         load_columnar(path("stream.fac")));
+}
+
+// ---- predicate pushdown (filters.h) ----
+
+TEST_F(ColumnarIoTest, PushdownScanMatchesInMemoryFilter) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"), 256);
+  ChunkReader reader(path("trace.fac"));
+
+  const ObservationWindow& w = db.window();
+  const std::vector<TicketFilter> filters = {
+      TicketFilter{},
+      TicketFilter{}.crash_only(),
+      TicketFilter{}.crash_only().subsystem(Subsystem{2}),
+      TicketFilter{}.machine_type(MachineType::kVirtual),
+      TicketFilter{}.opened_between(w.begin, w.begin + w.length() / 4),
+      TicketFilter{}.server(db.servers().front().id),
+      TicketFilter{}.crash_only().repair_at_least(from_hours(4.0)),
+  };
+  for (const TicketFilter& filter : filters) {
+    const std::vector<const Ticket*> expected = filter.apply(db);
+    const std::vector<Ticket> actual = filter.scan_columnar(reader);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i]->id);
+      EXPECT_EQ(actual[i].opened, expected[i]->opened);
+      EXPECT_EQ(actual[i].description, expected[i]->description);
+    }
+  }
+}
+
+TEST_F(ColumnarIoTest, PushdownSkipsChunksThatCannotMatch) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"), 128);
+  ChunkReader reader(path("trace.fac"));
+
+  // A time range past the observation window cannot match any chunk.
+  const TicketFilter none =
+      TicketFilter{}.opened_between(db.window().end + from_days(1.0),
+                                    db.window().end + from_days(2.0));
+  std::size_t skipped = 0;
+  const std::size_t chunks = reader.chunk_count(columnar::Table::kTickets);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    skipped +=
+        !none.chunk_may_match(reader.chunk_info(columnar::Table::kTickets, c));
+  }
+  EXPECT_EQ(skipped, chunks);
+  EXPECT_TRUE(none.scan_columnar(reader).empty());
+
+  // A single-server predicate must skip at least the chunks whose id range
+  // excludes that server (tickets are appended roughly in time order, but
+  // min/max still prune the low-id prefix chunks for a high server id).
+  const TicketFilter one = TicketFilter{}.server(db.servers().back().id);
+  std::size_t may_match = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    may_match +=
+        one.chunk_may_match(reader.chunk_info(columnar::Table::kTickets, c));
+  }
+  EXPECT_LE(may_match, chunks);
+}
+
+// ---- out-of-core aggregation (analysis/out_of_core.h) ----
+
+TEST_F(ColumnarIoTest, OutOfCoreSummaryMatchesInMemory) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  save_columnar(db, path("trace.fac"), 512);
+
+  const analysis::OutOfCoreSummary streamed =
+      analysis::summarize_columnar(path("trace.fac"));
+  const analysis::OutOfCoreSummary in_memory =
+      analysis::summarize_database(db);
+  EXPECT_EQ(streamed, in_memory);
+
+  // Buffered reads must agree with the mmap path too.
+  EXPECT_EQ(analysis::summarize_columnar(path("trace.fac"), false), in_memory);
+}
+
+// ---- sanitize degradation (satellite: quarantine stability) ----
+
+// A columnar round trip must not change what the sanitizer quarantines:
+// corrupting the original export and the round-tripped export with the same
+// seed yields identical defect reports and quarantined row sets.
+TEST_F(ColumnarIoTest, SanitizeQuarantinesSameRowsAfterColumnarRoundTrip) {
+  save_database(fa::testing::small_simulated_db(), path("orig"));
+  save_columnar(load_database(path("orig")), path("trace.fac"));
+  save_database(load_columnar(path("trace.fac")), path("roundtrip"));
+
+  const auto mix = fa::inject::DefectMix::uniform(0.05);
+  fa::inject::corrupt_database(path("orig"), path("orig_dirty"), 11, mix);
+  fa::inject::corrupt_database(path("roundtrip"), path("rt_dirty"), 11, mix);
+
+  const SanitizedDatabase a = sanitize_database(path("orig_dirty"));
+  const SanitizedDatabase b = sanitize_database(path("rt_dirty"));
+
+  ASSERT_GT(a.report.total_defects(), 0u);
+  EXPECT_EQ(a.report.counts_csv(), b.report.counts_csv());
+  EXPECT_EQ(a.report.defects_csv(), b.report.defects_csv());
+  for (const char* file : {"tickets.csv", "weekly_usage.csv"}) {
+    EXPECT_EQ(a.report.quarantined_rows(file), b.report.quarantined_rows(file))
+        << file;
+  }
+  expect_databases_equal(a.db, b.db);
+}
+
+}  // namespace
+}  // namespace fa::trace

@@ -136,7 +136,17 @@ TEST(Config, ScaledShrinksPopulations) {
 TEST(Config, ScaledRejectsBadFactor) {
   const auto c = SimulationConfig::paper_defaults();
   EXPECT_THROW(c.scaled(0.0), Error);
-  EXPECT_THROW(c.scaled(1.5), Error);
+  EXPECT_THROW(c.scaled(-1.0), Error);
+}
+
+TEST(Config, ScaledGrowsPopulations) {
+  const auto c = SimulationConfig::paper_defaults();
+  const auto big = c.scaled(8.0);
+  for (int s = 0; s < trace::kSubsystemCount; ++s) {
+    EXPECT_EQ(big.systems[s].pm_count, c.systems[s].pm_count * 8);
+    EXPECT_EQ(big.systems[s].vm_count, c.systems[s].vm_count * 8);
+  }
+  EXPECT_EQ(big.systems[1].vm_crash_tickets, 0);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "src/sim/failures.h"
 
+#include "src/trace/trace_writer.h"
+
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,7 +30,8 @@ class FailuresTest : public ::testing::Test {
       const HazardModel hazard(config(), fleet());
       trace::TraceDatabase db;
       for (const auto& s : fleet().servers) db.add_server(s);
-      return generate_failures(config(), fleet(), hazard, db);
+      trace::DatabaseTraceWriter writer(db);
+      return generate_failures(config(), fleet(), hazard, writer);
     }();
     return e;
   }
@@ -134,8 +137,9 @@ TEST_F(FailuresTest, DeterministicForSeed) {
     db1.add_server(s);
     db2.add_server(s);
   }
-  const auto a = generate_failures(config(), fleet(), hazard, db1);
-  const auto b = generate_failures(config(), fleet(), hazard, db2);
+  trace::DatabaseTraceWriter w1(db1), w2(db2);
+  const auto a = generate_failures(config(), fleet(), hazard, w1);
+  const auto b = generate_failures(config(), fleet(), hazard, w2);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].server, b[i].server);

@@ -1,11 +1,14 @@
 // fa_trace — command-line front end of the failure-analysis toolkit.
 //
-//   fa_trace simulate --out DIR [--scale S] [--seed N]
-//       Simulate a datacenter trace and export it as the five-file CSV
-//       schema (servers/tickets/weekly_usage/power_events/snapshots).
+//   fa_trace simulate --out DIR|FILE.fac [--scale S] [--seed N]
+//       Simulate a datacenter trace. A directory --out exports the
+//       five-file CSV schema (servers/tickets/weekly_usage/power_events/
+//       snapshots); a FILE.fac --out streams chunks straight into the
+//       binary columnar format with memory bounded by chunk size, so
+//       --scale may exceed 1 (e.g. 8x the paper fleet).
 //
-//   fa_trace report [--lenient] [--scale S] [DIR]
-//       Load a CSV trace and print the full failure-analysis summary:
+//   fa_trace report [--lenient] [--scale S] [DIR|FILE.fac]
+//       Load a CSV or columnar trace and print the full failure-analysis summary:
 //       population, classification, failure rates, recurrence, repair
 //       times, spatial dependency and reliability metrics. With
 //       --lenient, defective rows are repaired or quarantined instead of
@@ -34,8 +37,20 @@
 //       (e.g. --mix duplicate_id=0.02,unknown_enum=0.01). Identical
 //       seed + mix produce byte-identical output at any thread count.
 //
-//   fa_trace classify DIR
-//       Load a CSV trace, run crash extraction + k-means classification
+//   fa_trace convert --in DIR|FILE.fac --out DIR|FILE.fac
+//                    [--chunk-rows N]
+//       Bridge CSV <-> columnar: a directory input converts to a columnar
+//       file, a columnar input back to the CSV directory schema (CSV stays
+//       the canonical interchange format). Prints per-column size and
+//       dictionary-cardinality statistics for the columnar side.
+//
+//   fa_trace info FILE.fac
+//       Dump a columnar file's footer: observation windows, per-table row
+//       and chunk counts, and each chunk's offset, size, checksum and
+//       per-column min/max statistics.
+//
+//   fa_trace classify DIR|FILE.fac
+//       Load a CSV or columnar trace, run crash extraction + k-means classification
 //       and print the per-class ticket distribution (and, when the trace
 //       carries ground-truth labels, the accuracy and confusion matrix).
 //
@@ -54,15 +69,19 @@
 //   --trace-out PATH  write the Chrome trace-event JSON before exiting
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/artifact_cache.h"
 #include "src/analysis/failure_rates.h"
 #include "src/analysis/interfailure.h"
+#include "src/analysis/out_of_core.h"
 #include "src/analysis/pipeline.h"
 #include "src/analysis/recurrence.h"
 #include "src/analysis/reliability.h"
@@ -76,8 +95,10 @@
 #include "src/sim/simulator.h"
 #include "src/sim/validation.h"
 #include "src/stats/fitting.h"
+#include "src/trace/columnar_io.h"
 #include "src/trace/csv_io.h"
 #include "src/trace/sanitize.h"
+#include "src/trace/trace_writer.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
@@ -89,9 +110,12 @@ using namespace fa;
 int usage() {
   std::cerr
       << "usage:\n"
-         "  fa_trace simulate --out DIR [--scale S] [--seed N]\n"
-         "  fa_trace report [--lenient] [--scale S] [DIR]\n"
-         "  fa_trace classify DIR\n"
+         "  fa_trace simulate --out DIR|FILE.fac [--scale S] [--seed N]\n"
+         "  fa_trace report [--lenient] [--scale S] [DIR|FILE.fac]\n"
+         "  fa_trace convert --in DIR|FILE.fac --out DIR|FILE.fac "
+         "[--chunk-rows N]\n"
+         "  fa_trace info FILE.fac\n"
+         "  fa_trace classify DIR|FILE.fac\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
          "  fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]\n"
@@ -105,8 +129,8 @@ int usage() {
 
 int unknown_command(const std::string& command) {
   std::cerr << "fa_trace: unknown command '" << command
-            << "'\navailable commands: simulate, report, classify, fit, "
-               "transitions, sanitize, corrupt, profile\n";
+            << "'\navailable commands: simulate, report, convert, info, "
+               "classify, fit, transitions, sanitize, corrupt, profile\n";
   return usage();
 }
 
@@ -119,12 +143,13 @@ void write_text_file(const std::string& path, const std::string& text) {
   require(out.good(), "failed writing " + path);
 }
 
-// Loads a CSV trace and runs the analysis pipeline over it, sharing both
-// artifacts through the process-wide cache (so a future multi-command mode
-// pays for each trace once).
+// Loads a CSV directory or a columnar file and runs the analysis pipeline
+// over it, sharing both artifacts through the process-wide cache (so a
+// future multi-command mode pays for each trace once).
 analysis::AnalysisContext loaded_context(const std::string& dir) {
   auto db = std::make_shared<const trace::TraceDatabase>(
-      trace::load_database(dir));
+      trace::is_columnar_file(dir) ? trace::load_columnar(dir)
+                                   : trace::load_database(dir));
   auto pipeline = analysis::ArtifactCache::global().pipeline(db);
   return {std::move(db), std::move(pipeline)};
 }
@@ -147,10 +172,22 @@ int cmd_simulate(const std::vector<std::string>& args) {
       return usage();
     }
   }
-  if (out.empty() || scale <= 0.0 || scale > 1.0) return usage();
+  if (out.empty() || scale <= 0.0) return usage();
 
   auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
   if (have_seed) config.seed = seed;
+
+  if (out.ends_with(".fac")) {
+    // Stream chunks straight into the columnar format: no database is ever
+    // materialized, so large --scale factors run in chunk-bounded memory.
+    trace::ColumnarTraceWriter writer(out);
+    sim::simulate_to(config, writer);
+    std::cout << "wrote " << writer.server_count() << " servers, "
+              << writer.ticket_count() << " tickets to " << out
+              << " (columnar)\n";
+    return 0;
+  }
+
   const auto db_ptr = analysis::ArtifactCache::global().database(config);
   const trace::TraceDatabase& db = *db_ptr;
   const auto validation = sim::validate_trace(db, config);
@@ -240,6 +277,116 @@ int cmd_report(const std::string& dir, bool lenient, double scale) {
             << format_double(100.0 * spatial.all.two_or_more, 1)
             << "% affect >= 2 servers; widest "
             << spatial.max_servers_in_incident << " servers)\n";
+  return 0;
+}
+
+// Renders the per-column size and dictionary statistics of a columnar file
+// (the compression story: which columns carry the bytes, and how small the
+// per-chunk free-text dictionaries stay).
+std::string columnar_stats(const trace::FileReport& report) {
+  analysis::TextTable table({"table", "column", "encoding", "bytes", "dict"});
+  for (const trace::ColumnReport& c : report.columns) {
+    table.add_row({std::string(trace::columnar::table_name(c.table)), c.name,
+                   std::string(trace::columnar::encoding_name(c.encoding)),
+                   std::to_string(c.bytes),
+                   c.max_dict_entries > 0
+                       ? std::to_string(c.max_dict_entries) + " max/chunk"
+                       : std::string("-")});
+  }
+  std::ostringstream out;
+  out << table.to_string() << "rows:";
+  for (trace::columnar::Table t : trace::columnar::kAllTables) {
+    const auto i = static_cast<std::size_t>(t);
+    out << " " << trace::columnar::table_name(t) << "="
+        << report.rows[i] << " (" << report.chunks[i] << " chunks)";
+  }
+  out << "\ndata " << report.data_bytes << " B + footer "
+      << report.footer_bytes << " B\n";
+  return out.str();
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  std::string in, out;
+  std::uint32_t chunk_rows = trace::kDefaultChunkRows;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--in" && i + 1 < args.size()) {
+      in = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else if (args[i] == "--chunk-rows" && i + 1 < args.size()) {
+      chunk_rows = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else {
+      std::cerr << "convert: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (in.empty() || out.empty() || chunk_rows == 0) return usage();
+
+  if (trace::is_columnar_file(in)) {
+    const trace::TraceDatabase db = trace::load_columnar(in);
+    trace::save_database(db, out);
+    const trace::ChunkReader reader(in);
+    std::cout << "converted columnar -> CSV: " << db.servers().size()
+              << " servers, " << db.tickets().size() << " tickets to " << out
+              << "\n"
+              << columnar_stats(reader.report());
+    return 0;
+  }
+  if (std::filesystem::is_directory(in)) {
+    const trace::TraceDatabase db = trace::load_database(in);
+    const trace::FileReport report = trace::save_columnar(db, out, chunk_rows);
+    std::cout << "converted CSV -> columnar: " << db.servers().size()
+              << " servers, " << db.tickets().size() << " tickets to " << out
+              << "\n"
+              << columnar_stats(report);
+    return 0;
+  }
+  std::cerr << "convert: '" << in
+            << "' is neither a CSV trace directory nor a columnar file\n";
+  return 1;
+}
+
+int cmd_info(const std::string& path) {
+  const trace::ChunkReader reader(path);
+  const auto window_line = [](const char* name, const ObservationWindow& w) {
+    std::cout << "  " << name << " [" << w.begin << ", " << w.end << ")\n";
+  };
+  std::cout << path << ": columnar trace v" << trace::kColumnarVersion
+            << (reader.mmapped() ? ", mmap" : ", buffered")
+            << "\nwindows (minutes since trace epoch):\n";
+  window_line("ticket    ", reader.window());
+  window_line("monitoring", reader.monitoring());
+  window_line("on/off    ", reader.onoff_tracking());
+  std::cout << "next incident id: " << reader.next_incident() << "\n";
+
+  for (trace::columnar::Table t : trace::columnar::kAllTables) {
+    const auto& schema = trace::columnar::table_schema(t);
+    std::cout << trace::columnar::table_name(t) << ": "
+              << reader.row_count(t) << " rows in " << reader.chunk_count(t)
+              << " chunk(s)\n";
+    for (std::size_t i = 0; i < reader.chunk_count(t); ++i) {
+      const trace::columnar::ChunkInfo& info = reader.chunk_info(t, i);
+      std::cout << "  chunk " << i << ": offset " << info.offset << ", "
+                << info.size << " B, " << info.rows << " rows, checksum "
+                << std::hex << std::setfill('0') << std::setw(16)
+                << info.checksum << std::dec << std::setfill(' ') << "\n";
+      std::string stats;
+      for (std::size_t c = 0; c < schema.size(); ++c) {
+        const trace::columnar::ColumnBlockInfo& block = info.columns[c];
+        if (!block.stats.has_minmax && block.extra == 0) continue;
+        if (!stats.empty()) stats += ", ";
+        stats += std::string(schema[c].name);
+        if (block.stats.has_minmax) {
+          stats += " [" + std::to_string(block.stats.min) + ", " +
+                   std::to_string(block.stats.max) + "]";
+        } else {
+          stats += " dict=" + std::to_string(block.extra);
+        }
+      }
+      if (!stats.empty()) std::cout << "    " << stats << "\n";
+    }
+  }
   return 0;
 }
 
@@ -443,8 +590,14 @@ int run_command(const std::vector<std::string>& args) {
         return usage();
       }
     }
-    if (scale <= 0.0 || scale > 1.0) return usage();
+    if (scale <= 0.0) return usage();
     return cmd_report(dir, lenient, scale);
+  }
+  if (command == "convert") {
+    return cmd_convert({args.begin() + 1, args.end()});
+  }
+  if (command == "info" && args.size() == 2) {
+    return cmd_info(args[1]);
   }
   if (command == "classify" && args.size() == 2) {
     return cmd_classify(args[1]);
@@ -461,7 +614,8 @@ int run_command(const std::vector<std::string>& args) {
   if (command == "corrupt") {
     return cmd_corrupt({args.begin() + 1, args.end()});
   }
-  if (command == "classify" || command == "fit" || command == "transitions") {
+  if (command == "classify" || command == "fit" ||
+      command == "transitions" || command == "info") {
     return usage();  // known command, wrong arity
   }
   return unknown_command(command);
