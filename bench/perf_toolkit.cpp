@@ -3,8 +3,12 @@
 // classify stage into vectorize/kmeans sub-stages timed dense vs sparse
 // (with an assignments-identical cross-check), times trace save/load CSV
 // vs columnar (with a record-identity and out-of-core-equivalence check),
-// checks that the parallel trace is identical to the serial one, and
-// writes the results to BENCH_perf.json (machine-readable; path override:
+// checks that the parallel trace is identical to the serial one, times the
+// vectorized stats kernels against their scalar references (`simd` block),
+// sweeps the stages over 1/2/4/8 threads with an Amdahl serial-fraction
+// fit (`thread_scaling` block; meaningless on a 1-core host, which sets
+// `single_core_warning` and warns on stderr), and writes the results to
+// BENCH_perf.json (machine-readable; path override:
 // --json PATH; fleet size: --scale F, default 0.3). --stream S instead
 // runs the out-of-core path end to end — streaming simulate -> columnar
 // file -> chunk-at-a-time summary at scale S (which may exceed 1) — and
@@ -18,10 +22,13 @@
 
 #include <sys/resource.h>
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +47,7 @@
 #include "src/stats/ecdf.h"
 #include "src/stats/fitting.h"
 #include "src/stats/kmeans.h"
+#include "src/stats/simd.h"
 #include "src/text/features.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -84,9 +92,101 @@ struct SubStageTiming {
   double sparse_ms = 0.0;
 };
 
+// ---- simd block: dispatched kernels vs their scalar references ----
+
+struct KernelTiming {
+  std::string name;
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  double speedup() const { return simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0; }
+};
+
+template <typename F>
+double time_kernel_ms(int iters, F&& f) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) benchmark::DoNotOptimize(f());
+  return ms_since(t0);
+}
+
+// Times each stats kernel over an L2-resident buffer, scalar reference vs
+// the dispatched entry point, in one binary (both are always compiled in).
+// The equivalence tests pin that the results agree; this block pins that
+// the vector path is actually faster.
+std::vector<KernelTiming> run_simd_report(std::size_t n, int iters) {
+  Rng rng(17);
+  std::vector<double> a(n), b(n), cdf(n);
+  for (double& x : a) x = rng.uniform(0.1, 10.0);
+  for (double& x : b) x = rng.uniform(0.1, 10.0);
+  // Sorted pseudo-CDF values for the KS scan.
+  for (std::size_t i = 0; i < n; ++i) {
+    cdf[i] = (static_cast<double>(i) + 0.3) / static_cast<double>(n);
+  }
+  // A sparse row hitting every fourth dense coordinate.
+  const std::size_t nnz = n / 4;
+  std::vector<double> values(nnz);
+  std::vector<std::uint32_t> indices(nnz);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    values[e] = rng.uniform(0.1, 10.0);
+    indices[e] = static_cast<std::uint32_t>(4 * e);
+  }
+  const double mu = stats::simd::scalar::sum(a) / static_cast<double>(n);
+
+  namespace sd = stats::simd;
+  std::vector<KernelTiming> kernels;
+  const auto time_pair = [&](const char* name, auto&& scalar_fn,
+                             auto&& simd_fn) {
+    KernelTiming k;
+    k.name = name;
+    k.scalar_ms = time_kernel_ms(iters, scalar_fn);
+    k.simd_ms = time_kernel_ms(iters, simd_fn);
+    kernels.push_back(std::move(k));
+  };
+  time_pair("sum", [&] { return sd::scalar::sum(a); },
+            [&] { return sd::sum(a); });
+  time_pair("sum_sq", [&] { return sd::scalar::sum_sq(a); },
+            [&] { return sd::sum_sq(a); });
+  time_pair("sum_sq_dev", [&] { return sd::scalar::sum_sq_dev(a, mu); },
+            [&] { return sd::sum_sq_dev(a, mu); });
+  time_pair("dot", [&] { return sd::scalar::dot(a, b); },
+            [&] { return sd::dot(a, b); });
+  time_pair("squared_distance",
+            [&] { return sd::scalar::squared_distance(a, b); },
+            [&] { return sd::squared_distance(a, b); });
+  time_pair("sparse_dot",
+            [&] {
+              return sd::scalar::sparse_dot(values.data(), indices.data(), nnz,
+                                            b.data());
+            },
+            [&] {
+              return sd::sparse_dot(values.data(), indices.data(), nnz,
+                                    b.data());
+            });
+  time_pair("ks_max_deviation",
+            [&] { return sd::scalar::ks_max_deviation(cdf.data(), n); },
+            [&] { return sd::ks_max_deviation(cdf.data(), n); });
+  return kernels;
+}
+
+// ---- thread_scaling block: stage sweep over 1/2/4/8 threads ----
+
+inline constexpr std::array<int, 4> kScalingThreads = {1, 2, 4, 8};
+
+struct ScalingStage {
+  std::string name;
+  std::array<double, kScalingThreads.size()> ms{};
+  double serial_fraction = 0.0;
+};
+
 int run_stage_report(double scale, const std::string& json_path) {
   const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
   const std::size_t hw = ThreadPool::hardware_threads();
+  const bool single_core = hw <= 1;
+  if (single_core) {
+    std::fprintf(stderr,
+                 "warning: only 1 hardware core is available; parallel "
+                 "speedups and the thread-scaling sweep are not meaningful "
+                 "on this host\n");
+  }
   std::vector<StageTiming> stages;
 
   // simulate: serial vs parallel, with an identity check on the output.
@@ -153,6 +253,31 @@ int run_stage_report(double scale, const std::string& json_path) {
     sparse_stats = sparse_run.stats;
   }
 
+  // Thread-scaling sweep: the two stages at 1/2/4/8 threads, with a
+  // least-squares Amdahl fit (stats::amdahl_serial_fraction) per stage.
+  // Oversubscribing a small host is intentional — the curve flattening out
+  // past the core count is exactly what the serial-fraction fit reports.
+  std::vector<ScalingStage> scaling = {{"simulate"}, {"classify"}};
+  for (std::size_t ti = 0; ti < kScalingThreads.size(); ++ti) {
+    ThreadPool::set_default_thread_count(
+        static_cast<std::size_t>(kScalingThreads[ti]));
+    t0 = Clock::now();
+    const auto db = sim::simulate(config);
+    scaling[0].ms[ti] = ms_since(t0);
+    t0 = Clock::now();
+    const analysis::AnalysisPipeline pipeline(db);
+    scaling[1].ms[ti] = ms_since(t0);
+  }
+  ThreadPool::set_default_thread_count(0);
+  for (ScalingStage& s : scaling) {
+    s.serial_fraction = stats::amdahl_serial_fraction(
+        kScalingThreads, std::span<const double>(s.ms));
+  }
+
+  // SIMD kernels: scalar reference vs the dispatched vector path.
+  const std::size_t simd_elements = std::size_t{1} << 14;
+  const auto simd_kernels = run_simd_report(simd_elements, 2000);
+
   // simulate+classify through the artifact cache: cold miss vs warm hit.
   auto& cache = analysis::ArtifactCache::global();
   cache.clear();
@@ -209,6 +334,8 @@ int run_stage_report(double scale, const std::string& json_path) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"scale\": %.2f,\n", scale);
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n", hw);
+  std::fprintf(out, "  \"single_core_warning\": %s,\n",
+               single_core ? "true" : "false");
   std::fprintf(out, "  \"parallel_identical_to_serial\": %s,\n",
                identical ? "true" : "false");
   std::fprintf(out, "  \"stages\": [\n");
@@ -245,6 +372,46 @@ int run_stage_report(double scale, const std::string& json_path) {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"sparse_matches_dense\": %s,\n",
                sparse_matches_dense ? "true" : "false");
+  std::fprintf(out, "  \"thread_scaling\": {\n");
+  std::fprintf(out, "    \"threads\": [");
+  for (std::size_t i = 0; i < kScalingThreads.size(); ++i) {
+    std::fprintf(out, "%d%s", kScalingThreads[i],
+                 i + 1 < kScalingThreads.size() ? ", " : "");
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "    \"stages\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingStage& s = scaling[i];
+    std::fprintf(out, "      {\"name\": \"%s\", \"ms\": [", s.name.c_str());
+    for (std::size_t t = 0; t < s.ms.size(); ++t) {
+      std::fprintf(out, "%.3f%s", s.ms[t], t + 1 < s.ms.size() ? ", " : "");
+    }
+    std::fprintf(out, "], \"speedup\": [");
+    for (std::size_t t = 0; t < s.ms.size(); ++t) {
+      std::fprintf(out, "%.3f%s", s.ms[t] > 0.0 ? s.ms[0] / s.ms[t] : 0.0,
+                   t + 1 < s.ms.size() ? ", " : "");
+    }
+    std::fprintf(out, "], \"serial_fraction\": %.4f}%s\n", s.serial_fraction,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"simd\": {\n");
+  std::fprintf(out, "    \"dispatch\": \"%.*s\",\n",
+               static_cast<int>(stats::simd::dispatch_name().size()),
+               stats::simd::dispatch_name().data());
+  std::fprintf(out, "    \"elements\": %zu,\n", simd_elements);
+  std::fprintf(out, "    \"kernels\": [\n");
+  for (std::size_t i = 0; i < simd_kernels.size(); ++i) {
+    const KernelTiming& k = simd_kernels[i];
+    std::fprintf(out,
+                 "      {\"name\": \"%s\", \"scalar_ms\": %.3f, "
+                 "\"simd_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 k.name.c_str(), k.scalar_ms, k.simd_ms, k.speedup(),
+                 i + 1 < simd_kernels.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"io\": {\n");
   std::fprintf(out, "    \"csv_bytes\": %llu,\n",
                static_cast<unsigned long long>(csv_bytes));
@@ -289,6 +456,20 @@ int run_stage_report(double scale, const std::string& json_path) {
       100.0 * sparse_stats.prune_ratio(),
       static_cast<unsigned long long>(sparse_stats.distances_pruned),
       static_cast<unsigned long long>(sparse_stats.distances_attempted()));
+  for (const ScalingStage& s : scaling) {
+    std::printf(
+        "scaling:  %-9s 1/2/4/8 threads: %.1f / %.1f / %.1f / %.1f ms "
+        "(serial fraction %.2f)\n",
+        s.name.c_str(), s.ms[0], s.ms[1], s.ms[2], s.ms[3],
+        s.serial_fraction);
+  }
+  std::printf("simd:     dispatch %.*s\n",
+              static_cast<int>(stats::simd::dispatch_name().size()),
+              stats::simd::dispatch_name().data());
+  for (const KernelTiming& k : simd_kernels) {
+    std::printf("  %-17s scalar %.1f ms, simd %.1f ms (%.1fx)\n",
+                k.name.c_str(), k.scalar_ms, k.simd_ms, k.speedup());
+  }
   std::printf("cache:    cold %.1f ms, warm %.3f ms (shared: %s)\n",
               cache_cold, cache_warm, cache_shared ? "yes" : "NO");
   std::printf(

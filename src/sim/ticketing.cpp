@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -62,6 +63,8 @@ std::array<int, trace::kSubsystemCount> emit_crash_tickets(
   std::array<int, trace::kSubsystemCount> crash_count{};
   std::vector<std::optional<trace::Ticket>> rendered(
       std::min(kRenderBlock, events.size()));
+  std::vector<trace::Ticket> batch;
+  batch.reserve(rendered.size());
   for (std::size_t block = 0; block < events.size(); block += kRenderBlock) {
     const std::size_t n = std::min(kRenderBlock, events.size() - block);
     parallel_for(n, [&](std::size_t j) {
@@ -97,11 +100,16 @@ std::array<int, trace::kSubsystemCount> emit_crash_tickets(
       t.resolution = std::move(text.resolution);
       rendered[j] = std::move(t);
     });
+    // Compact the block (monitoring losses leave holes) and commit it as one
+    // batch, letting the sink encode columns in parallel. Ticket ids still
+    // follow event order: batches are committed serially, holes skipped.
+    batch.clear();
     for (std::size_t j = 0; j < n; ++j) {
       if (!rendered[j]) continue;
       ++crash_count[rendered[j]->subsystem];
-      writer.add_ticket(std::move(*rendered[j]));
+      batch.push_back(std::move(*rendered[j]));
     }
+    writer.add_tickets(batch);
   }
   return crash_count;
 }
@@ -157,9 +165,7 @@ void emit_background_tickets(
       t.resolution = std::move(text.resolution);
       rendered[j] = std::move(t);
     });
-    for (std::size_t j = 0; j < n; ++j) {
-      writer.add_ticket(std::move(rendered[j]));
-    }
+    writer.add_tickets(std::span(rendered.data(), n));
   }
 }
 

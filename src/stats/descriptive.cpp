@@ -3,23 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 
 namespace fa::stats {
 
 double mean(std::span<const double> xs) {
   require(!xs.empty(), "mean: empty sample");
-  double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  return simd::sum(xs) / static_cast<double>(xs.size());
 }
 
 double variance(std::span<const double> xs) {
   require(xs.size() >= 2, "variance: need at least two observations");
   const double m = mean(xs);
-  double ss = 0.0;
-  for (double x : xs) ss += (x - m) * (x - m);
-  return ss / static_cast<double>(xs.size() - 1);
+  return simd::sum_sq_dev(xs, m) / static_cast<double>(xs.size() - 1);
 }
 
 double stddev(std::span<const double> xs) {

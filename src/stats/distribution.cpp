@@ -1,5 +1,7 @@
 #include "src/stats/distribution.h"
 
+#include <cmath>
+
 namespace fa::stats {
 
 double Distribution::log_likelihood(std::span<const double> xs) const {
@@ -7,5 +9,17 @@ double Distribution::log_likelihood(std::span<const double> xs) const {
   for (double x : xs) total += log_pdf(x);
   return total;
 }
+
+namespace detail {
+
+bool batch_domain_ok(std::span<const double> xs, double lower, bool open) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+    if (open ? x <= lower : x < lower) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
 
 }  // namespace fa::stats

@@ -32,10 +32,22 @@ class Distribution {
 
   double median() const { return quantile(0.5); }
 
-  // Sum of log_pdf over the sample.
-  double log_likelihood(std::span<const double> xs) const;
+  // Sum of log_pdf over the sample. Families override this with a batch
+  // sufficient-statistic evaluation (vectorized sums over a log buffer);
+  // overrides fall back to this element-wise path whenever any input is
+  // outside the family's support or non-finite, so NaN/-inf propagation is
+  // exactly the per-element behaviour. Batch totals agree with the
+  // element-wise sum to within 1e-12 relative (pinned by tests).
+  virtual double log_likelihood(std::span<const double> xs) const;
 };
 
 using DistributionPtr = std::unique_ptr<Distribution>;
+
+namespace detail {
+// True iff every x is finite and above `lower` (strictly when `open`).
+// Families use this to gate their batch log-likelihood paths: any
+// out-of-domain or non-finite input routes to the element-wise loop.
+bool batch_domain_ok(std::span<const double> xs, double lower, bool open);
+}  // namespace detail
 
 }  // namespace fa::stats

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
 
@@ -36,6 +37,15 @@ double Exponential::quantile(double p) const {
 
 double Exponential::sample(Rng& rng) const {
   return rng.exponential(rate_);
+}
+
+double Exponential::log_likelihood(std::span<const double> xs) const {
+  if (!detail::batch_domain_ok(xs, 0.0, /*open=*/false)) {
+    return Distribution::log_likelihood(xs);
+  }
+  // Sufficient statistic: ll = n log(rate) - rate * sum(x).
+  const auto n = static_cast<double>(xs.size());
+  return n * std::log(rate_) - rate_ * simd::sum(xs);
 }
 
 }  // namespace fa::stats

@@ -22,6 +22,7 @@ class Exponential final : public Distribution {
   double sample(Rng& rng) const override;
   double mean() const override { return 1.0 / rate_; }
   double variance() const override { return 1.0 / (rate_ * rate_); }
+  double log_likelihood(std::span<const double> xs) const override;
 
  private:
   double rate_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/stats/ks.h"
+#include "src/stats/simd.h"
 #include "src/stats/special.h"
 #include "src/util/error.h"
 
@@ -18,15 +20,18 @@ void check_positive(std::span<const double> xs, const char* who) {
 }
 
 double sample_mean(std::span<const double> xs) {
-  double s = 0.0;
-  for (double x : xs) s += x;
-  return s / static_cast<double>(xs.size());
+  return simd::sum(xs) / static_cast<double>(xs.size());
+}
+
+std::vector<double> log_buffer(std::span<const double> xs) {
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+  return lx;
 }
 
 double mean_log(std::span<const double> xs) {
-  double s = 0.0;
-  for (double x : xs) s += std::log(x);
-  return s / static_cast<double>(xs.size());
+  const std::vector<double> lx = log_buffer(xs);
+  return simd::sum(lx) / static_cast<double>(xs.size());
 }
 
 }  // namespace
@@ -38,12 +43,9 @@ Exponential fit_exponential(std::span<const double> xs) {
 
 LogNormal fit_lognormal(std::span<const double> xs) {
   check_positive(xs, "fit_lognormal");
-  const double mu = mean_log(xs);
-  double ss = 0.0;
-  for (double x : xs) {
-    const double d = std::log(x) - mu;
-    ss += d * d;
-  }
+  const std::vector<double> lx = log_buffer(xs);
+  const double mu = simd::sum(lx) / static_cast<double>(xs.size());
+  const double ss = simd::sum_sq_dev(lx, mu);
   const double sigma = std::sqrt(ss / static_cast<double>(xs.size()));
   require(sigma > 0.0, "fit_lognormal: degenerate sample (all equal)");
   return LogNormal(mu, sigma);
@@ -75,17 +77,19 @@ GammaDist fit_gamma(std::span<const double> xs) {
 
 Weibull fit_weibull(std::span<const double> xs) {
   check_positive(xs, "fit_weibull");
-  const double mlog = mean_log(xs);
+  // Hoist log(x) out of the root iteration: each g(k) evaluation then costs
+  // one exp per element (x^k = exp(k ln x)) plus two vector reductions,
+  // instead of a pow and a log per element.
+  const std::vector<double> lx = log_buffer(xs);
+  const double mlog = simd::sum(lx) / static_cast<double>(xs.size());
+  std::vector<double> xk(xs.size());
   // Profile-likelihood equation for the shape:
   //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0,
   // g is increasing in k; bracket then bisect with Newton-like midpoints.
   const auto g = [&](double k) {
-    double num = 0.0, den = 0.0;
-    for (double x : xs) {
-      const double xk = std::pow(x, k);
-      num += xk * std::log(x);
-      den += xk;
-    }
+    for (std::size_t i = 0; i < lx.size(); ++i) xk[i] = std::exp(k * lx[i]);
+    const double num = simd::dot(xk, lx);
+    const double den = simd::sum(xk);
     return num / den - 1.0 / k - mlog;
   };
   double lo = 1e-3, hi = 1.0;
@@ -100,10 +104,9 @@ Weibull fit_weibull(std::span<const double> xs) {
     if (std::fabs(v) < 1e-13 || (hi - lo) < 1e-12 * k) break;
     (v < 0.0 ? lo : hi) = k;
   }
-  double sum_xk = 0.0;
-  for (double x : xs) sum_xk += std::pow(x, k);
+  for (std::size_t i = 0; i < lx.size(); ++i) xk[i] = std::exp(k * lx[i]);
   const double scale =
-      std::pow(sum_xk / static_cast<double>(xs.size()), 1.0 / k);
+      std::pow(simd::sum(xk) / static_cast<double>(xs.size()), 1.0 / k);
   return Weibull(k, scale);
 }
 
@@ -138,6 +141,36 @@ FitResult fit_best(std::span<const double> xs) {
   auto results = fit_candidates(xs);
   require(!results.empty(), "fit_best: no family fitted");
   return std::move(results.front());
+}
+
+double amdahl_serial_fraction(std::span<const int> threads,
+                              std::span<const double> times_ms) {
+  require(threads.size() == times_ms.size(),
+          "amdahl_serial_fraction: threads/times size mismatch");
+  require(threads.size() >= 2,
+          "amdahl_serial_fraction: need at least two measurements");
+  double t1 = 0.0;
+  bool have_t1 = false;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    require(threads[i] >= 1 && times_ms[i] > 0.0,
+            "amdahl_serial_fraction: threads must be >= 1 and times positive");
+    if (threads[i] == 1) {
+      t1 = times_ms[i];
+      have_t1 = true;
+    }
+  }
+  require(have_t1, "amdahl_serial_fraction: need a 1-thread measurement");
+  // T(p) = T1/p + s * T1 * (1 - 1/p) is linear in s; solve the normal
+  // equation over the p > 1 measurements.
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const double inv_p = 1.0 / static_cast<double>(threads[i]);
+    const double a = t1 * (1.0 - inv_p);
+    num += a * (times_ms[i] - t1 * inv_p);
+    den += a * a;
+  }
+  if (den <= 0.0) return 1.0;  // only p == 1 measurements: no information
+  return std::clamp(num / den, 0.0, 1.0);
 }
 
 }  // namespace fa::stats

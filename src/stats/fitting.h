@@ -41,4 +41,12 @@ std::vector<FitResult> fit_candidates(std::span<const double> xs);
 // Convenience: the best FitResult from fit_candidates.
 FitResult fit_best(std::span<const double> xs);
 
+// Least-squares Amdahl fit. Given wall times measured at several thread
+// counts (one of which must be 1), estimates the serial fraction s of
+// T(p) = T1 * (s + (1 - s) / p), clamped to [0, 1]. Used by the perf
+// toolkit's thread-scaling mode and `fa_trace profile` to report how much
+// of each stage resists parallelization.
+double amdahl_serial_fraction(std::span<const int> threads,
+                              std::span<const double> times_ms);
+
 }  // namespace fa::stats

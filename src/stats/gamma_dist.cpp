@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "src/stats/simd.h"
 #include "src/stats/special.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
@@ -34,6 +36,19 @@ double GammaDist::log_pdf(double x) const {
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
   return (shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
          shape_ * std::log(scale_);
+}
+
+double GammaDist::log_likelihood(std::span<const double> xs) const {
+  if (!detail::batch_domain_ok(xs, 0.0, /*open=*/true)) {
+    return Distribution::log_likelihood(xs);
+  }
+  // ll = (shape-1) sum(log x) - sum(x)/scale - n (lgamma(shape)
+  //      + shape log(scale)).
+  const auto n = static_cast<double>(xs.size());
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+  return (shape_ - 1.0) * simd::sum(lx) - simd::sum(xs) / scale_ -
+         n * (std::lgamma(shape_) + shape_ * std::log(scale_));
 }
 
 double GammaDist::cdf(double x) const {

@@ -17,6 +17,7 @@ class GammaDist final : public Distribution {
   std::string describe() const override;
   double pdf(double x) const override;
   double log_pdf(double x) const override;
+  double log_likelihood(std::span<const double> xs) const override;
   double cdf(double x) const override;
   double quantile(double p) const override;
   // Marsaglia-Tsang squeeze method (with boost for shape < 1).

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/obs/metrics.h"
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -13,12 +14,7 @@ namespace {
 
 double squared_distance(const std::vector<double>& a,
                         const std::vector<double>& b) {
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    d += diff * diff;
-  }
-  return d;
+  return simd::squared_distance(a, b);
 }
 
 std::vector<std::vector<double>> seed_plus_plus(
@@ -142,9 +138,7 @@ KMeansResult run_once(std::span<const std::vector<double>> points,
 // in-order reduction, so results are bit-identical at any thread count.
 
 double dense_dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) d += a[i] * b[i];
-  return d;
+  return simd::dot(a, b);
 }
 
 double sparse_sq_dist(const SparseMatrix& points, std::size_t i,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 
 namespace fa::stats {
@@ -12,15 +13,10 @@ double ks_statistic(std::span<const double> xs, const Distribution& dist) {
   require(!xs.empty(), "ks_statistic: empty sample");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
-  const auto n = static_cast<double>(sorted.size());
-  double d = 0.0;
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const double f = dist.cdf(sorted[i]);
-    const double lower = static_cast<double>(i) / n;
-    const double upper = static_cast<double>(i + 1) / n;
-    d = std::max(d, std::max(std::fabs(f - lower), std::fabs(upper - f)));
-  }
-  return d;
+  // Evaluate the model CDF into the sorted buffer in place, then run the
+  // vectorized deviation scan (max-only, so bit-identical to scalar).
+  for (double& x : sorted) x = dist.cdf(x);
+  return simd::ks_max_deviation(sorted.data(), sorted.size());
 }
 
 double ks_p_value(double statistic, std::size_t n) {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "src/stats/simd.h"
 #include "src/stats/special.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
@@ -39,6 +41,19 @@ double LogNormal::log_pdf(double x) const {
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
   const double z = (std::log(x) - mu_) / sigma_;
   return -0.5 * z * z - std::log(x * sigma_) - kLogSqrt2Pi;
+}
+
+double LogNormal::log_likelihood(std::span<const double> xs) const {
+  if (!detail::batch_domain_ok(xs, 0.0, /*open=*/true)) {
+    return Distribution::log_likelihood(xs);
+  }
+  // ll = -sum((log x - mu)^2) / (2 sigma^2) - sum(log x)
+  //      - n (log sigma + log sqrt(2 pi)).
+  const auto n = static_cast<double>(xs.size());
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+  return -0.5 * simd::sum_sq_dev(lx, mu_) / (sigma_ * sigma_) -
+         simd::sum(lx) - n * (std::log(sigma_) + kLogSqrt2Pi);
 }
 
 double LogNormal::cdf(double x) const {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
 
@@ -27,6 +29,18 @@ double Pareto::log_pdf(double x) const {
   if (x < x_min_) return -std::numeric_limits<double>::infinity();
   return std::log(alpha_) + alpha_ * std::log(x_min_) -
          (alpha_ + 1.0) * std::log(x);
+}
+
+double Pareto::log_likelihood(std::span<const double> xs) const {
+  if (!detail::batch_domain_ok(xs, x_min_, /*open=*/false)) {
+    return Distribution::log_likelihood(xs);
+  }
+  // ll = n (log alpha + alpha log x_min) - (alpha+1) sum(log x).
+  const auto n = static_cast<double>(xs.size());
+  std::vector<double> lx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+  return n * (std::log(alpha_) + alpha_ * std::log(x_min_)) -
+         (alpha_ + 1.0) * simd::sum(lx);
 }
 
 double Pareto::cdf(double x) const {

@@ -1,5 +1,6 @@
 #include "src/stats/sparse_matrix.h"
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 
 namespace fa::stats {
@@ -8,18 +9,16 @@ void SparseMatrix::append_row(std::span<const std::uint32_t> indices,
                               std::span<const double> values) {
   require(indices.size() == values.size(),
           "SparseMatrix::append_row: indices/values size mismatch");
-  double norm_sq = 0.0;
   for (std::size_t e = 0; e < indices.size(); ++e) {
     require(indices[e] < cols_,
             "SparseMatrix::append_row: column index out of range");
     require(e == 0 || indices[e] > indices[e - 1],
             "SparseMatrix::append_row: indices must be strictly increasing");
-    norm_sq += values[e] * values[e];
   }
   col_indices_.insert(col_indices_.end(), indices.begin(), indices.end());
   values_.insert(values_.end(), values.begin(), values.end());
   row_offsets_.push_back(col_indices_.size());
-  norms_sq_.push_back(norm_sq);
+  norms_sq_.push_back(simd::sum_sq(values));
 }
 
 SparseMatrix::RowView SparseMatrix::row(std::size_t i) const {
@@ -30,11 +29,9 @@ SparseMatrix::RowView SparseMatrix::row(std::size_t i) const {
 }
 
 double SparseMatrix::dot_dense(std::size_t i, std::span<const double> y) const {
-  double d = 0.0;
-  for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e) {
-    d += values_[e] * y[col_indices_[e]];
-  }
-  return d;
+  const std::size_t begin = row_offsets_[i];
+  return simd::sparse_dot(values_.data() + begin, col_indices_.data() + begin,
+                          row_offsets_[i + 1] - begin, y.data());
 }
 
 std::vector<double> SparseMatrix::row_dense(std::size_t i) const {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "src/stats/simd.h"
 #include "src/util/error.h"
 #include "src/util/strings.h"
 
@@ -33,6 +35,21 @@ double Weibull::log_pdf(double x) const {
   const double z = x / scale_;
   return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) -
          std::pow(z, shape_);
+}
+
+double Weibull::log_likelihood(std::span<const double> xs) const {
+  if (!detail::batch_domain_ok(xs, 0.0, /*open=*/true)) {
+    return Distribution::log_likelihood(xs);
+  }
+  // ll = n log(shape/scale) + (shape-1) sum(log z) - sum(z^shape), z = x/scale.
+  // One log per element feeds both sums: z^shape = exp(shape * log z).
+  const auto n = static_cast<double>(xs.size());
+  std::vector<double> lz(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lz[i] = std::log(xs[i] / scale_);
+  const double sum_lz = simd::sum(lz);
+  for (double& v : lz) v = std::exp(shape_ * v);
+  const double sum_pow = simd::sum(lz);
+  return n * std::log(shape_ / scale_) + (shape_ - 1.0) * sum_lz - sum_pow;
 }
 
 double Weibull::cdf(double x) const {

@@ -18,6 +18,7 @@ class Weibull final : public Distribution {
   std::string describe() const override;
   double pdf(double x) const override;
   double log_pdf(double x) const override;
+  double log_likelihood(std::span<const double> xs) const override;
   double cdf(double x) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override;

@@ -140,18 +140,52 @@ ChunkBuilder::ChunkBuilder(Table table) : table_(table) {
   }
 }
 
+// The per-value append path runs once per cell of every saved trace, so the
+// happy path must not construct error messages: checks branch to these cold
+// [[noreturn]] helpers, which build the diagnostic only when a check fires.
+void ChunkBuilder::fail_encoding(std::size_t index, Encoding expected) const {
+  throw Error("columnar: column " + std::to_string(index) + " of " +
+              std::string(table_name(table_)) + " expects encoding " +
+              std::string(encoding_name(columns_[index].encoding)) +
+              ", got " + std::string(encoding_name(expected)));
+}
+
+void ChunkBuilder::fail_row_incomplete() const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].size != rows_) {
+      throw Error("columnar: row " + std::to_string(rows_ - 1) + " of " +
+                  std::string(table_name(table_)) + " left column " +
+                  std::string(table_schema(table_)[i].name) + " unset");
+    }
+  }
+  throw Error("columnar: row completion check failed");
+}
+
 ChunkBuilder::Column& ChunkBuilder::column_for(std::size_t index,
                                                Encoding expected) {
   require(index < columns_.size(), "columnar: column index out of range");
   Column& c = columns_[index];
-  require(c.encoding == expected,
-          "columnar: column " + std::to_string(index) + " of " +
-              std::string(table_name(table_)) + " expects encoding " +
-              std::string(encoding_name(c.encoding)) + ", got " +
-              std::string(encoding_name(expected)));
+  if (c.encoding != expected) fail_encoding(index, expected);
   require(c.size == rows_, "columnar: column appended out of row order");
   ++c.size;
   return c;
+}
+
+ChunkBuilder::Column& ChunkBuilder::batch_column(std::size_t index) {
+  require(index < columns_.size(), "columnar: column index out of range");
+  Column& c = columns_[index];
+  require(c.size == rows_, "columnar: batch fill on a column already advanced");
+  return c;
+}
+
+std::uint32_t ChunkBuilder::dict_slot(Column& c, std::string_view v) {
+  if (const auto it = c.dict_lookup.find(v); it != c.dict_lookup.end()) {
+    return it->second;
+  }
+  const auto slot = static_cast<std::uint32_t>(c.dict.size());
+  c.dict.emplace_back(v);
+  c.dict_lookup.emplace(c.dict.back(), slot);
+  return slot;
 }
 
 void ChunkBuilder::add_int(std::size_t column, std::int64_t v) {
@@ -190,20 +224,20 @@ void ChunkBuilder::add_opt_int(std::size_t column,
 
 void ChunkBuilder::add_string(std::size_t column, std::string_view v) {
   Column& c = column_for(column, Encoding::kStringDict);
-  auto [it, inserted] =
-      c.dict_lookup.try_emplace(std::string(v),
-                                static_cast<std::uint32_t>(c.dict.size()));
-  if (inserted) c.dict.emplace_back(v);
-  c.indices.push_back(it->second);
+  c.indices.push_back(dict_slot(c, v));
 }
 
 void ChunkBuilder::next_row() {
   ++rows_;
   for (std::size_t i = 0; i < columns_.size(); ++i) {
-    require(columns_[i].size == rows_,
-            "columnar: row " + std::to_string(rows_ - 1) + " of " +
-                std::string(table_name(table_)) + " left column " +
-                std::string(table_schema(table_)[i].name) + " unset");
+    if (columns_[i].size != rows_) fail_row_incomplete();
+  }
+}
+
+void ChunkBuilder::advance_rows(std::size_t n) {
+  rows_ += static_cast<std::uint32_t>(n);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].size != rows_) fail_row_incomplete();
   }
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/trace/types.h"
+#include "src/util/error.h"
 #include "src/util/sim_time.h"
 
 namespace fa::trace::columnar {
@@ -133,6 +134,48 @@ class ChunkBuilder {
   void add_string(std::size_t column, std::string_view v);  // kStringDict
   void next_row();
 
+  // ---- batch appends (column-at-a-time) ----
+  // Fill one column with the next n rows' values in one call: the checks the
+  // per-value methods repeat per call happen once per batch. Each column's
+  // state is disjoint, so different columns of the same batch may be filled
+  // from different threads; finish the batch with a single advance_rows(n)
+  // (from one thread) once every column received exactly n values. Dictionary
+  // insertion order stays the row order within the column, so the encoded
+  // bytes are identical to n per-value appends.
+  template <typename Getter>  // Getter(i) -> std::int64_t for rows [0, n)
+  void fill_ints(std::size_t column, std::size_t n, Getter&& get) {
+    Column& c = batch_column(column);
+    const Encoding e = c.encoding;
+    require(e == Encoding::kInt64 || e == Encoding::kInt32 ||
+                e == Encoding::kUInt8,
+            "columnar: fill_ints on a non-integer column");
+    c.ints.reserve(c.ints.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t v = get(i);
+      if (e == Encoding::kInt32) {
+        require(v >= INT32_MIN && v <= INT32_MAX,
+                "columnar: value out of int32 range");
+      } else if (e == Encoding::kUInt8) {
+        require(v >= 0 && v <= UINT8_MAX, "columnar: value out of uint8 range");
+      }
+      c.ints.push_back(v);
+    }
+    c.size += n;
+  }
+  template <typename Getter>  // Getter(i) -> std::string_view for rows [0, n)
+  void fill_strings(std::size_t column, std::size_t n, Getter&& get) {
+    Column& c = batch_column(column);
+    require(c.encoding == Encoding::kStringDict,
+            "columnar: fill_strings on a non-dictionary column");
+    c.indices.reserve(c.indices.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.indices.push_back(dict_slot(c, get(i)));
+    }
+    c.size += n;
+  }
+  // Completes a batch of n rows (the batch counterpart of next_row()).
+  void advance_rows(std::size_t n);
+
   // Appends the encoded chunk to `out` (which must be 8-aligned at its
   // current size; encode pads its own tail to 8) and returns the directory
   // entry with offsets relative to the chunk start. Clears the builder for
@@ -140,6 +183,15 @@ class ChunkBuilder {
   ChunkInfo encode(std::vector<std::byte>& out);
 
  private:
+  // Heterogeneous hashing so dictionary probes take a string_view and only
+  // materialize a std::string for strings entering the dictionary.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view v) const noexcept {
+      return std::hash<std::string_view>{}(v);
+    }
+  };
+
   struct Column {
     Encoding encoding;
     std::vector<std::int64_t> ints;      // int-like values (0 when absent)
@@ -147,11 +199,16 @@ class ChunkBuilder {
     std::vector<std::uint8_t> present;   // optional columns, 1 per row
     std::vector<std::uint32_t> indices;  // kStringDict row -> dict slot
     std::vector<std::string> dict;       // kStringDict slot -> string
-    std::unordered_map<std::string, std::uint32_t> dict_lookup;
+    std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+        dict_lookup;
     std::size_t size = 0;                // rows appended so far
   };
 
   Column& column_for(std::size_t index, Encoding expected);
+  Column& batch_column(std::size_t index);
+  static std::uint32_t dict_slot(Column& c, std::string_view v);
+  [[noreturn]] void fail_encoding(std::size_t index, Encoding expected) const;
+  [[noreturn]] void fail_row_incomplete() const;
 
   Table table_;
   std::vector<Column> columns_;

@@ -10,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/util/error.h"
+#include "src/util/thread_pool.h"
 
 namespace fa::trace {
 namespace {
@@ -159,6 +160,72 @@ void ColumnarWriter::add_ticket(const Ticket& ticket) {
   require(!finished_, "columnar: write after finish");
   append_record(builders_[static_cast<std::size_t>(Table::kTickets)], ticket);
   append_rows_metric(Table::kTickets);
+}
+
+void ColumnarWriter::add_tickets(std::span<const Ticket> tickets) {
+  require(!finished_, "columnar: write after finish");
+  using namespace columnar::col;
+  const auto t = static_cast<std::size_t>(Table::kTickets);
+  columnar::ChunkBuilder& b = builders_[t];
+  std::size_t done = 0;
+  while (done < tickets.size()) {
+    const std::size_t room = chunk_rows_ - b.rows();
+    const std::size_t n = std::min(room, tickets.size() - done);
+    const std::span<const Ticket> batch = tickets.subspan(done, n);
+    // One task per ticket column. Each fills only its own column's state, so
+    // scheduling order cannot affect the encoded bytes; dictionary slots
+    // still follow row order within each text column.
+    parallel_for(9, [&](std::size_t ci) {
+      switch (ci) {
+        case kTicketIncident:
+          b.fill_ints(kTicketIncident, n,
+                      [&](std::size_t i) { return batch[i].incident.value; });
+          break;
+        case kTicketServer:
+          b.fill_ints(kTicketServer, n,
+                      [&](std::size_t i) { return batch[i].server.value; });
+          break;
+        case kTicketSubsystem:
+          b.fill_ints(kTicketSubsystem, n, [&](std::size_t i) {
+            return static_cast<std::int64_t>(batch[i].subsystem);
+          });
+          break;
+        case kTicketIsCrash:
+          b.fill_ints(kTicketIsCrash, n, [&](std::size_t i) {
+            return static_cast<std::int64_t>(batch[i].is_crash ? 1 : 0);
+          });
+          break;
+        case kTicketTrueClass:
+          b.fill_ints(kTicketTrueClass, n, [&](std::size_t i) {
+            return static_cast<std::int64_t>(batch[i].true_class);
+          });
+          break;
+        case kTicketOpened:
+          b.fill_ints(kTicketOpened, n,
+                      [&](std::size_t i) { return batch[i].opened; });
+          break;
+        case kTicketClosed:
+          b.fill_ints(kTicketClosed, n,
+                      [&](std::size_t i) { return batch[i].closed; });
+          break;
+        case kTicketDescription:
+          b.fill_strings(kTicketDescription, n, [&](std::size_t i) {
+            return std::string_view(batch[i].description);
+          });
+          break;
+        case kTicketResolution:
+          b.fill_strings(kTicketResolution, n, [&](std::size_t i) {
+            return std::string_view(batch[i].resolution);
+          });
+          break;
+      }
+    });
+    b.advance_rows(n);
+    row_counts_[t] += n;
+    rows_written_counter().add(n);
+    done += n;
+    if (b.rows() >= chunk_rows_) flush_chunk(Table::kTickets);
+  }
 }
 
 void ColumnarWriter::add_weekly_usage(const WeeklyUsage& usage) {
@@ -604,7 +671,7 @@ FileReport save_columnar(const TraceDatabase& db, const std::string& path,
   }
   writer.set_next_incident(next_incident);
   for (const ServerRecord& s : db.servers()) writer.add_server(s);
-  for (const Ticket& t : db.tickets()) writer.add_ticket(t);
+  writer.add_tickets(db.tickets());
   for (const ServerRecord& s : db.servers()) {
     for (const WeeklyUsage& u : db.weekly_usage_for(s.id)) {
       writer.add_weekly_usage(u);

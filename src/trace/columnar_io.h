@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,11 @@ class ColumnarWriter {
 
   void add_server(const ServerRecord& record);
   void add_ticket(const Ticket& ticket);
+  // Batch ticket append: encodes the nine ticket columns concurrently on the
+  // global ThreadPool (each column's builder state is disjoint, so the bytes
+  // are identical to per-ticket appends at any thread count), splitting the
+  // batch at chunk boundaries.
+  void add_tickets(std::span<const Ticket> tickets);
   void add_weekly_usage(const WeeklyUsage& usage);
   void add_power_event(const PowerEvent& event);
   void add_monthly_snapshot(const MonthlySnapshot& snapshot);

@@ -21,6 +21,20 @@ TicketId TraceWriter::add_ticket(Ticket ticket) {
   return id;
 }
 
+void TraceWriter::add_tickets(std::span<Ticket> tickets) {
+  for (Ticket& ticket : tickets) {
+    ticket.id = TicketId{next_ticket_++};
+    require(ticket.subsystem < kSubsystemCount,
+            "TraceWriter: ticket with invalid subsystem");
+    ++tickets_by_subsystem_[ticket.subsystem];
+  }
+  do_add_tickets(tickets);
+}
+
+void TraceWriter::do_add_tickets(std::span<Ticket> tickets) {
+  for (Ticket& ticket : tickets) do_add_ticket(std::move(ticket));
+}
+
 void TraceWriter::add_weekly_usage(const WeeklyUsage& usage) {
   do_add_weekly_usage(usage);
 }
@@ -46,6 +60,10 @@ void DatabaseTraceWriter::do_add_ticket(Ticket ticket) {
   const TicketId assigned = db_.add_ticket(std::move(ticket));
   require(assigned == expected,
           "DatabaseTraceWriter: writer/database ticket id mismatch");
+}
+
+void DatabaseTraceWriter::do_add_tickets(std::span<Ticket> tickets) {
+  for (Ticket& ticket : tickets) do_add_ticket(std::move(ticket));
 }
 
 }  // namespace fa::trace

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "src/trace/columnar_io.h"
@@ -33,6 +34,10 @@ class TraceWriter {
   // Assign ids (contiguous append order) and forward to the sink.
   ServerId add_server(ServerRecord record);
   TicketId add_ticket(Ticket ticket);
+  // Batch commit: assigns contiguous ids in span order (serially, so ids are
+  // independent of the sink), then hands the whole batch to the sink, which
+  // may encode it with column-level parallelism. Tickets are consumed.
+  void add_tickets(std::span<Ticket> tickets);
   void add_weekly_usage(const WeeklyUsage& usage);
   void add_power_event(const PowerEvent& event);
   void add_monthly_snapshot(const MonthlySnapshot& snapshot);
@@ -61,6 +66,8 @@ class TraceWriter {
  protected:
   virtual void do_add_server(const ServerRecord& record) = 0;
   virtual void do_add_ticket(Ticket ticket) = 0;
+  // Batch hook; the default forwards one ticket at a time.
+  virtual void do_add_tickets(std::span<Ticket> tickets);
   virtual void do_add_weekly_usage(const WeeklyUsage& usage) = 0;
   virtual void do_add_power_event(const PowerEvent& event) = 0;
   virtual void do_add_monthly_snapshot(const MonthlySnapshot& snapshot) = 0;
@@ -88,6 +95,7 @@ class DatabaseTraceWriter final : public TraceWriter {
  protected:
   void do_add_server(const ServerRecord& record) override;
   void do_add_ticket(Ticket ticket) override;
+  void do_add_tickets(std::span<Ticket> tickets) override;
   void do_add_weekly_usage(const WeeklyUsage& usage) override {
     db_.add_weekly_usage(usage);
   }
@@ -127,6 +135,9 @@ class ColumnarTraceWriter final : public TraceWriter {
     writer_.add_server(record);
   }
   void do_add_ticket(Ticket ticket) override { writer_.add_ticket(ticket); }
+  void do_add_tickets(std::span<Ticket> tickets) override {
+    writer_.add_tickets(tickets);
+  }
   void do_add_weekly_usage(const WeeklyUsage& usage) override {
     writer_.add_weekly_usage(usage);
   }

@@ -11,11 +11,18 @@ namespace fa {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const char* what) : std::runtime_error(what) {}
 };
 
 // Precondition check used across the library. Unlike assert() it is active in
 // all build types: analysis code is routinely run on untrusted trace files.
 inline void require(bool cond, const std::string& message) {
+  if (!cond) throw Error(message);
+}
+
+// Literal-message overload: no std::string is materialized unless the check
+// actually fires, which keeps require() free on hot per-value paths.
+inline void require(bool cond, const char* message) {
   if (!cond) throw Error(message);
 }
 

@@ -330,6 +330,33 @@ TEST_F(ColumnarIoTest, StreamedWritesAreThreadCountDeterministic) {
   EXPECT_EQ(a, b) << "streamed columnar output depends on thread count";
 }
 
+// A batch ticket commit encodes its columns in parallel; the bytes must be
+// identical to the equivalent sequence of per-ticket appends at any thread
+// count, including batches that straddle chunk boundaries.
+TEST_F(ColumnarIoTest, BatchTicketCommitIsByteIdenticalToPerTicket) {
+  const TraceDatabase& db = fa::testing::small_simulated_db();
+  ASSERT_GT(db.tickets().size(), 256u);  // several 256-row chunks
+
+  {
+    ColumnarWriter writer(path("single.fac"), 256);
+    for (const Ticket& t : db.tickets()) writer.add_ticket(t);
+    writer.finish();
+  }
+  const std::string reference = read_file(dir_ / "single.fac");
+  ASSERT_FALSE(reference.empty());
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadPool::set_default_thread_count(threads);
+    const std::string name = "batch" + std::to_string(threads) + ".fac";
+    ColumnarWriter writer(path(name), 256);
+    writer.add_tickets(db.tickets());
+    writer.finish();
+    EXPECT_EQ(read_file(dir_ / name), reference)
+        << "batch commit bytes diverge at " << threads << " threads";
+  }
+  ThreadPool::set_default_thread_count(0);
+}
+
 TEST_F(ColumnarIoTest, StreamedFileMatchesInMemorySimulation) {
   const auto config = sim::SimulationConfig::paper_defaults().scaled(0.05);
   {

@@ -22,7 +22,9 @@
 //       simulation) with instrumentation on, print the metrics table and
 //       write fa_metrics.json + fa_trace_events.json (paths overridable
 //       with the global --metrics / --trace-out flags). The trace file
-//       loads in chrome://tracing or https://ui.perfetto.dev.
+//       loads in chrome://tracing or https://ui.perfetto.dev. The command
+//       is then re-run at 1/2/4/8 worker threads and a per-stage serial
+//       fraction (Amdahl least-squares fit over the four runs) is printed.
 //
 //   fa_trace sanitize DIR [--counts-csv FILE] [--defects-csv FILE]
 //       Load a CSV trace in lenient mode and print the sanitization
@@ -67,9 +69,12 @@
 //   --no-obs          turn off metric/span recording at runtime
 //   --metrics PATH    write the metrics JSON snapshot before exiting
 //   --trace-out PATH  write the Chrome trace-event JSON before exiting
+#include <array>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <map>
+#include <span>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -621,6 +626,67 @@ int run_command(const std::vector<std::string>& args) {
   return unknown_command(command);
 }
 
+// Amdahl sweep behind `fa_trace profile`: re-runs the profiled command at
+// 1, 2, 4 and 8 worker threads (cold artifact cache, fresh registry, stdout
+// suppressed), then least-squares-fits the serial fraction of every stage
+// span recorded in all four runs (stats::amdahl_serial_fraction). A
+// fraction near 1 means the stage does not scale with threads.
+void print_amdahl_sweep(const std::vector<std::string>& args) {
+  constexpr std::array<int, 4> kThreads = {1, 2, 4, 8};
+  std::map<std::string, std::array<double, kThreads.size()>> totals;
+  std::map<std::string, std::size_t> seen;
+  const std::size_t previous = fa::ThreadPool::default_thread_count();
+  for (std::size_t ti = 0; ti < kThreads.size(); ++ti) {
+    fa::analysis::ArtifactCache::global().clear();
+    fa::obs::MetricsRegistry::global().reset();
+    fa::ThreadPool::set_default_thread_count(
+        static_cast<std::size_t>(kThreads[ti]));
+    std::ostringstream discard;
+    std::streambuf* saved = std::cout.rdbuf(discard.rdbuf());
+    bool ok = true;
+    try {
+      ok = run_command(args) == 0;
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    std::cout.rdbuf(saved);
+    if (!ok) {
+      // The instrumented run succeeded, so a sweep failure (e.g. an output
+      // path that cannot be rewritten) only skips the fit.
+      fa::ThreadPool::set_default_thread_count(previous);
+      std::cout << "amdahl sweep skipped: command failed at "
+                << kThreads[ti] << " threads\n";
+      return;
+    }
+    for (const auto& span :
+         fa::obs::MetricsRegistry::global().snapshot().spans) {
+      totals[span.name][ti] = span.total_ms;
+      ++seen[span.name];
+    }
+  }
+  fa::ThreadPool::set_default_thread_count(previous);
+
+  analysis::TextTable table(
+      {"stage", "1t ms", "2t ms", "4t ms", "8t ms", "serial fraction"});
+  for (const auto& [name, ms] : totals) {
+    if (seen[name] != kThreads.size()) continue;  // not present in every run
+    std::array<std::string, kThreads.size()> cells;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      cells[i] = format_double(ms[i], 1);
+    }
+    const double s = stats::amdahl_serial_fraction(
+        kThreads, std::span<const double>(ms));
+    table.add_row({name, cells[0], cells[1], cells[2], cells[3],
+                   format_double(s, 2)});
+  }
+  std::cout << "\nthread scaling (1/2/4/8 worker threads, Amdahl fit):\n"
+            << table.to_string();
+  if (fa::ThreadPool::hardware_threads() <= 1) {
+    std::cout << "note: this host has 1 hardware core; the sweep "
+                 "oversubscribes it and the fit is not meaningful\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -686,5 +752,8 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << metrics_path << " and " << trace_path
               << " (load the trace in chrome://tracing or ui.perfetto.dev)\n";
   }
+  // The sweep runs after the export so the JSON artifacts keep describing
+  // the instrumented run, not the last sweep iteration.
+  if (profile && rc == 0) print_amdahl_sweep(args);
   return rc;
 }
