@@ -45,24 +45,48 @@ void finish_rates(OutOfCoreSummary& summary, int weeks) {
 
 void for_each_chunk(
     const trace::ChunkReader& reader, Table table,
-    const std::function<void(const ChunkView&)>& fn) {
+    const std::function<void(const ChunkView&)>& fn,
+    trace::DegradedReadReport* report) {
   const std::size_t chunks = reader.chunk_count(table);
   for (std::size_t i = 0; i < chunks; ++i) {
-    fn(reader.chunk(table, i));
+    if (report == nullptr) {
+      fn(reader.chunk(table, i));
+      continue;
+    }
+    const auto view = reader.try_chunk(table, i, report);
+    if (view) fn(*view);
   }
 }
 
-OutOfCoreSummary summarize_columnar(const std::string& path, bool use_mmap) {
+OutOfCoreSummary summarize_columnar(const std::string& path, bool use_mmap,
+                                    trace::DegradedReadReport* report) {
   obs::Span span("analysis.out_of_core.summarize");
   trace::ChunkReader reader(path, use_mmap);
   OutOfCoreSummary summary;
   const ObservationWindow window = reader.window();
   const int weeks = window.week_count();
 
-  // Pass 1 — servers: one packed (type, subsystem) byte per server.
+  // Pass 1 — servers: one packed (type, subsystem) byte per server. In
+  // lenient mode a skipped server chunk must still occupy its positional
+  // slots (ids are row positions), so it pads the index with unknown
+  // scopes instead of shifting later servers.
   std::vector<std::uint8_t> scope_of;
+  std::uint64_t server_rows_read = 0;
   scope_of.reserve(reader.row_count(Table::kServers));
-  for_each_chunk(reader, Table::kServers, [&](const ChunkView& view) {
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kServers); ++i) {
+    std::optional<ChunkView> lenient;
+    if (report != nullptr) {
+      lenient = reader.try_chunk(Table::kServers, i, report);
+      if (!lenient) {
+        scope_of.resize(scope_of.size() +
+                            reader.chunk_info(Table::kServers, i).rows,
+                        kUnknownScope);
+        continue;
+      }
+    }
+    const ChunkView view =
+        report != nullptr ? std::move(*lenient)
+                          : reader.chunk(Table::kServers, i);
     const auto types = view.column(col::kServerType).u8_span();
     const auto systems = view.column(col::kServerSubsystem).u8_span();
     for (std::uint32_t r = 0; r < view.rows(); ++r) {
@@ -71,8 +95,9 @@ OutOfCoreSummary summarize_columnar(const std::string& path, bool use_mmap) {
       ++summary.by_scope[static_cast<int>(type)][sys].servers;
       scope_of.push_back(pack_scope(type, sys));
     }
-  });
-  summary.servers = scope_of.size();
+    server_rows_read += view.rows();
+  }
+  summary.servers = server_rows_read;
 
   // Pass 2 — tickets: crash volumes per stratum, window-clipped.
   for_each_chunk(reader, Table::kTickets, [&](const ChunkView& view) {
@@ -95,7 +120,7 @@ OutOfCoreSummary summarize_columnar(const std::string& path, bool use_mmap) {
                         [packed % trace::kSubsystemCount]
                             .crash_tickets;
     }
-  });
+  }, report);
 
   // Monitoring-table volumes come straight from the footer.
   summary.weekly_usage_rows = reader.row_count(Table::kWeeklyUsage);

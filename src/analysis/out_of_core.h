@@ -17,10 +17,13 @@
 
 namespace fa::analysis {
 
-// Calls fn(view) for every chunk of `table`, in file order.
+// Calls fn(view) for every chunk of `table`, in file order. With a
+// non-null `report` the traversal is lenient: damaged chunks (checksum
+// mismatch, truncation) are skipped and recorded instead of throwing.
 void for_each_chunk(
     const trace::ChunkReader& reader, trace::columnar::Table table,
-    const std::function<void(const trace::columnar::ChunkView&)>& fn);
+    const std::function<void(const trace::columnar::ChunkView&)>& fn,
+    trace::DegradedReadReport* report = nullptr);
 
 // Aggregates for one (machine type, subsystem) stratum.
 struct ScopeSummary {
@@ -54,9 +57,15 @@ struct OutOfCoreSummary {
 // one-byte-per-server scope index, one pass over the ticket chunks counts
 // crash tickets per stratum; monitoring-table volumes come straight from
 // the footer. Peak memory is one chunk plus the scope index — independent
-// of fleet size.
+// of fleet size. With a non-null `report` the read degrades gracefully:
+// damaged chunks are skipped (skipped server chunks keep their positional
+// slots in the scope index, so later server ids stay aligned) and the
+// summary covers only the rows actually read — check report->degraded()
+// before treating the result as complete.
 OutOfCoreSummary summarize_columnar(const std::string& path,
-                                    bool use_mmap = true);
+                                    bool use_mmap = true,
+                                    trace::DegradedReadReport* report =
+                                        nullptr);
 
 // The same aggregates from a finalized in-memory database, for
 // equivalence checks against the streaming path.

@@ -1,0 +1,185 @@
+#include "src/inject/io_faults.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/seed_streams.h"
+
+namespace fa::inject {
+
+namespace {
+
+using Kind = IoFaultEvent::Kind;
+
+void record(IoFaultLog* log, std::uint64_t op, Kind kind, std::uint64_t offset,
+            std::uint64_t detail) {
+  if (log != nullptr) log->events.push_back({op, kind, offset, detail});
+}
+
+}  // namespace
+
+const char* IoFaultEvent::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kShortWrite:
+      return "short_write";
+    case Kind::kTransientWrite:
+      return "transient_write";
+    case Kind::kTornWrite:
+      return "torn_write";
+    case Kind::kCrash:
+      return "crash";
+    case Kind::kTransientRead:
+      return "transient_read";
+    case Kind::kBitFlip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+std::string IoFaultLog::to_csv() const {
+  std::string out = "op,kind,offset,detail\n";
+  for (const IoFaultEvent& e : events) {
+    out += std::to_string(e.op);
+    out += ',';
+    out += IoFaultEvent::kind_name(e.kind);
+    out += ',';
+    out += std::to_string(e.offset);
+    out += ',';
+    out += std::to_string(e.detail);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFile
+
+FaultyFile::FaultyFile(std::unique_ptr<io::WritableFile> base,
+                       IoFaultConfig config, IoFaultLog* log)
+    : base_(std::move(base)), config_(config), log_(log) {}
+
+std::size_t FaultyFile::write_some(const void* src, std::size_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t op = op_++;
+
+  // A crash dominates everything: persist the exact pre-crash prefix, then
+  // fail this and every later operation (the "process" is gone).
+  if (crashed_) {
+    record(log_, op, Kind::kCrash, offset_, 0);
+    throw InjectedCrash(path(), offset_);
+  }
+  if (config_.crash_at_byte >= 0) {
+    const auto crash_at = static_cast<std::uint64_t>(config_.crash_at_byte);
+    if (offset_ + n >= crash_at) {
+      const std::size_t keep =
+          crash_at > offset_ ? static_cast<std::size_t>(crash_at - offset_)
+                             : 0;
+      std::size_t persisted = 0;
+      const std::byte* p = static_cast<const std::byte*>(src);
+      while (persisted < keep) {
+        persisted += base_->write_some(p + persisted, keep - persisted);
+      }
+      base_->flush();
+      offset_ += persisted;
+      crashed_ = true;
+      record(log_, op, Kind::kCrash, offset_, persisted);
+      throw InjectedCrash(path(), offset_);
+    }
+  }
+
+  Rng rng = sim::stream_rng(config_.seed, sim::SeedStream::kInjectIoWrite, op);
+
+  if (config_.transient_write_rate > 0 &&
+      transient_streak_ < config_.max_transient_streak &&
+      rng.bernoulli(config_.transient_write_rate)) {
+    ++transient_streak_;
+    record(log_, op, Kind::kTransientWrite, offset_, 0);
+    throw io::IoError(path(), offset_, "injected transient write error",
+                      /*transient=*/true);
+  }
+  transient_streak_ = 0;
+
+  if (config_.torn_write_rate > 0 && n >= 2 &&
+      rng.bernoulli(config_.torn_write_rate)) {
+    // A sub-range of the buffer reaches disk as zeros, but the write
+    // reports full success: the silent-corruption case.
+    const auto lo = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    const auto hi = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo) + 1,
+                        static_cast<std::int64_t>(n) - 1));
+    scratch_.assign(static_cast<const std::byte*>(src),
+                    static_cast<const std::byte*>(src) + n);
+    std::fill(scratch_.begin() + static_cast<std::ptrdiff_t>(lo),
+              scratch_.begin() + static_cast<std::ptrdiff_t>(hi) + 1,
+              std::byte{0});
+    std::size_t persisted = 0;
+    while (persisted < n) {
+      persisted += base_->write_some(scratch_.data() + persisted,
+                                     n - persisted);
+    }
+    record(log_, op, Kind::kTornWrite, offset_, hi - lo + 1);
+    offset_ += n;
+    return n;
+  }
+
+  std::size_t to_write = n;
+  if (config_.short_write_rate > 0 && n >= 2 &&
+      rng.bernoulli(config_.short_write_rate)) {
+    to_write = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(n) - 1));
+    record(log_, op, Kind::kShortWrite, offset_, to_write);
+  }
+
+  const std::size_t wrote = base_->write_some(src, to_write);
+  offset_ += wrote;
+  return wrote;
+}
+
+void FaultyFile::flush() {
+  if (crashed_) throw InjectedCrash(path(), offset_);
+  base_->flush();
+}
+
+void FaultyFile::close() {
+  if (crashed_) return;  // the crashed process never gets to close()
+  base_->close();
+}
+
+// ---------------------------------------------------------------------------
+// FaultyReadFile
+
+FaultyReadFile::FaultyReadFile(std::unique_ptr<io::ReadableFile> base,
+                               IoFaultConfig config, IoFaultLog* log)
+    : base_(std::move(base)), config_(config), log_(log) {}
+
+std::size_t FaultyReadFile::read_some(std::uint64_t offset, void* dst,
+                                      std::size_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t op = op_++;
+  Rng rng = sim::stream_rng(config_.seed, sim::SeedStream::kInjectIoRead, op);
+
+  if (config_.transient_read_rate > 0 &&
+      transient_streak_ < config_.max_transient_streak &&
+      rng.bernoulli(config_.transient_read_rate)) {
+    ++transient_streak_;
+    record(log_, op, Kind::kTransientRead, offset, 0);
+    throw io::IoError(path(), offset, "injected transient read error",
+                      /*transient=*/true);
+  }
+  transient_streak_ = 0;
+
+  const std::size_t got = base_->read_some(offset, dst, n);
+
+  if (config_.bit_flip_rate > 0 && got >= config_.bit_flip_min_read &&
+      rng.bernoulli(config_.bit_flip_rate)) {
+    const auto bit = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(got) * 8 - 1));
+    static_cast<std::uint8_t*>(dst)[bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    record(log_, op, Kind::kBitFlip, offset, bit);
+  }
+  return got;
+}
+
+}  // namespace fa::inject

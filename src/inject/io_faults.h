@@ -1,0 +1,137 @@
+// Deterministic I/O fault injection — the storage-level sibling of the
+// data-level corruptor (src/inject/corruptor.h). Wraps the WritableFile /
+// ReadableFile syscall surface (src/util/io.h) used by ColumnarWriter,
+// ChunkReader and CsvWriter, and injects the failure modes the paper's
+// machines actually exhibit mid-operation:
+//
+//   - short writes            (write(2) persisting fewer bytes than asked)
+//   - transient errors        (EINTR/EAGAIN-style; succeed when retried)
+//   - torn writes             (a sub-range of the buffer hits disk as
+//                              zeros, but the call reports success —
+//                              silent corruption, caught only by the
+//                              downstream chunk checksums)
+//   - crash at byte N         (exact prefix persists, then the process
+//                              "loses power": every later op throws)
+//   - transient read errors and read-side bit flips
+//
+// Every decision is drawn from a counter-based per-operation RNG stream
+// (sim/seed_streams.h: kInjectIoWrite / kInjectIoRead indexed by the file's
+// op counter), so a fault schedule is a pure function of (seed, op index):
+// bit-identical across runs and at any --threads, exactly like the
+// corruptor. The IoFaultLog records what fired, in op order, and renders to
+// CSV for diffing between runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/io.h"
+
+namespace fa::inject {
+
+// Probabilities are per operation (one write_some / read_some call).
+// crash_at_byte is a file offset: the first write that would cross it
+// persists exactly up to that byte, then throws InjectedCrash forever.
+struct IoFaultConfig {
+  std::uint64_t seed = 1;
+
+  double short_write_rate = 0.0;
+  double transient_write_rate = 0.0;
+  double torn_write_rate = 0.0;
+  std::int64_t crash_at_byte = -1;  // < 0: never crash
+
+  double transient_read_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  // Bit flips only hit reads of at least this many bytes, so the small
+  // header/footer probes a reader issues at open() are spared and the flip
+  // lands in chunk payloads where checksums must catch it.
+  std::size_t bit_flip_min_read = 64;
+
+  // Cap on consecutive transient failures for one logical operation, so a
+  // retry policy with max_attempts > streak always eventually succeeds.
+  int max_transient_streak = 2;
+};
+
+// Thrown by FaultyFile when the crash offset is reached: simulated power
+// loss. Permanent (non-transient), so retry policies do not mask it.
+class InjectedCrash : public io::IoError {
+ public:
+  InjectedCrash(const std::string& path, std::uint64_t offset)
+      : io::IoError(path, offset, "injected crash (simulated power loss)") {}
+};
+
+struct IoFaultEvent {
+  enum class Kind : std::uint8_t {
+    kShortWrite,
+    kTransientWrite,
+    kTornWrite,
+    kCrash,
+    kTransientRead,
+    kBitFlip,
+  };
+
+  std::uint64_t op = 0;      // per-file operation index
+  Kind kind = Kind::kShortWrite;
+  std::uint64_t offset = 0;  // file offset the operation targeted
+  std::uint64_t detail = 0;  // bytes persisted / zeroed / flipped bit index
+
+  static const char* kind_name(Kind kind);
+};
+
+struct IoFaultLog {
+  std::vector<IoFaultEvent> events;
+
+  // "op,kind,offset,detail" rows; byte-identical for a fixed seed at any
+  // thread count, so two runs' schedules can be compared with plain diff.
+  std::string to_csv() const;
+};
+
+// WritableFile decorator scheduling faults from the kInjectIoWrite stream.
+// The wrapped file sees only the bytes that "really" hit disk, so a crash
+// leaves exactly the pre-crash prefix on disk.
+class FaultyFile : public io::WritableFile {
+ public:
+  FaultyFile(std::unique_ptr<io::WritableFile> base, IoFaultConfig config,
+             IoFaultLog* log = nullptr);
+
+  std::size_t write_some(const void* src, std::size_t n) override;
+  void flush() override;
+  void close() override;
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<io::WritableFile> base_;
+  IoFaultConfig config_;
+  IoFaultLog* log_;
+  std::uint64_t op_ = 0;
+  std::uint64_t offset_ = 0;  // bytes durably persisted so far
+  int transient_streak_ = 0;
+  bool crashed_ = false;
+  std::vector<std::byte> scratch_;  // torn-write staging buffer
+};
+
+// ReadableFile decorator: transient read errors and payload bit flips from
+// the kInjectIoRead stream. Flips corrupt the bytes returned to the caller
+// (the file itself is untouched), modeling media/DMA corruption that only
+// checksum verification can catch.
+class FaultyReadFile : public io::ReadableFile {
+ public:
+  FaultyReadFile(std::unique_ptr<io::ReadableFile> base, IoFaultConfig config,
+                 IoFaultLog* log = nullptr);
+
+  std::size_t read_some(std::uint64_t offset, void* dst,
+                        std::size_t n) override;
+  std::uint64_t size() const override { return base_->size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<io::ReadableFile> base_;
+  IoFaultConfig config_;
+  IoFaultLog* log_;
+  std::uint64_t op_ = 0;
+  int transient_streak_ = 0;
+};
+
+}  // namespace fa::inject

@@ -27,6 +27,11 @@ enum class SeedStream : std::uint64_t {
   kInjectTicket = 7,      // per ticket row: defect choice + parameters
   kInjectUsage = 8,       // per weekly-usage row: defect choice + parameters
   kInjectSeries = 9,      // per server: monitoring-series truncation
+  // Storage-level I/O fault streams (src/inject/io_faults.h). Indexed by
+  // the per-file operation counter, so a fault schedule depends only on
+  // (seed, op index) — never on thread count or wall-clock timing.
+  kInjectIoWrite = 10,    // per write op: short/transient/torn/crash draws
+  kInjectIoRead = 11,     // per read op: transient errors + bit flips
 };
 
 inline Rng stream_rng(std::uint64_t seed, SeedStream stream,

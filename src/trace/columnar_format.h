@@ -1,0 +1,109 @@
+// Shared low-level pieces of the ".fac" columnar format (version 2),
+// used by the writer/reader (columnar_io.cpp) and by crash recovery
+// (recovery.cpp).
+//
+// v2 file layout (little-endian):
+//   "FACT" magic | u32 version                          -- 8-byte header
+//   frame | frame | ...                                 -- 8-aligned stream
+//   footer payload | u64 size | u64 checksum | "FACT" | u32 version  -- tail
+//
+// Every stream element between header and final footer is a *frame*: a
+// 32-byte self-describing header followed by its payload (padded to 8).
+// Two frame kinds exist: data chunks (chunk.h encoding) and periodic
+// footer *checkpoints* (a full footer payload snapshot). Frames make a
+// footer-less file salvageable: a scanner can walk the stream from byte 8,
+// verify each payload against the frame checksum, and stop at the first
+// byte that is not a valid frame — everything before it is intact data.
+// The final footer is intentionally NOT framed, so a clean tail remains
+// the unambiguous "writer finished" marker.
+//
+// Frame header layout (kFrameBytes = 32):
+//   "FACK" (4) | u8 kind | u8 table | u16 reserved |
+//   u32 rows | u32 pad | u64 payload_size | u64 checksum(payload, FNV-1a)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/chunk.h"
+#include "src/trace/types.h"
+
+namespace fa::trace::format {
+
+inline constexpr std::array<char, 4> kFrameMagic = {'F', 'A', 'C', 'K'};
+inline constexpr std::size_t kFrameBytes = 32;
+inline constexpr std::size_t kHeaderBytes = 8;  // file magic + version
+inline constexpr std::size_t kTailBytes = 24;   // size + checksum + magic
+
+enum class FrameKind : std::uint8_t {
+  kChunk = 0,
+  kCheckpoint = 1,
+};
+
+// Table slot used by checkpoint frames (they belong to no table).
+inline constexpr std::uint8_t kNoTable = 0xff;
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kChunk;
+  std::uint8_t table = kNoTable;
+  std::uint32_t rows = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+// Serializes `header` into exactly kFrameBytes at `out`.
+void write_frame_header(const FrameHeader& header, std::byte* out);
+
+// Parses kFrameBytes at `p`. Returns false (without throwing) when the
+// bytes are not a structurally plausible frame header — wrong magic,
+// unknown kind, or a table byte that matches neither a real table nor
+// kNoTable. Payload checksum verification is the caller's job.
+bool parse_frame_header(const std::byte* p, FrameHeader& header);
+
+// Rounds `n` up to a multiple of `align` (a power of two).
+inline std::uint64_t padded(std::uint64_t n, std::uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+// ---- footer payload ----
+
+// Everything a footer (or checkpoint) records, independent of where it
+// sits in the file. Chunk/column offsets inside `directory` are absolute
+// file offsets of the *payloads* (not the frame headers).
+struct FooterImage {
+  ObservationWindow window;
+  ObservationWindow monitoring;
+  ObservationWindow onoff;
+  std::int32_t next_incident = 0;
+  std::uint32_t chunk_rows = 0;
+  std::array<std::uint64_t, columnar::kTableCount> row_counts{};
+  std::array<std::vector<columnar::ChunkInfo>, columnar::kTableCount>
+      directory;
+};
+
+std::vector<std::byte> serialize_footer_payload(const FooterImage& image);
+
+// Parses a footer payload. `data_end` bounds the data region chunks may
+// occupy (the footer start for a final footer; the checkpoint's own frame
+// offset when parsing a checkpoint). `path` labels error messages.
+FooterImage parse_footer_payload(const std::byte* data, std::size_t size,
+                                 std::uint64_t data_end,
+                                 const std::string& path);
+
+// ---- footer-less chunk reconstruction ----
+
+// Rebuilds the per-column directory of one chunk payload from the payload
+// bytes alone, using the schema's deterministic block layout (chunk.h).
+// Offsets in the returned ChunkInfo are relative to the payload start
+// (info.offset == 0) and min/max stats are absent — recovery re-encodes
+// salvaged rows, which regenerates stats. Throws fa::Error when the bytes
+// do not parse as `rows` rows of `table`.
+columnar::ChunkInfo reconstruct_chunk_info(columnar::Table table,
+                                           std::uint32_t rows,
+                                           std::span<const std::byte> payload,
+                                           const std::string& path);
+
+}  // namespace fa::trace::format

@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <fstream>
 
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/trace/columnar_format.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -24,8 +26,9 @@ using columnar::fnv1a;
 using columnar::kTableCount;
 using columnar::table_schema;
 
-constexpr std::size_t kHeaderBytes = 8;   // magic + version
-constexpr std::size_t kTailBytes = 24;    // footer size + checksum + magic
+using format::kFrameBytes;
+using format::kHeaderBytes;
+using format::kTailBytes;
 
 obs::Counter& chunks_written_counter() {
   static obs::Counter& c = obs::counter("fa.trace.columnar.chunks_written");
@@ -39,32 +42,14 @@ obs::Counter& chunks_read_counter() {
   static obs::Counter& c = obs::counter("fa.trace.columnar.chunks_read");
   return c;
 }
-
-// ---- footer serialization ----
-
-struct FooterWriter {
-  std::vector<std::byte> bytes;
-
-  template <typename T>
-  void put(T v) {
-    const auto* p = reinterpret_cast<const std::byte*>(&v);
-    bytes.insert(bytes.end(), p, p + sizeof(T));
-  }
-};
-
-struct FooterParser {
-  const std::byte* p;
-  const std::byte* end;
-
-  template <typename T>
-  T get() {
-    require(p + sizeof(T) <= end, "columnar: footer truncated");
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-  }
-};
+obs::Counter& checkpoints_counter() {
+  static obs::Counter& c = obs::counter("fa.trace.columnar.checkpoints");
+  return c;
+}
+obs::Counter& chunks_skipped_counter() {
+  static obs::Counter& c = obs::counter("fa.trace.columnar.chunks_skipped");
+  return c;
+}
 
 FileReport build_report(
     const std::array<std::vector<ChunkInfo>, kTableCount>& directory,
@@ -100,6 +85,23 @@ FileReport build_report(
   return report;
 }
 
+format::FooterImage make_footer_image(
+    const ObservationWindow& window, const ObservationWindow& monitoring,
+    const ObservationWindow& onoff, std::int32_t next_incident,
+    std::uint32_t chunk_rows,
+    const std::array<std::uint64_t, kTableCount>& row_counts,
+    const std::array<std::vector<ChunkInfo>, kTableCount>& directory) {
+  format::FooterImage image;
+  image.window = window;
+  image.monitoring = monitoring;
+  image.onoff = onoff;
+  image.next_incident = next_incident;
+  image.chunk_rows = chunk_rows;
+  image.row_counts = row_counts;
+  image.directory = directory;
+  return image;
+}
+
 }  // namespace
 
 bool is_columnar_file(const std::string& path) {
@@ -111,25 +113,105 @@ bool is_columnar_file(const std::string& path) {
          std::memcmp(magic, kColumnarMagic.data(), 4) == 0;
 }
 
+// ---- located read errors / degraded reads ----
+
+const char* read_defect_name(ReadDefect defect) {
+  switch (defect) {
+    case ReadDefect::kChecksumMismatch:
+      return "checksum_mismatch";
+    case ReadDefect::kTruncated:
+      return "truncated";
+    case ReadDefect::kDecodeError:
+      return "decode_error";
+    case ReadDefect::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+ChunkError::ChunkError(const std::string& path, columnar::Table table,
+                       std::size_t index, std::uint64_t offset,
+                       std::uint64_t size, ReadDefect defect,
+                       const std::string& detail)
+    : Error("columnar: " + path + ": " +
+            std::string(columnar::table_name(table)) + " chunk " +
+            std::to_string(index) + " at offset " + std::to_string(offset) +
+            " (" + std::to_string(size) + " B): " + detail),
+      table_(table),
+      index_(index),
+      offset_(offset),
+      defect_(defect) {}
+
+void DegradedReadReport::record(const ChunkError& error, std::uint32_t rows) {
+  const auto t = static_cast<std::size_t>(error.table());
+  ++chunks_skipped[t];
+  rows_skipped[t] += rows;
+  ++by_defect[static_cast<std::size_t>(error.defect())];
+  chunks_skipped_counter().add(1);
+}
+
+bool DegradedReadReport::degraded() const {
+  for (int t = 0; t < kTableCount; ++t) {
+    if (chunks_skipped[t] != 0) return true;
+  }
+  return rows_dropped_dangling != 0;
+}
+
+std::uint64_t DegradedReadReport::total_rows_skipped() const {
+  std::uint64_t total = 0;
+  for (int t = 0; t < kTableCount; ++t) total += rows_skipped[t];
+  return total;
+}
+
+std::string DegradedReadReport::to_string() const {
+  if (!degraded()) return "degraded read: clean (no chunks skipped)\n";
+  std::string out = "degraded read: PARTIAL DATA\n";
+  for (int t = 0; t < kTableCount; ++t) {
+    if (chunks_skipped[t] == 0) continue;
+    out += "  " + std::string(columnar::table_name(columnar::kAllTables[t])) +
+           ": skipped " + std::to_string(chunks_skipped[t]) + " chunk(s), " +
+           std::to_string(rows_skipped[t]) + " row(s)\n";
+  }
+  for (int d = 0; d < kReadDefectCount; ++d) {
+    if (by_defect[d] == 0) continue;
+    out += "  defect " + std::string(read_defect_name(
+                             static_cast<ReadDefect>(d))) +
+           ": " + std::to_string(by_defect[d]) + " chunk(s)\n";
+  }
+  if (rows_dropped_dangling != 0) {
+    out += "  dangling rows dropped: " +
+           std::to_string(rows_dropped_dangling) + "\n";
+  }
+  return out;
+}
+
 // ---- ColumnarWriter ----
 
 ColumnarWriter::ColumnarWriter(const std::string& path,
                                std::uint32_t chunk_rows)
-    : path_(path),
-      out_(path, std::ios::binary | std::ios::trunc),
-      chunk_rows_(chunk_rows),
+    : ColumnarWriter(path, WriterOptions{.chunk_rows = chunk_rows}) {}
+
+ColumnarWriter::ColumnarWriter(const std::string& path,
+                               const WriterOptions& options)
+    : ColumnarWriter(std::make_unique<io::PosixWritableFile>(path), options) {}
+
+ColumnarWriter::ColumnarWriter(std::unique_ptr<io::WritableFile> file,
+                               const WriterOptions& options)
+    : path_(file->path()),
+      out_(std::move(file), options.retry, options.clock),
+      chunk_rows_(options.chunk_rows),
+      checkpoint_every_chunks_(options.checkpoint_every_chunks),
       window_(ticket_window()),
       monitoring_(monitoring_window()),
       onoff_(onoff_window()) {
   require(chunk_rows_ > 0, "columnar: chunk_rows must be positive");
-  require(static_cast<bool>(out_),
-          "columnar: cannot open " + path + " for writing");
   builders_.reserve(kTableCount);
   for (Table table : columnar::kAllTables) builders_.emplace_back(table);
-  out_.write(kColumnarMagic.data(), kColumnarMagic.size());
+  std::array<std::byte, kHeaderBytes> header;
+  std::memcpy(header.data(), kColumnarMagic.data(), 4);
   const std::uint32_t version = kColumnarVersion;
-  out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  offset_ = kHeaderBytes;
+  std::memcpy(header.data() + 4, &version, sizeof(version));
+  out_.write(header.data(), header.size());
 }
 
 ColumnarWriter::~ColumnarWriter() = default;
@@ -252,15 +334,55 @@ void ColumnarWriter::add_monthly_snapshot(const MonthlySnapshot& snapshot) {
 void ColumnarWriter::flush_chunk(Table table) {
   const auto t = static_cast<std::size_t>(table);
   if (builders_[t].rows() == 0) return;
-  scratch_.clear();
+  // The chunk payload is encoded right after space reserved for its frame
+  // header, so header + payload hit the file in one write.
+  scratch_.assign(kFrameBytes, std::byte{0});
   ChunkInfo info = builders_[t].encode(scratch_);
-  info.offset += offset_;
-  for (ColumnBlockInfo& block : info.columns) block.offset += offset_;
-  out_.write(reinterpret_cast<const char*>(scratch_.data()),
-             static_cast<std::streamsize>(scratch_.size()));
-  offset_ += scratch_.size();
+  format::FrameHeader frame;
+  frame.kind = format::FrameKind::kChunk;
+  frame.table = static_cast<std::uint8_t>(table);
+  frame.rows = info.rows;
+  frame.payload_size = info.size;
+  frame.checksum = info.checksum;
+  format::write_frame_header(frame, scratch_.data());
+  // encode() offsets are relative to the frame start (payload at
+  // kFrameBytes); rebase onto the file position of this frame.
+  const std::uint64_t base = out_.offset();
+  info.offset += base;
+  for (ColumnBlockInfo& block : info.columns) block.offset += base;
+  out_.write(scratch_.data(), scratch_.size());
   directory_[t].push_back(std::move(info));
   chunks_written_counter().add(1);
+  if (checkpoint_every_chunks_ > 0 &&
+      ++chunks_since_checkpoint_ >= checkpoint_every_chunks_) {
+    write_checkpoint();
+    chunks_since_checkpoint_ = 0;
+  }
+}
+
+void ColumnarWriter::write_checkpoint() {
+  // A checkpoint describes durable state only: rows still buffered in the
+  // builders are not on disk yet, so the snapshot counts flushed chunks,
+  // not rows added (the footer parser checks directory vs row counts).
+  std::array<std::uint64_t, kTableCount> flushed_rows{};
+  for (std::size_t t = 0; t < kTableCount; ++t) {
+    for (const ChunkInfo& info : directory_[t]) flushed_rows[t] += info.rows;
+  }
+  const std::vector<std::byte> payload = format::serialize_footer_payload(
+      make_footer_image(window_, monitoring_, onoff_, next_incident_,
+                        chunk_rows_, flushed_rows, directory_));
+  scratch_.assign(kFrameBytes + format::padded(payload.size(), 8),
+                  std::byte{0});
+  format::FrameHeader frame;
+  frame.kind = format::FrameKind::kCheckpoint;
+  frame.table = format::kNoTable;
+  frame.rows = 0;
+  frame.payload_size = payload.size();
+  frame.checksum = fnv1a(payload.data(), payload.size());
+  format::write_frame_header(frame, scratch_.data());
+  std::memcpy(scratch_.data() + kFrameBytes, payload.data(), payload.size());
+  out_.write(scratch_.data(), scratch_.size());
+  checkpoints_counter().add(1);
 }
 
 void ColumnarWriter::finish() {
@@ -268,52 +390,26 @@ void ColumnarWriter::finish() {
   for (Table table : columnar::kAllTables) flush_chunk(table);
   write_footer();
   out_.flush();
-  require(static_cast<bool>(out_), "columnar: write failed for " + path_);
   out_.close();
   finished_ = true;
 }
 
 void ColumnarWriter::write_footer() {
-  FooterWriter f;
-  f.put<std::int64_t>(window_.begin);
-  f.put<std::int64_t>(window_.end);
-  f.put<std::int64_t>(monitoring_.begin);
-  f.put<std::int64_t>(monitoring_.end);
-  f.put<std::int64_t>(onoff_.begin);
-  f.put<std::int64_t>(onoff_.end);
-  f.put<std::int32_t>(next_incident_);
-  f.put<std::uint32_t>(chunk_rows_);
-  for (int t = 0; t < kTableCount; ++t) {
-    f.put<std::uint64_t>(row_counts_[t]);
-    f.put<std::uint32_t>(static_cast<std::uint32_t>(directory_[t].size()));
-    for (const ChunkInfo& chunk : directory_[t]) {
-      f.put<std::uint64_t>(chunk.offset);
-      f.put<std::uint64_t>(chunk.size);
-      f.put<std::uint32_t>(chunk.rows);
-      f.put<std::uint64_t>(chunk.checksum);
-      f.put<std::uint32_t>(static_cast<std::uint32_t>(chunk.columns.size()));
-      for (const ColumnBlockInfo& block : chunk.columns) {
-        f.put<std::uint64_t>(block.offset);
-        f.put<std::uint64_t>(block.size);
-        f.put<std::uint32_t>(block.extra);
-        f.put<std::uint8_t>(block.stats.has_minmax ? 1 : 0);
-        f.put<std::int64_t>(block.stats.min);
-        f.put<std::int64_t>(block.stats.max);
-      }
-    }
-  }
-  const std::uint64_t footer_size = f.bytes.size();
-  const std::uint64_t footer_checksum = fnv1a(f.bytes.data(), f.bytes.size());
-  f.put<std::uint64_t>(footer_size);
-  f.put<std::uint64_t>(footer_checksum);
-  f.bytes.insert(f.bytes.end(),
-                 reinterpret_cast<const std::byte*>(kColumnarMagic.data()),
-                 reinterpret_cast<const std::byte*>(kColumnarMagic.data()) +
-                     kColumnarMagic.size());
-  f.put<std::uint32_t>(kColumnarVersion);
-  out_.write(reinterpret_cast<const char*>(f.bytes.data()),
-             static_cast<std::streamsize>(f.bytes.size()));
-  offset_ += f.bytes.size();
+  std::vector<std::byte> bytes = format::serialize_footer_payload(
+      make_footer_image(window_, monitoring_, onoff_, next_incident_,
+                        chunk_rows_, row_counts_, directory_));
+  const std::uint64_t footer_size = bytes.size();
+  const std::uint64_t footer_checksum = fnv1a(bytes.data(), bytes.size());
+  const auto put = [&bytes](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  };
+  put(&footer_size, sizeof(footer_size));
+  put(&footer_checksum, sizeof(footer_checksum));
+  put(kColumnarMagic.data(), kColumnarMagic.size());
+  const std::uint32_t version = kColumnarVersion;
+  put(&version, sizeof(version));
+  out_.write(bytes.data(), bytes.size());
   report_ = build_report(directory_, row_counts_, footer_size + kTailBytes);
 }
 
@@ -326,143 +422,108 @@ const FileReport& ColumnarWriter::report() const {
 
 ChunkReader::ChunkReader(const std::string& path, bool use_mmap)
     : path_(path) {
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  require(fd_ >= 0, "columnar: cannot open " + path);
-  struct stat st {};
-  if (::fstat(fd_, &st) != 0 || !S_ISREG(st.st_mode)) {
-    ::close(fd_);
-    fd_ = -1;
-    throw Error("columnar: " + path + " is not a regular file");
-  }
-  file_size_ = static_cast<std::uint64_t>(st.st_size);
-
-  if (use_mmap && file_size_ > 0) {
-    void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_PRIVATE, fd_, 0);
-    if (map != MAP_FAILED) {
-      mapping_ = static_cast<const std::byte*>(map);
-      mapping_size_ = file_size_;
+  if (use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st {};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+        void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map != MAP_FAILED) {
+          mapping_ = static_cast<const std::byte*>(map);
+          mapping_size_ = static_cast<std::uint64_t>(st.st_size);
+          file_size_ = mapping_size_;
+        }
+      }
+      // The mapping outlives the descriptor.
+      ::close(fd);
     }
   }
   if (mapping_ == nullptr) {
-    stream_.open(path, std::ios::binary);
-    if (!stream_) {
-      ::close(fd_);
-      fd_ = -1;
-      throw Error("columnar: cannot open " + path);
-    }
+    reader_ = std::make_unique<io::CheckedReader>(
+        std::make_unique<io::PosixReadableFile>(path));
+    file_size_ = reader_->size();
   }
-
-  auto read_at = [&](std::uint64_t offset, void* dest, std::size_t size) {
-    if (mapping_ != nullptr) {
-      std::memcpy(dest, mapping_ + offset, size);
-      return;
-    }
-    stream_.clear();
-    stream_.seekg(static_cast<std::streamoff>(offset));
-    stream_.read(static_cast<char*>(dest),
-                 static_cast<std::streamsize>(size));
-    require(stream_.gcount() == static_cast<std::streamsize>(size),
-            "columnar: short read from " + path_);
-  };
-
   try {
-    require(file_size_ >= kHeaderBytes + kTailBytes,
-            "columnar: " + path + " is truncated (no header/tail)");
-
-    char magic[4];
-    std::uint32_t version = 0;
-    read_at(0, magic, 4);
-    require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0,
-            "columnar: " + path + " is not a columnar trace file "
-            "(bad magic)");
-    read_at(4, &version, sizeof(version));
-    require(version == kColumnarVersion,
-            "columnar: " + path + " has unsupported format version " +
-                std::to_string(version));
-
-    std::uint64_t footer_size = 0;
-    std::uint64_t footer_checksum = 0;
-    read_at(file_size_ - kTailBytes, &footer_size, sizeof(footer_size));
-    read_at(file_size_ - kTailBytes + 8, &footer_checksum,
-            sizeof(footer_checksum));
-    read_at(file_size_ - kTailBytes + 16, magic, 4);
-    read_at(file_size_ - kTailBytes + 20, &version, sizeof(version));
-    require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0 &&
-                version == kColumnarVersion,
-            "columnar: " + path + " has a corrupt or truncated tail");
-    require(footer_size <= file_size_ - kHeaderBytes - kTailBytes,
-            "columnar: " + path + " footer escapes the file (truncated?)");
-    const std::uint64_t footer_start = file_size_ - kTailBytes - footer_size;
-    footer_bytes_ = footer_size + kTailBytes;
-
-    std::vector<std::byte> footer(footer_size);
-    read_at(footer_start, footer.data(), footer.size());
-    require(fnv1a(footer.data(), footer.size()) == footer_checksum,
-            "columnar: " + path + " footer checksum mismatch (corrupt)");
-
-    FooterParser p{footer.data(), footer.data() + footer.size()};
-    window_.begin = p.get<std::int64_t>();
-    window_.end = p.get<std::int64_t>();
-    monitoring_.begin = p.get<std::int64_t>();
-    monitoring_.end = p.get<std::int64_t>();
-    onoff_.begin = p.get<std::int64_t>();
-    onoff_.end = p.get<std::int64_t>();
-    next_incident_ = p.get<std::int32_t>();
-    chunk_rows_ = p.get<std::uint32_t>();
-    for (int t = 0; t < kTableCount; ++t) {
-      const Table table = columnar::kAllTables[t];
-      row_counts_[t] = p.get<std::uint64_t>();
-      const std::uint32_t chunk_count = p.get<std::uint32_t>();
-      std::uint64_t rows_seen = 0;
-      directory_[t].reserve(chunk_count);
-      for (std::uint32_t i = 0; i < chunk_count; ++i) {
-        ChunkInfo chunk;
-        chunk.offset = p.get<std::uint64_t>();
-        chunk.size = p.get<std::uint64_t>();
-        chunk.rows = p.get<std::uint32_t>();
-        chunk.checksum = p.get<std::uint64_t>();
-        const std::uint32_t column_count = p.get<std::uint32_t>();
-        require(column_count == table_schema(table).size(),
-                "columnar: " + path + " chunk directory column count "
-                "mismatch");
-        require(chunk.offset % 8 == 0 &&
-                    chunk.offset >= kHeaderBytes &&
-                    chunk.size <= footer_start &&
-                    chunk.offset <= footer_start - chunk.size,
-                "columnar: " + path + " chunk escapes the data region");
-        chunk.columns.resize(column_count);
-        for (ColumnBlockInfo& block : chunk.columns) {
-          block.offset = p.get<std::uint64_t>();
-          block.size = p.get<std::uint64_t>();
-          block.extra = p.get<std::uint32_t>();
-          block.stats.has_minmax = p.get<std::uint8_t>() != 0;
-          block.stats.min = p.get<std::int64_t>();
-          block.stats.max = p.get<std::int64_t>();
-        }
-        rows_seen += chunk.rows;
-        directory_[t].push_back(std::move(chunk));
-      }
-      require(rows_seen == row_counts_[t],
-              "columnar: " + path + " chunk rows disagree with table "
-              "row count");
-    }
-    require(p.p == p.end, "columnar: " + path + " footer has trailing bytes");
+    open_footer();
   } catch (...) {
     if (mapping_ != nullptr) {
       ::munmap(const_cast<std::byte*>(mapping_), mapping_size_);
       mapping_ = nullptr;
     }
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
     throw;
   }
+}
+
+ChunkReader::ChunkReader(std::unique_ptr<io::ReadableFile> file,
+                         io::RetryPolicy retry, io::Clock* clock)
+    : path_(file->path()),
+      reader_(std::make_unique<io::CheckedReader>(std::move(file), retry,
+                                                  clock)) {
+  file_size_ = reader_->size();
+  open_footer();
+}
+
+void ChunkReader::open_footer() {
+  const auto read_at = [&](std::uint64_t offset, void* dest,
+                           std::size_t size) {
+    if (mapping_ != nullptr) {
+      std::memcpy(dest, mapping_ + offset, size);
+      return;
+    }
+    reader_->read_at(offset, dest, size);
+  };
+
+  require(file_size_ >= kHeaderBytes + kTailBytes,
+          "columnar: " + path_ + " is truncated (no header/tail)");
+
+  char magic[4];
+  std::uint32_t version = 0;
+  read_at(0, magic, 4);
+  require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0,
+          "columnar: " + path_ + " is not a columnar trace file "
+          "(bad magic)");
+  read_at(4, &version, sizeof(version));
+  require(version == kColumnarVersion,
+          "columnar: " + path_ + " has unsupported format version " +
+              std::to_string(version) + " (expected " +
+              std::to_string(kColumnarVersion) + ")");
+
+  std::uint64_t footer_size = 0;
+  std::uint64_t footer_checksum = 0;
+  read_at(file_size_ - kTailBytes, &footer_size, sizeof(footer_size));
+  read_at(file_size_ - kTailBytes + 8, &footer_checksum,
+          sizeof(footer_checksum));
+  read_at(file_size_ - kTailBytes + 16, magic, 4);
+  read_at(file_size_ - kTailBytes + 20, &version, sizeof(version));
+  require(std::memcmp(magic, kColumnarMagic.data(), 4) == 0 &&
+              version == kColumnarVersion,
+          "columnar: " + path_ + " has a corrupt or truncated tail");
+  require(footer_size <= file_size_ - kHeaderBytes - kTailBytes,
+          "columnar: " + path_ + " footer escapes the file (truncated?)");
+  const std::uint64_t footer_start = file_size_ - kTailBytes - footer_size;
+  footer_bytes_ = footer_size + kTailBytes;
+
+  std::vector<std::byte> footer(footer_size);
+  read_at(footer_start, footer.data(), footer.size());
+  require(fnv1a(footer.data(), footer.size()) == footer_checksum,
+          "columnar: " + path_ + " footer checksum mismatch (corrupt)");
+
+  format::FooterImage image = format::parse_footer_payload(
+      footer.data(), footer.size(), footer_start, path_);
+  window_ = image.window;
+  monitoring_ = image.monitoring;
+  onoff_ = image.onoff;
+  next_incident_ = image.next_incident;
+  chunk_rows_ = image.chunk_rows;
+  row_counts_ = image.row_counts;
+  directory_ = std::move(image.directory);
 }
 
 ChunkReader::~ChunkReader() {
   if (mapping_ != nullptr) {
     ::munmap(const_cast<std::byte*>(mapping_), mapping_size_);
   }
-  if (fd_ >= 0) ::close(fd_);
 }
 
 std::uint64_t ChunkReader::row_count(Table table) const {
@@ -483,22 +544,53 @@ const ChunkInfo& ChunkReader::chunk_info(Table table,
 ChunkView ChunkReader::chunk(Table table, std::size_t index) const {
   const ChunkInfo& info = chunk_info(table, index);
   chunks_read_counter().add(1);
+  if (info.offset > file_size_ || info.size > file_size_ - info.offset) {
+    throw ChunkError(path_, table, index, info.offset, info.size,
+                     ReadDefect::kTruncated,
+                     "chunk escapes the file (truncated)");
+  }
+  const auto decode = [&](const std::byte* base,
+                          std::vector<std::byte> owned) -> ChunkView {
+    try {
+      return ChunkView(table, info, base, std::move(owned));
+    } catch (const Error& e) {
+      throw ChunkError(path_, table, index, info.offset, info.size,
+                       ReadDefect::kDecodeError, e.what());
+    }
+  };
   if (mapping_ != nullptr) {
     const std::byte* base = mapping_ + info.offset;
-    require(fnv1a(base, info.size) == info.checksum,
-            "columnar: " + path_ + " chunk checksum mismatch (corrupt)");
-    return ChunkView(table, info, base);
+    if (fnv1a(base, info.size) != info.checksum) {
+      throw ChunkError(path_, table, index, info.offset, info.size,
+                       ReadDefect::kChecksumMismatch,
+                       "checksum mismatch (corrupt)");
+    }
+    return decode(base, {});
   }
   std::vector<std::byte> owned(info.size);
-  stream_.clear();
-  stream_.seekg(static_cast<std::streamoff>(info.offset));
-  stream_.read(reinterpret_cast<char*>(owned.data()),
-               static_cast<std::streamsize>(owned.size()));
-  require(stream_.gcount() == static_cast<std::streamsize>(owned.size()),
-          "columnar: short read from " + path_);
-  require(fnv1a(owned.data(), owned.size()) == info.checksum,
-          "columnar: " + path_ + " chunk checksum mismatch (corrupt)");
-  return ChunkView(table, info, nullptr, std::move(owned));
+  try {
+    reader_->read_at(info.offset, owned.data(), owned.size());
+  } catch (const io::IoError& e) {
+    throw ChunkError(path_, table, index, info.offset, info.size,
+                     ReadDefect::kIoError, e.what());
+  }
+  if (fnv1a(owned.data(), owned.size()) != info.checksum) {
+    throw ChunkError(path_, table, index, info.offset, info.size,
+                     ReadDefect::kChecksumMismatch,
+                     "checksum mismatch (corrupt)");
+  }
+  const std::byte* base = owned.data();
+  return decode(base, std::move(owned));
+}
+
+std::optional<ChunkView> ChunkReader::try_chunk(
+    Table table, std::size_t index, DegradedReadReport* report) const {
+  try {
+    return chunk(table, index);
+  } catch (const ChunkError& e) {
+    if (report != nullptr) report->record(e, chunk_info(table, index).rows);
+    return std::nullopt;
+  }
 }
 
 FileReport ChunkReader::report() const {
@@ -660,10 +752,7 @@ MonthlySnapshot decode_snapshot(const ChunkView& view, std::uint32_t row) {
 
 // ---- whole-database convenience ----
 
-FileReport save_columnar(const TraceDatabase& db, const std::string& path,
-                         std::uint32_t chunk_rows) {
-  obs::Span span("trace.columnar.save");
-  ColumnarWriter writer(path, chunk_rows);
+void write_columnar(const TraceDatabase& db, ColumnarWriter& writer) {
   writer.set_windows(db.window(), db.monitoring(), db.onoff_tracking());
   std::int32_t next_incident = 0;
   for (const Ticket& t : db.tickets()) {
@@ -687,6 +776,13 @@ FileReport save_columnar(const TraceDatabase& db, const std::string& path,
       writer.add_monthly_snapshot(m);
     }
   }
+}
+
+FileReport save_columnar(const TraceDatabase& db, const std::string& path,
+                         std::uint32_t chunk_rows) {
+  obs::Span span("trace.columnar.save");
+  ColumnarWriter writer(path, chunk_rows);
+  write_columnar(db, writer);
   writer.finish();
   return writer.report();
 }
@@ -805,6 +901,105 @@ TraceDatabase load_columnar(const std::string& path, bool use_mmap) {
   for (std::int32_t i = 0; i < reader.next_incident(); ++i) {
     db.new_incident();
   }
+  db.finalize();
+  return db;
+}
+
+TraceDatabase load_columnar_lenient(const std::string& path,
+                                    DegradedReadReport& report,
+                                    bool use_mmap) {
+  obs::Span span("trace.columnar.load_lenient");
+  ChunkReader reader(path, use_mmap);
+  TraceDatabase db;
+  db.set_windows(reader.window(), reader.monitoring(),
+                 reader.onoff_tracking());
+
+  // Server ids are row positions, so a damaged server chunk orphans every
+  // later positional id: keep only the longest undamaged chunk prefix.
+  std::int64_t servers_loaded = 0;
+  bool server_gap = false;
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kServers); ++i) {
+    if (server_gap) {
+      report.rows_dropped_dangling +=
+          reader.chunk_info(Table::kServers, i).rows;
+      continue;
+    }
+    const auto view = reader.try_chunk(Table::kServers, i, &report);
+    if (!view) {
+      server_gap = true;
+      continue;
+    }
+    for (std::uint32_t r = 0; r < view->rows(); ++r) {
+      db.add_server(decode_server(*view, r, servers_loaded + r));
+    }
+    servers_loaded += view->rows();
+  }
+  const auto server_ok = [&](std::int32_t sid) {
+    return sid >= 0 && sid < servers_loaded;
+  };
+
+  // For the reference-free positional ids of the remaining tables, skipping
+  // a damaged chunk is safe as long as `first_row` still advances by the
+  // skipped chunk's row count (later decoded records keep their positions
+  // in derived values like next_incident).
+  std::int32_t max_incident = -1;
+  std::int64_t first_row = 0;
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kTickets); ++i) {
+    const std::uint32_t chunk_rows =
+        reader.chunk_info(Table::kTickets, i).rows;
+    const auto view = reader.try_chunk(Table::kTickets, i, &report);
+    if (view) {
+      for (std::uint32_t r = 0; r < view->rows(); ++r) {
+        Ticket t = decode_ticket(*view, r, first_row);
+        if (!server_ok(t.server.value)) {
+          ++report.rows_dropped_dangling;
+          continue;
+        }
+        max_incident = std::max(max_incident, t.incident.value);
+        db.add_ticket(std::move(t));
+      }
+    }
+    first_row += chunk_rows;
+  }
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kWeeklyUsage); ++i) {
+    const auto view = reader.try_chunk(Table::kWeeklyUsage, i, &report);
+    if (!view) continue;
+    for (std::uint32_t r = 0; r < view->rows(); ++r) {
+      WeeklyUsage u = decode_weekly_usage(*view, r);
+      if (!server_ok(u.server.value)) {
+        ++report.rows_dropped_dangling;
+        continue;
+      }
+      db.add_weekly_usage(std::move(u));
+    }
+  }
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kPowerEvents); ++i) {
+    const auto view = reader.try_chunk(Table::kPowerEvents, i, &report);
+    if (!view) continue;
+    for (std::uint32_t r = 0; r < view->rows(); ++r) {
+      PowerEvent e = decode_power_event(*view, r);
+      if (!server_ok(e.server.value)) {
+        ++report.rows_dropped_dangling;
+        continue;
+      }
+      db.add_power_event(e);
+    }
+  }
+  for (std::size_t i = 0; i < reader.chunk_count(Table::kSnapshots); ++i) {
+    const auto view = reader.try_chunk(Table::kSnapshots, i, &report);
+    if (!view) continue;
+    for (std::uint32_t r = 0; r < view->rows(); ++r) {
+      MonthlySnapshot s = decode_snapshot(*view, r);
+      if (!server_ok(s.server.value)) {
+        ++report.rows_dropped_dangling;
+        continue;
+      }
+      db.add_monthly_snapshot(s);
+    }
+  }
+  const std::int32_t next_incident =
+      std::max(reader.next_incident(), max_incident + 1);
+  for (std::int32_t i = 0; i < next_incident; ++i) db.new_incident();
   db.finalize();
   return db;
 }

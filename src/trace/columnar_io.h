@@ -8,33 +8,36 @@
 // skip chunks wholesale via the min/max stats (predicate pushdown,
 // filters.h).
 //
-// File layout (little-endian):
+// File layout (version 2, little-endian; framing in columnar_format.h):
 //   "FACT" magic | u32 version                        -- 8-byte header
-//   chunk bytes ... (each 8-aligned, tables interleaved in write order)
-//   footer payload (directory; see columnar_io.cpp)
+//   frame | frame | ...    (32-byte "FACK" frame header + 8-aligned payload;
+//                           chunks and periodic footer checkpoints)
+//   footer payload (directory; columnar_format.h)
 //   u64 footer_size | u64 footer_checksum | "FACT" | u32 version  -- tail
 //
 // The tail duplicates the magic so truncation anywhere — mid-chunk,
 // mid-footer, or of the tail itself — is detected before any chunk is
-// trusted. CSV (csv_io.h) remains the canonical interchange format; this
-// format exists for out-of-core scale (docs/SCHEMA.md "Columnar format").
+// trusted; the per-frame checksums make a footer-less file salvageable
+// (recovery.h). CSV (csv_io.h) remains the canonical interchange format;
+// this format exists for out-of-core scale (docs/SCHEMA.md).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/trace/chunk.h"
 #include "src/trace/database.h"
+#include "src/util/io.h"
 
 namespace fa::trace {
 
 inline constexpr std::array<char, 4> kColumnarMagic = {'F', 'A', 'C', 'T'};
-inline constexpr std::uint32_t kColumnarVersion = 1;
+inline constexpr std::uint32_t kColumnarVersion = 2;
 inline constexpr std::uint32_t kDefaultChunkRows = 65536;
 
 // True when `path` names an existing regular file starting with the
@@ -60,7 +63,67 @@ struct FileReport {
   std::vector<ColumnReport> columns;  // table-major, schema order
 };
 
+// ---- located read errors / degraded reads ----
+
+// Why a chunk could not be served.
+enum class ReadDefect : std::uint8_t {
+  kChecksumMismatch = 0,  // payload bytes disagree with the directory
+  kTruncated = 1,         // chunk range escapes the file
+  kDecodeError = 2,       // checksum passed but blocks failed to parse
+  kIoError = 3,           // the underlying read failed permanently
+};
+inline constexpr int kReadDefectCount = 4;
+const char* read_defect_name(ReadDefect defect);
+
+// Error from ChunkReader::chunk() carrying the location of the failure:
+// table, chunk index, and absolute file offset/size of the chunk payload.
+class ChunkError : public Error {
+ public:
+  ChunkError(const std::string& path, columnar::Table table,
+             std::size_t index, std::uint64_t offset, std::uint64_t size,
+             ReadDefect defect, const std::string& detail);
+
+  columnar::Table table() const noexcept { return table_; }
+  std::size_t index() const noexcept { return index_; }
+  std::uint64_t offset() const noexcept { return offset_; }
+  ReadDefect defect() const noexcept { return defect_; }
+
+ private:
+  columnar::Table table_;
+  std::size_t index_;
+  std::uint64_t offset_;
+  ReadDefect defect_;
+};
+
+// Accumulates what a lenient (degraded) read skipped, per table and per
+// defect class, so analysis output can be annotated as partial.
+struct DegradedReadReport {
+  std::array<std::uint64_t, columnar::kTableCount> chunks_skipped{};
+  std::array<std::uint64_t, columnar::kTableCount> rows_skipped{};
+  std::array<std::uint64_t, kReadDefectCount> by_defect{};
+  // Rows dropped by the lenient loader because they referenced rows in
+  // skipped chunks (dangling ticket -> server references).
+  std::uint64_t rows_dropped_dangling = 0;
+
+  void record(const ChunkError& error, std::uint32_t rows);
+  bool degraded() const;
+  std::uint64_t total_rows_skipped() const;
+  std::string to_string() const;
+};
+
 // ---- streaming writer ----
+
+// Writer knobs. `checkpoint_every_chunks` > 0 embeds a full footer snapshot
+// as a checkpoint frame after every N flushed chunks: a crash then loses at
+// most the rows after the last checkpoint (at most one chunk per table when
+// N == 1; see recovery.h). 0 disables checkpoints (byte-compatible with the
+// plain stream, minus durability).
+struct WriterOptions {
+  std::uint32_t chunk_rows = kDefaultChunkRows;
+  std::uint32_t checkpoint_every_chunks = 0;
+  io::RetryPolicy retry;
+  io::Clock* clock = nullptr;  // nullptr: real clock
+};
 
 // Appends records of any table in any order, cutting a chunk whenever a
 // table accumulates `chunk_rows` rows; finish() flushes partial chunks and
@@ -73,6 +136,10 @@ class ColumnarWriter {
  public:
   explicit ColumnarWriter(const std::string& path,
                           std::uint32_t chunk_rows = kDefaultChunkRows);
+  ColumnarWriter(const std::string& path, const WriterOptions& options);
+  // Writes through a caller-supplied file (fault injection, tests).
+  ColumnarWriter(std::unique_ptr<io::WritableFile> file,
+                 const WriterOptions& options = {});
   ~ColumnarWriter();
   ColumnarWriter(const ColumnarWriter&) = delete;
   ColumnarWriter& operator=(const ColumnarWriter&) = delete;
@@ -96,7 +163,8 @@ class ColumnarWriter {
   void add_monthly_snapshot(const MonthlySnapshot& snapshot);
 
   // Flushes pending chunks and writes the footer + tail. Without this call
-  // the file has no valid tail and readers reject it.
+  // the file has no valid tail and strict readers reject it (recovery.h
+  // salvages it).
   void finish();
   bool finished() const { return finished_; }
 
@@ -106,12 +174,14 @@ class ColumnarWriter {
  private:
   void append_rows_metric(columnar::Table table);
   void flush_chunk(columnar::Table table);
+  void write_checkpoint();
   void write_footer();
 
   std::string path_;
-  std::ofstream out_;
-  std::uint64_t offset_ = 0;  // bytes written so far
+  io::CheckedWriter out_;
   std::uint32_t chunk_rows_;
+  std::uint32_t checkpoint_every_chunks_;
+  std::uint32_t chunks_since_checkpoint_ = 0;
   ObservationWindow window_;
   ObservationWindow monitoring_;
   ObservationWindow onoff_;
@@ -129,13 +199,19 @@ class ColumnarWriter {
 
 // Opens a columnar file, validates header/tail/footer, and decodes chunks
 // on demand. Prefers mmap (zero-copy column views into the mapping); falls
-// back to buffered pread-style reads when mapping fails or `use_mmap` is
-// false, in which case each ChunkView owns a copy of just its chunk —
-// memory stays bounded by chunk size either way. Every chunk() call
-// verifies the chunk's checksum before returning a view.
+// back to buffered pread reads when mapping fails or `use_mmap` is false,
+// in which case each ChunkView owns a copy of just its chunk — memory
+// stays bounded by chunk size either way. Every chunk() call verifies the
+// chunk's checksum before returning a view; failures throw ChunkError
+// naming the table, chunk index and file offset.
 class ChunkReader {
  public:
   explicit ChunkReader(const std::string& path, bool use_mmap = true);
+  // Reads through a caller-supplied file (fault injection, tests); always
+  // buffered.
+  explicit ChunkReader(std::unique_ptr<io::ReadableFile> file,
+                       io::RetryPolicy retry = {},
+                       io::Clock* clock = nullptr);
   ~ChunkReader();
   ChunkReader(const ChunkReader&) = delete;
   ChunkReader& operator=(const ChunkReader&) = delete;
@@ -147,25 +223,34 @@ class ChunkReader {
   const ObservationWindow& monitoring() const { return monitoring_; }
   const ObservationWindow& onoff_tracking() const { return onoff_; }
   std::int32_t next_incident() const { return next_incident_; }
+  // The writer's chunk size (footer metadata).
+  std::uint32_t chunk_rows() const { return chunk_rows_; }
 
   std::uint64_t row_count(columnar::Table table) const;
   std::size_t chunk_count(columnar::Table table) const;
   // Footer directory entry (min/max stats for pushdown) — no chunk IO.
   const columnar::ChunkInfo& chunk_info(columnar::Table table,
                                         std::size_t index) const;
-  // Decodes chunk `index` of `table`, verifying its checksum.
+  // Decodes chunk `index` of `table`, verifying its checksum. Throws
+  // ChunkError on damage.
   columnar::ChunkView chunk(columnar::Table table, std::size_t index) const;
+  // Lenient variant: a damaged chunk yields std::nullopt instead of
+  // throwing, recorded in `report` (which may be nullptr).
+  std::optional<columnar::ChunkView> try_chunk(
+      columnar::Table table, std::size_t index,
+      DegradedReadReport* report) const;
 
   // Size/compression report reconstructed from the footer (no chunk IO).
   FileReport report() const;
 
  private:
+  void open_footer();
+
   std::string path_;
   std::uint64_t file_size_ = 0;
   const std::byte* mapping_ = nullptr;  // non-null in mmap mode
   std::uint64_t mapping_size_ = 0;
-  int fd_ = -1;
-  mutable std::ifstream stream_;  // buffered mode
+  std::unique_ptr<io::CheckedReader> reader_;  // buffered mode
   ObservationWindow window_;
   ObservationWindow monitoring_;
   ObservationWindow onoff_;
@@ -201,6 +286,10 @@ MonthlySnapshot decode_snapshot(const columnar::ChunkView& view,
 
 // ---- whole-database convenience ----
 
+// Streams every table of a finalized database through `writer` (windows +
+// incident counter included); the caller still owns finish().
+void write_columnar(const TraceDatabase& db, ColumnarWriter& writer);
+
 // Writes a finalized database to `path`; returns the size report.
 FileReport save_columnar(const TraceDatabase& db, const std::string& path,
                          std::uint32_t chunk_rows = kDefaultChunkRows);
@@ -208,5 +297,15 @@ FileReport save_columnar(const TraceDatabase& db, const std::string& path,
 // Loads a columnar file into a finalized in-memory database (the
 // compatibility path; see analysis/out_of_core.h for the streaming path).
 TraceDatabase load_columnar(const std::string& path, bool use_mmap = true);
+
+// Degraded-mode load: skips damaged chunks instead of throwing, recording
+// them in `report`. Skipping a chunk of an id-bearing table shifts nothing —
+// later chunks keep their original row positions — but rows referencing ids
+// inside skipped server chunks are dropped (counted as dangling). The
+// servers table keeps only its longest undamaged chunk prefix, because a
+// gap there would orphan every later positional id.
+TraceDatabase load_columnar_lenient(const std::string& path,
+                                    DegradedReadReport& report,
+                                    bool use_mmap = true);
 
 }  // namespace fa::trace

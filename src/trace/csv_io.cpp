@@ -120,8 +120,9 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
   {
     // Observation windows travel with the trace: real exports do not share
     // the paper's 2012-2013 spans.
-    auto out = open_out(directory + "/" + kMetaFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kMetaFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(meta_header());
     const auto window_row = [&](const char* name,
                                 const ObservationWindow& window) {
@@ -131,10 +132,12 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
     window_row("ticket", db.window());
     window_row("monitoring", db.monitoring());
     window_row("onoff", db.onoff_tracking());
+    w.flush();
   }
   {
-    auto out = open_out(directory + "/" + kServersFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kServersFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(servers_header());
     for (const ServerRecord& s : db.servers()) {
       w.write_row({std::to_string(s.id.value), std::string(to_string(s.type)),
@@ -144,10 +147,12 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
                    s.host_box.valid() ? std::to_string(s.host_box.value) : "",
                    std::to_string(s.first_record)});
     }
+    w.flush();
   }
   {
-    auto out = open_out(directory + "/" + kTicketsFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kTicketsFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(tickets_header());
     for (const Ticket& t : db.tickets()) {
       w.write_row({std::to_string(t.id.value),
@@ -158,10 +163,12 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
                    std::to_string(t.opened), std::to_string(t.closed),
                    t.description, t.resolution});
     }
+    w.flush();
   }
   {
-    auto out = open_out(directory + "/" + kWeeklyUsageFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kWeeklyUsageFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(weekly_usage_header());
     for (const ServerRecord& s : db.servers()) {
       for (const WeeklyUsage& u : db.weekly_usage_for(s.id)) {
@@ -171,10 +178,12 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
                      opt_to_field(u.net_kbps, 4)});
       }
     }
+    w.flush();
   }
   {
-    auto out = open_out(directory + "/" + kPowerEventsFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kPowerEventsFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(power_events_header());
     for (const ServerRecord& s : db.servers()) {
       for (const PowerEvent& e : db.power_events_for(s.id)) {
@@ -182,10 +191,12 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
                      e.powered_on ? "1" : "0"});
       }
     }
+    w.flush();
   }
   {
-    auto out = open_out(directory + "/" + kSnapshotsFile);
-    CsvWriter w(out);
+    const std::string path = directory + "/" + kSnapshotsFile;
+    auto out = open_out(path);
+    CsvWriter w(out, path);
     w.write_row(snapshots_header());
     for (const ServerRecord& s : db.servers()) {
       for (const MonthlySnapshot& snap : db.snapshots_for(s.id)) {
@@ -195,6 +206,7 @@ void save_database(const TraceDatabase& db, const std::string& directory) {
                      std::to_string(snap.consolidation)});
       }
     }
+    w.flush();
   }
 }
 

@@ -117,6 +117,12 @@ class ColumnarTraceWriter final : public TraceWriter {
   explicit ColumnarTraceWriter(const std::string& path,
                                std::uint32_t chunk_rows = kDefaultChunkRows)
       : writer_(path, chunk_rows) {}
+  ColumnarTraceWriter(const std::string& path, const WriterOptions& options)
+      : writer_(path, options) {}
+  // Streams through a caller-supplied file (fault injection, tests).
+  explicit ColumnarTraceWriter(std::unique_ptr<io::WritableFile> file,
+                               const WriterOptions& options = {})
+      : writer_(std::move(file), options) {}
 
   void set_windows(ObservationWindow ticket, ObservationWindow monitoring,
                    ObservationWindow onoff_tracking) override {

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "src/util/error.h"
+#include "src/util/io.h"
 
 namespace fa {
 namespace {
@@ -17,7 +18,19 @@ bool needs_quoting(const std::string& field) {
 
 }  // namespace
 
-CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+CsvWriter::CsvWriter(std::ostream& out, std::string path)
+    : out_(&out), path_(std::move(path)) {}
+
+void CsvWriter::check(const char* action) const {
+  if (path_.empty() || out_->good()) return;
+  throw io::IoError(path_, bytes_written_,
+                    std::string(action) + " failed (stream in error state)");
+}
+
+void CsvWriter::flush() {
+  out_->flush();
+  check("flush");
+}
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
   line_.clear();
@@ -37,6 +50,8 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
   }
   line_ += '\n';
   out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  check("write");
+  bytes_written_ += line_.size();
 }
 
 CsvReader::CsvReader(std::istream& in) : in_(&in) {}

@@ -11,15 +11,29 @@ namespace fa {
 
 class CsvWriter {
  public:
-  // The writer does not own the stream; callers keep it alive.
-  explicit CsvWriter(std::ostream& out);
+  // The writer does not own the stream; callers keep it alive. When `path`
+  // is non-empty, every write is checked and a stream failure throws
+  // io::IoError naming the path and the byte offset where the write broke
+  // (ENOSPC and friends otherwise vanish into a silent failbit).
+  explicit CsvWriter(std::ostream& out, std::string path = "");
 
   // Renders the row into an internal buffer and writes it with a single
   // stream call; steady-state rows allocate nothing.
   void write_row(const std::vector<std::string>& fields);
 
+  // Flushes the stream and re-checks its state; call at end of file so
+  // buffered data that only fails at flush time still surfaces an error.
+  void flush();
+
+  // Bytes handed to the stream so far (the offset reported on failure).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
  private:
+  void check(const char* action) const;
+
   std::ostream* out_;
+  std::string path_;   // empty = unchecked legacy mode
+  std::uint64_t bytes_written_ = 0;
   std::string line_;  // reused across rows
 };
 

@@ -1,0 +1,229 @@
+#include "src/util/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace fa::io {
+
+namespace {
+
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::counter("fa.io.retries");
+  return c;
+}
+
+obs::Counter& gave_up_counter() {
+  static obs::Counter& c = obs::counter("fa.io.gave_up");
+  return c;
+}
+
+obs::Counter& short_writes_counter() {
+  static obs::Counter& c = obs::counter("fa.io.short_writes");
+  return c;
+}
+
+std::string errno_detail(const char* op, int err) {
+  return std::string(op) + " failed: " + std::strerror(err);
+}
+
+bool errno_transient(int err) { return err == EINTR || err == EAGAIN; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Posix files
+
+PosixWritableFile::PosixWritableFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw IoError(path_, 0, errno_detail("open", errno));
+  }
+}
+
+PosixWritableFile::~PosixWritableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t PosixWritableFile::write_some(const void* src, std::size_t n) {
+  if (n == 0) return 0;
+  if (fd_ < 0) throw IoError(path_, offset_, "write on closed file");
+  const ssize_t k = ::write(fd_, src, n);
+  if (k < 0) {
+    const int err = errno;
+    throw IoError(path_, offset_, errno_detail("write", err),
+                  errno_transient(err));
+  }
+  offset_ += static_cast<std::uint64_t>(k);
+  return static_cast<std::size_t>(k);
+}
+
+void PosixWritableFile::close() {
+  if (fd_ < 0) return;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    throw IoError(path_, offset_, errno_detail("close", errno));
+  }
+}
+
+PosixReadableFile::PosixReadableFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw IoError(path_, 0, errno_detail("open", errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(path_, 0, errno_detail("fstat", err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(path_, 0, "not a regular file");
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+PosixReadableFile::~PosixReadableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t PosixReadableFile::read_some(std::uint64_t offset, void* dst,
+                                         std::size_t n) {
+  if (n == 0) return 0;
+  const ssize_t k = ::pread(fd_, dst, n, static_cast<off_t>(offset));
+  if (k < 0) {
+    const int err = errno;
+    throw IoError(path_, offset, errno_detail("pread", err),
+                  errno_transient(err));
+  }
+  return static_cast<std::size_t>(k);
+}
+
+// ---------------------------------------------------------------------------
+// Retry machinery
+
+double RetryPolicy::backoff_for(int k) const {
+  double backoff = initial_backoff_s;
+  for (int i = 0; i < k; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_s);
+}
+
+void RealClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+namespace {
+
+// Runs `op` under the retry policy: transient IoErrors are retried with
+// exponential backoff up to max_attempts total attempts; the last transient
+// error (or any permanent one) is rethrown, stripped of its transient flag
+// so callers see a settled failure.
+template <typename Op>
+void with_retries(const RetryPolicy& retry, Clock* clock, Op&& op) {
+  const int attempts = std::max(1, retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const IoError& e) {
+      if (!e.transient() || attempt + 1 >= attempts) {
+        if (e.transient()) {
+          gave_up_counter().add();
+          throw IoError(e.path(), e.offset(),
+                        std::string(e.what()) + " (gave up after " +
+                            std::to_string(attempt + 1) + " attempts)");
+        }
+        throw;
+      }
+      retries_counter().add();
+      clock->sleep_for(retry.backoff_for(attempt));
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CheckedWriter / CheckedReader
+
+CheckedWriter::CheckedWriter(std::unique_ptr<WritableFile> file,
+                             RetryPolicy retry, Clock* clock)
+    : file_(std::move(file)),
+      retry_(retry),
+      clock_(clock != nullptr ? clock : &RealClock::instance()) {}
+
+void CheckedWriter::write(const void* src, std::size_t n) {
+  const std::byte* p = static_cast<const std::byte*>(src);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    std::size_t wrote = 0;
+    with_retries(retry_, clock_,
+                 [&] { wrote = file_->write_some(p, remaining); });
+    if (wrote < remaining) short_writes_counter().add();
+    if (wrote == 0) {
+      throw IoError(file_->path(), offset_, "write made no progress");
+    }
+    p += wrote;
+    remaining -= wrote;
+    offset_ += wrote;
+  }
+}
+
+void CheckedWriter::flush() {
+  with_retries(retry_, clock_, [&] { file_->flush(); });
+}
+
+void CheckedWriter::close() {
+  with_retries(retry_, clock_, [&] { file_->close(); });
+}
+
+CheckedReader::CheckedReader(std::unique_ptr<ReadableFile> file,
+                             RetryPolicy retry, Clock* clock)
+    : file_(std::move(file)),
+      retry_(retry),
+      clock_(clock != nullptr ? clock : &RealClock::instance()) {}
+
+void CheckedReader::read_at(std::uint64_t offset, void* dst, std::size_t n) {
+  std::byte* p = static_cast<std::byte*>(dst);
+  std::size_t remaining = n;
+  std::uint64_t at = offset;
+  while (remaining > 0) {
+    std::size_t got = 0;
+    with_retries(retry_, clock_,
+                 [&] { got = file_->read_some(at, p, remaining); });
+    if (got == 0) {
+      throw IoError(file_->path(), at,
+                    "unexpected end of file (" + std::to_string(remaining) +
+                        " bytes short)");
+    }
+    p += got;
+    remaining -= got;
+    at += got;
+  }
+}
+
+double VirtualClock::total() const {
+  double sum = 0.0;
+  for (double s : slept_) sum += s;
+  return sum;
+}
+
+}  // namespace fa::io

@@ -1,0 +1,201 @@
+// Checked file I/O with bounded retry: the syscall-shaped seam between the
+// trace writers/readers and the operating system.
+//
+// POSIX write(2)/pread(2) may legitimately return short counts or transient
+// errors (EINTR, EAGAIN); unchecked std::ofstream writes swallow both and
+// silently truncate on ENOSPC. This header gives the storage layer a narrow
+// interface it can reason about:
+//
+//   WritableFile / ReadableFile  — the raw, possibly-short, possibly-failing
+//                                  syscall surface. Production code uses the
+//                                  Posix* implementations; the deterministic
+//                                  fault injector (src/inject/io_faults.h)
+//                                  substitutes its own.
+//   CheckedWriter / CheckedReader — loop short transfers to completion and
+//                                  retry transient errors with bounded
+//                                  exponential backoff (RetryPolicy),
+//                                  instrumented with obs counters
+//                                  (fa.io.retries, fa.io.short_writes,
+//                                  fa.io.gave_up). A VirtualClock makes the
+//                                  backoff schedule testable without
+//                                  sleeping.
+//
+// Permanent failures (ENOSPC, EIO, retry exhaustion) surface as io::IoError
+// carrying the path and byte offset, so "which file, where" is never lost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace fa::io {
+
+// Error from the storage layer. `offset` is the byte position in the file
+// at which the operation failed; `transient` marks errors that a retry
+// policy may re-attempt (EINTR/EAGAIN-style) — an IoError that escapes a
+// CheckedWriter/CheckedReader is always permanent (retries exhausted or
+// non-retryable).
+class IoError : public Error {
+ public:
+  IoError(const std::string& path, std::uint64_t offset,
+          const std::string& detail, bool transient = false)
+      : Error("io: " + path + " at byte " + std::to_string(offset) + ": " +
+              detail),
+        path_(path),
+        offset_(offset),
+        transient_(transient) {}
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t offset() const noexcept { return offset_; }
+  bool transient() const noexcept { return transient_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_;
+  bool transient_;
+};
+
+// Append-only output file, syscall-shaped: write_some may persist fewer
+// bytes than requested (returns the count actually written) and may throw
+// IoError (transient or permanent). Implementations need not buffer;
+// callers batch through CheckedWriter.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  // Writes up to `n` bytes from `src`; returns bytes persisted (>= 1 unless
+  // n == 0). Throws IoError on failure.
+  virtual std::size_t write_some(const void* src, std::size_t n) = 0;
+  virtual void flush() {}
+  virtual void close() = 0;
+  virtual const std::string& path() const = 0;
+};
+
+// Positioned input file: read_some reads up to `n` bytes at `offset` and
+// may return short counts; 0 means end of file.
+class ReadableFile {
+ public:
+  virtual ~ReadableFile() = default;
+  virtual std::size_t read_some(std::uint64_t offset, void* dst,
+                                std::size_t n) = 0;
+  virtual std::uint64_t size() const = 0;
+  virtual const std::string& path() const = 0;
+};
+
+// O_WRONLY|O_CREAT|O_TRUNC file over write(2). Unbuffered: the columnar
+// writer batches a whole chunk per call, the CSV writer a whole line.
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(const std::string& path);
+  ~PosixWritableFile() override;
+
+  std::size_t write_some(const void* src, std::size_t n) override;
+  void close() override;
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;  // for error messages only
+};
+
+// pread(2)-based positioned reads; never seeks, so safe to share across
+// readers of disjoint ranges.
+class PosixReadableFile : public ReadableFile {
+ public:
+  explicit PosixReadableFile(const std::string& path);
+  ~PosixReadableFile() override;
+
+  std::size_t read_some(std::uint64_t offset, void* dst,
+                        std::size_t n) override;
+  std::uint64_t size() const override { return size_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+// Bounded exponential backoff for transient errors. The k-th retry (k >= 0,
+// at most max_attempts - 1 retries after the first attempt) sleeps
+// min(initial_backoff_s * backoff_multiplier^k, max_backoff_s).
+struct RetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_s = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 0.050;
+
+  // Backoff before retry `k` (0-based). Exposed so tests can assert the
+  // schedule a VirtualClock records.
+  double backoff_for(int k) const;
+};
+
+// Sleep source for retry backoff. RealClock sleeps; VirtualClock records
+// the requested durations so tests can verify the schedule without waiting.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual void sleep_for(double seconds) = 0;
+};
+
+class RealClock : public Clock {
+ public:
+  void sleep_for(double seconds) override;
+  static RealClock& instance();
+};
+
+class VirtualClock : public Clock {
+ public:
+  void sleep_for(double seconds) override { slept_.push_back(seconds); }
+  const std::vector<double>& slept() const noexcept { return slept_; }
+  double total() const;
+
+ private:
+  std::vector<double> slept_;
+};
+
+// Drives a WritableFile to completion: loops short writes, retries
+// transient IoErrors per the policy, and throws a permanent IoError (path +
+// byte offset) when retries are exhausted or the error is non-retryable.
+class CheckedWriter {
+ public:
+  explicit CheckedWriter(std::unique_ptr<WritableFile> file,
+                         RetryPolicy retry = {}, Clock* clock = nullptr);
+
+  // Writes all `n` bytes or throws.
+  void write(const void* src, std::size_t n);
+  void flush();
+  void close();
+
+  std::uint64_t offset() const noexcept { return offset_; }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  RetryPolicy retry_;
+  Clock* clock_;
+  std::uint64_t offset_ = 0;
+};
+
+// Exact-read counterpart: read_at fills `n` bytes at `offset` or throws
+// (premature EOF is a permanent IoError naming the offset).
+class CheckedReader {
+ public:
+  explicit CheckedReader(std::unique_ptr<ReadableFile> file,
+                         RetryPolicy retry = {}, Clock* clock = nullptr);
+
+  void read_at(std::uint64_t offset, void* dst, std::size_t n);
+  std::uint64_t size() const { return file_->size(); }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  std::unique_ptr<ReadableFile> file_;
+  RetryPolicy retry_;
+  Clock* clock_;
+};
+
+}  // namespace fa::io

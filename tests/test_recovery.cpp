@@ -1,0 +1,523 @@
+#include "src/trace/recovery.h"
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/out_of_core.h"
+#include "src/inject/io_faults.h"
+#include "src/sim/simulator.h"
+#include "src/trace/columnar_io.h"
+#include "src/trace/trace_writer.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_support.h"
+
+namespace fa::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A small but fully populated simulated trace (every table has rows),
+// shared across the torture cases in this binary.
+const TraceDatabase& torture_db() {
+  static const TraceDatabase db = [] {
+    return sim::simulate(sim::SimulationConfig::paper_defaults().scaled(0.02));
+  }();
+  return db;
+}
+
+constexpr std::uint32_t kChunkRows = 256;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fa_recovery_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Streams `db` into `name`, crashing at byte `crash_at` (never crashes
+  // when < 0). Returns true when the injected crash fired.
+  bool write_with_crash(const TraceDatabase& db, const std::string& name,
+                        std::int64_t crash_at,
+                        std::uint32_t checkpoint_every = 0) const {
+    WriterOptions options;
+    options.chunk_rows = kChunkRows;
+    options.checkpoint_every_chunks = checkpoint_every;
+    std::unique_ptr<io::WritableFile> file =
+        std::make_unique<io::PosixWritableFile>(path(name));
+    if (crash_at >= 0) {
+      inject::IoFaultConfig faults;
+      faults.crash_at_byte = crash_at;
+      file = std::make_unique<inject::FaultyFile>(std::move(file), faults);
+    }
+    try {
+      ColumnarWriter writer(std::move(file), options);
+      write_columnar(db, writer);
+      writer.finish();
+    } catch (const inject::InjectedCrash&) {
+      return true;
+    }
+    return false;
+  }
+
+  fs::path dir_;
+};
+
+// ---- salvage scan ----
+
+TEST_F(RecoveryTest, ScanOnFinishedFileSeesEveryChunk) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "clean.fac", -1));
+  const SalvageScan scan = scan_columnar_salvage(path("clean.fac"));
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_TRUE(scan.finished);
+  EXPECT_EQ(scan.stop_reason, "reached the footer");
+  EXPECT_EQ(scan.chunk_rows, kChunkRows);
+
+  ChunkReader reader(path("clean.fac"));
+  for (columnar::Table t : columnar::kAllTables) {
+    const auto i = static_cast<std::size_t>(t);
+    EXPECT_EQ(scan.chunks_salvageable[i], reader.chunk_count(t));
+    EXPECT_EQ(scan.rows_salvageable[i], reader.row_count(t));
+  }
+  EXPECT_NE(scan.to_string().find("state: finished"), std::string::npos);
+}
+
+TEST_F(RecoveryTest, ScanOnGarbageReportsInvalidHeader) {
+  write_file(dir_ / "bogus.fac", std::string(256, 'x'));
+  const SalvageScan scan = scan_columnar_salvage(path("bogus.fac"));
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_TRUE(scan.chunks.empty());
+  EXPECT_NE(scan.to_string().find("header: INVALID"), std::string::npos);
+  EXPECT_THROW(recover_columnar(path("bogus.fac"), path("out.fac")), Error);
+}
+
+TEST_F(RecoveryTest, ScanOnMissingFileThrowsIoError) {
+  EXPECT_THROW(scan_columnar_salvage(path("missing.fac")), io::IoError);
+}
+
+// ---- the torture test (tentpole acceptance) ----
+//
+// Crash the writer at every frame boundary and at sampled intra-frame
+// offsets. For every crash point the damaged file must be the exact byte
+// prefix of the uncrashed reference, and recovery must produce a valid
+// columnar file whose chunks are byte-identical (same checksums, same
+// rows) to the reference's chunk prefix — never silently corrupt.
+TEST_F(RecoveryTest, TortureCrashAtEveryChunkBoundaryRecoversAnExactPrefix) {
+  const TraceDatabase& db = torture_db();
+  ASSERT_FALSE(write_with_crash(db, "ref.fac", -1));
+  const std::string reference = read_file(dir_ / "ref.fac");
+  const SalvageScan ref_scan = scan_columnar_salvage(path("ref.fac"));
+  ASSERT_TRUE(ref_scan.finished);
+  ASSERT_GT(ref_scan.total_chunks(), 4u);
+  ChunkReader ref_reader(path("ref.fac"));
+
+  // Crash points: the post-header boundary, every frame boundary, and for
+  // every chunk a sampled mid-frame-header and mid-payload offset.
+  std::vector<std::uint64_t> crash_points = {8};
+  for (const SalvagedChunkRef& ref : ref_scan.chunks) {
+    const std::uint64_t frame_start = ref.payload_offset - 32;
+    crash_points.push_back(frame_start + 17);  // torn mid-frame-header
+    crash_points.push_back(ref.payload_offset + ref.payload_size / 2);
+    std::uint64_t end = ref.payload_offset + ref.payload_size;
+    crash_points.push_back(end + (end % 8 == 0 ? 0 : 8 - end % 8));
+  }
+  // And a crash inside the footer region (all data already durable).
+  crash_points.push_back(reference.size() - 10);
+
+  for (const std::uint64_t crash_at : crash_points) {
+    SCOPED_TRACE("crash at byte " + std::to_string(crash_at));
+    ASSERT_TRUE(write_with_crash(db, "crashed.fac",
+                                 static_cast<std::int64_t>(crash_at)));
+
+    // The injector persisted the exact pre-crash prefix: the damaged file
+    // is byte-for-byte the reference cut at the crash offset.
+    const std::string damaged = read_file(dir_ / "crashed.fac");
+    ASSERT_EQ(damaged.size(), crash_at);
+    ASSERT_EQ(damaged, reference.substr(0, crash_at));
+
+    const SalvageReport report =
+        recover_columnar(path("crashed.fac"), path("recovered.fac"));
+    EXPECT_EQ(report.rows_recovered, report.scan.total_rows());
+
+    // The recovered file is strict-readable and its chunks are a byte-exact
+    // prefix of the reference's per-table chunk sequence.
+    ChunkReader recovered(path("recovered.fac"));
+    for (columnar::Table t : columnar::kAllTables) {
+      const std::size_t n = recovered.chunk_count(t);
+      ASSERT_LE(n, ref_reader.chunk_count(t));
+      std::uint64_t rows = 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const columnar::ChunkInfo& got = recovered.chunk_info(t, c);
+        const columnar::ChunkInfo& want = ref_reader.chunk_info(t, c);
+        ASSERT_EQ(got.rows, want.rows)
+            << columnar::table_name(t) << " chunk " << c;
+        ASSERT_EQ(got.checksum, want.checksum)
+            << columnar::table_name(t) << " chunk " << c
+            << ": recovered bytes diverge from the uncrashed run";
+        rows += got.rows;
+      }
+      EXPECT_EQ(recovered.row_count(t), rows);
+    }
+
+    // Degraded-mode analysis on the recovered file completes and reports a
+    // clean (non-partial) read.
+    DegradedReadReport degraded;
+    const analysis::OutOfCoreSummary summary =
+        analysis::summarize_columnar(path("recovered.fac"), true, &degraded);
+    EXPECT_FALSE(degraded.degraded());
+    EXPECT_EQ(summary.servers,
+              recovered.row_count(columnar::Table::kServers));
+  }
+}
+
+TEST_F(RecoveryTest, RecoveryIsIdempotent) {
+  const TraceDatabase& db = torture_db();
+  ASSERT_FALSE(write_with_crash(db, "ref.fac", -1));
+  const std::string reference = read_file(dir_ / "ref.fac");
+  ASSERT_TRUE(write_with_crash(
+      db, "crashed.fac", static_cast<std::int64_t>(reference.size() * 2 / 3)));
+
+  recover_columnar(path("crashed.fac"), path("r1.fac"));
+  recover_columnar(path("r1.fac"), path("r2.fac"));
+  EXPECT_EQ(read_file(dir_ / "r1.fac"), read_file(dir_ / "r2.fac"))
+      << "recover(recover(x)) != recover(x)";
+}
+
+TEST_F(RecoveryTest, RecoveringAFinishedFileLosesNothing) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "ref.fac", -1));
+  const SalvageReport report =
+      recover_columnar(path("ref.fac"), path("recovered.fac"));
+  EXPECT_TRUE(report.scan.finished);
+
+  ChunkReader ref(path("ref.fac"));
+  ChunkReader got(path("recovered.fac"));
+  for (columnar::Table t : columnar::kAllTables) {
+    EXPECT_EQ(got.row_count(t), ref.row_count(t));
+  }
+  EXPECT_EQ(got.window().begin, ref.window().begin);
+  EXPECT_EQ(got.next_incident(), ref.next_incident());
+}
+
+// ---- footer checkpoints (loss bound + metadata recovery) ----
+
+// A writer with checkpoint_every_chunks = 1 snapshots the footer after
+// every flushed chunk. Crashing mid-stream then loses at most the one
+// chunk being written, and the non-default observation windows + incident
+// counter survive via the checkpoint (without one they fall back to paper
+// defaults).
+TEST_F(RecoveryTest, CheckpointsBoundLossToOneChunkAndRecoverMetadata) {
+  TraceDatabase db;
+  const ObservationWindow monitoring{0, 900 * kMinutesPerDay};
+  const ObservationWindow ticket{50 * kMinutesPerDay, 500 * kMinutesPerDay};
+  const ObservationWindow onoff{60 * kMinutesPerDay, 200 * kMinutesPerDay};
+  db.set_windows(ticket, monitoring, onoff);
+  ServerRecord s;
+  s.type = MachineType::kPhysical;
+  s.first_record = monitoring.begin;
+  const ServerId server = db.add_server(s);
+  for (int i = 0; i < 41; ++i) {
+    Ticket t;
+    t.incident = db.new_incident();
+    t.server = server;
+    t.is_crash = true;
+    t.opened = ticket.begin + from_days(1.0 + i);
+    t.closed = t.opened + from_hours(2.0);
+    t.description = "server unresponsive";
+    t.resolution = "fixed";
+    db.add_ticket(std::move(t));
+  }
+  db.finalize();
+
+  // chunk_rows = 4: 41 tickets cut into ten full chunks + one partial.
+  const auto write_crashed = [&](const std::string& name,
+                                 std::int64_t crash_at,
+                                 std::uint32_t checkpoint_every) {
+    WriterOptions options;
+    options.chunk_rows = 4;
+    options.checkpoint_every_chunks = checkpoint_every;
+    inject::IoFaultConfig faults;
+    faults.crash_at_byte = crash_at;
+    try {
+      ColumnarWriter writer(
+          std::make_unique<inject::FaultyFile>(
+              std::make_unique<io::PosixWritableFile>(path(name)), faults),
+          options);
+      write_columnar(db, writer);
+      writer.finish();
+      return false;
+    } catch (const inject::InjectedCrash&) {
+      return true;
+    }
+  };
+
+  // Locate the ticket chunk frames of an uncrashed checkpointed stream.
+  WriterOptions options;
+  options.chunk_rows = 4;
+  options.checkpoint_every_chunks = 1;
+  {
+    ColumnarWriter writer(path("ref.fac"), options);
+    write_columnar(db, writer);
+    writer.finish();
+  }
+  const SalvageScan ref_scan = scan_columnar_salvage(path("ref.fac"));
+  ASSERT_TRUE(ref_scan.finished);
+  std::vector<SalvagedChunkRef> ticket_chunks;
+  for (const SalvagedChunkRef& ref : ref_scan.chunks) {
+    if (ref.table == columnar::Table::kTickets) ticket_chunks.push_back(ref);
+  }
+  ASSERT_GE(ticket_chunks.size(), 5u);
+
+  // Crash while writing ticket chunk k (mid-payload): exactly the first k
+  // chunks (4k rows) survive — at most one chunk of rows is lost relative
+  // to everything the writer had started to persist.
+  const std::size_t k = ticket_chunks.size() / 2;
+  const std::int64_t crash_at = static_cast<std::int64_t>(
+      ticket_chunks[k].payload_offset + ticket_chunks[k].payload_size / 2);
+  ASSERT_TRUE(write_crashed("ckpt.fac", crash_at, 1));
+  const SalvageReport with_ckpt =
+      recover_columnar(path("ckpt.fac"), path("ckpt_rec.fac"));
+  const auto tickets_idx = static_cast<std::size_t>(columnar::Table::kTickets);
+  EXPECT_EQ(with_ckpt.scan.rows_salvageable[tickets_idx], 4u * k);
+  EXPECT_TRUE(with_ckpt.scan.checkpoint_seen);
+  EXPECT_TRUE(with_ckpt.scan.windows_recovered);
+
+  // The checkpoint restored the writer metadata exactly.
+  ChunkReader recovered(path("ckpt_rec.fac"));
+  EXPECT_EQ(recovered.window().begin, ticket.begin);
+  EXPECT_EQ(recovered.window().end, ticket.end);
+  EXPECT_EQ(recovered.monitoring().end, monitoring.end);
+  EXPECT_EQ(recovered.onoff_tracking().begin, onoff.begin);
+  EXPECT_GE(recovered.next_incident(), static_cast<std::int32_t>(4 * k));
+
+  // The same mid-chunk crash without checkpoints salvages the same rows
+  // but cannot recover the custom windows (they fall back to paper
+  // defaults). The checkpoint-free stream is shorter, so locate the same
+  // ticket chunk in its own reference.
+  {
+    WriterOptions plain_options;
+    plain_options.chunk_rows = 4;
+    ColumnarWriter writer(path("plain_ref.fac"), plain_options);
+    write_columnar(db, writer);
+    writer.finish();
+  }
+  const SalvageScan plain_ref = scan_columnar_salvage(path("plain_ref.fac"));
+  std::vector<SalvagedChunkRef> plain_ticket_chunks;
+  for (const SalvagedChunkRef& ref : plain_ref.chunks) {
+    if (ref.table == columnar::Table::kTickets) {
+      plain_ticket_chunks.push_back(ref);
+    }
+  }
+  ASSERT_GT(plain_ticket_chunks.size(), k);
+  const std::int64_t plain_crash_at = static_cast<std::int64_t>(
+      plain_ticket_chunks[k].payload_offset +
+      plain_ticket_chunks[k].payload_size / 2);
+  ASSERT_TRUE(write_crashed("plain.fac", plain_crash_at, 0));
+  const SalvageScan plain = scan_columnar_salvage(path("plain.fac"));
+  EXPECT_FALSE(plain.checkpoint_seen);
+  EXPECT_FALSE(plain.windows_recovered);
+}
+
+// ---- degraded (lenient) reads ----
+
+TEST_F(RecoveryTest, LenientReadEqualsStrictReadOnUndamagedFileAtAnyThreads) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "clean.fac", -1));
+
+  std::string report_1threads;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadPool::set_default_thread_count(threads);
+    DegradedReadReport report;
+    const TraceDatabase lenient =
+        load_columnar_lenient(path("clean.fac"), report);
+    EXPECT_FALSE(report.degraded());
+    EXPECT_EQ(report.total_rows_skipped(), 0u);
+
+    const TraceDatabase strict = load_columnar(path("clean.fac"));
+    EXPECT_EQ(lenient.servers().size(), strict.servers().size());
+    EXPECT_EQ(lenient.tickets().size(), strict.tickets().size());
+    for (std::size_t i = 0; i < strict.tickets().size(); ++i) {
+      ASSERT_EQ(lenient.tickets()[i].id, strict.tickets()[i].id);
+      ASSERT_EQ(lenient.tickets()[i].opened, strict.tickets()[i].opened);
+      ASSERT_EQ(lenient.tickets()[i].description,
+                strict.tickets()[i].description);
+    }
+
+    DegradedReadReport summary_report;
+    EXPECT_EQ(analysis::summarize_columnar(path("clean.fac"), true,
+                                           &summary_report),
+              analysis::summarize_columnar(path("clean.fac")));
+    EXPECT_FALSE(summary_report.degraded());
+
+    if (threads == 1) {
+      report_1threads = report.to_string();
+    } else {
+      EXPECT_EQ(report.to_string(), report_1threads)
+          << "degraded-read report depends on thread count";
+    }
+  }
+  ThreadPool::set_default_thread_count(0);
+}
+
+TEST_F(RecoveryTest, LenientReadSkipsDamagedChunksAndReportsThem) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "clean.fac", -1));
+  std::string bytes = read_file(dir_ / "clean.fac");
+
+  // Corrupt one mid-file ticket chunk payload; the footer still parses.
+  ChunkReader clean(path("clean.fac"));
+  const std::size_t tick_chunks =
+      clean.chunk_count(columnar::Table::kTickets);
+  ASSERT_GT(tick_chunks, 2u);
+  const columnar::ChunkInfo& victim =
+      clean.chunk_info(columnar::Table::kTickets, 1);
+  bytes[victim.offset + victim.size / 2] ^= 0x01;
+  write_file(dir_ / "bad.fac", bytes);
+
+  EXPECT_THROW(load_columnar(path("bad.fac")), Error);
+
+  DegradedReadReport report;
+  const TraceDatabase lenient = load_columnar_lenient(path("bad.fac"), report);
+  EXPECT_TRUE(report.degraded());
+  const auto t = static_cast<std::size_t>(columnar::Table::kTickets);
+  EXPECT_EQ(report.chunks_skipped[t], 1u);
+  EXPECT_EQ(report.rows_skipped[t], victim.rows);
+  EXPECT_EQ(report.by_defect[static_cast<std::size_t>(
+                ReadDefect::kChecksumMismatch)],
+            1u);
+  EXPECT_EQ(lenient.tickets().size(),
+            clean.row_count(columnar::Table::kTickets) - victim.rows);
+  EXPECT_NE(report.to_string().find("PARTIAL DATA"), std::string::npos);
+
+  // Out-of-core analysis degrades the same way instead of throwing.
+  DegradedReadReport summary_report;
+  const analysis::OutOfCoreSummary partial =
+      analysis::summarize_columnar(path("bad.fac"), true, &summary_report);
+  EXPECT_TRUE(summary_report.degraded());
+  EXPECT_EQ(partial.tickets,
+            clean.row_count(columnar::Table::kTickets) - victim.rows);
+}
+
+// ---- located errors (satellite: table/chunk/offset in the message) ----
+
+TEST_F(RecoveryTest, ChunkErrorNamesTableChunkAndOffset) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "clean.fac", -1));
+  std::string bytes = read_file(dir_ / "clean.fac");
+  ChunkReader clean(path("clean.fac"));
+  const columnar::ChunkInfo& victim =
+      clean.chunk_info(columnar::Table::kServers, 0);
+  bytes[victim.offset + victim.size / 2] ^= 0x01;
+  write_file(dir_ / "bad.fac", bytes);
+
+  ChunkReader reader(path("bad.fac"));
+  try {
+    reader.chunk(columnar::Table::kServers, 0);
+    FAIL() << "expected ChunkError";
+  } catch (const ChunkError& e) {
+    EXPECT_EQ(e.table(), columnar::Table::kServers);
+    EXPECT_EQ(e.index(), 0u);
+    EXPECT_EQ(e.offset(), victim.offset);
+    EXPECT_EQ(e.defect(), ReadDefect::kChecksumMismatch);
+    const std::string expected_prefix =
+        "columnar: " + path("bad.fac") + ": servers chunk 0 at offset " +
+        std::to_string(victim.offset) + " (" + std::to_string(victim.size) +
+        " B): ";
+    EXPECT_EQ(std::string(e.what()).rfind(expected_prefix, 0), 0u)
+        << "message '" << e.what() << "' does not start with '"
+        << expected_prefix << "'";
+  }
+
+  // The truncation defect renders with the same location format.
+  const ChunkError truncated("t.fac", columnar::Table::kTickets, 3, 4096, 512,
+                             ReadDefect::kTruncated,
+                             "chunk range escapes the file");
+  EXPECT_STREQ(truncated.what(),
+               "columnar: t.fac: tickets chunk 3 at offset 4096 (512 B): "
+               "chunk range escapes the file");
+  EXPECT_EQ(truncated.defect(), ReadDefect::kTruncated);
+}
+
+// ---- mmap-failure fallback (satellite: forced buffered mode) ----
+
+TEST_F(RecoveryTest, CallerSuppliedFileForcesBufferedModeWithEqualResults) {
+  ASSERT_FALSE(write_with_crash(torture_db(), "clean.fac", -1));
+
+  ChunkReader mapped(path("clean.fac"), /*use_mmap=*/true);
+  ASSERT_TRUE(mapped.mmapped());
+  // The caller-supplied-file constructor is the path taken when mmap is
+  // unavailable: it must serve byte-identical chunks.
+  ChunkReader buffered(
+      std::make_unique<io::PosixReadableFile>(path("clean.fac")));
+  EXPECT_FALSE(buffered.mmapped());
+
+  for (columnar::Table t : columnar::kAllTables) {
+    ASSERT_EQ(buffered.chunk_count(t), mapped.chunk_count(t));
+    for (std::size_t c = 0; c < mapped.chunk_count(t); ++c) {
+      EXPECT_EQ(buffered.chunk_info(t, c).checksum,
+                mapped.chunk_info(t, c).checksum);
+      const columnar::ChunkView va = mapped.chunk(t, c);
+      const columnar::ChunkView vb = buffered.chunk(t, c);
+      ASSERT_EQ(va.rows(), vb.rows());
+    }
+  }
+  EXPECT_EQ(buffered.next_incident(), mapped.next_incident());
+}
+
+// ---- determinism (acceptance: salvage reports bit-identical at 1 vs 8) ----
+
+TEST_F(RecoveryTest, SalvageReportsAreThreadCountInvariant) {
+  const TraceDatabase& db = torture_db();
+  ASSERT_FALSE(write_with_crash(db, "ref.fac", -1));
+  const std::string reference = read_file(dir_ / "ref.fac");
+  ASSERT_TRUE(write_with_crash(
+      db, "crashed.fac", static_cast<std::int64_t>(reference.size() / 2)));
+
+  std::string scan_text, report_text, recovered_bytes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadPool::set_default_thread_count(threads);
+    const std::string out = "rec" + std::to_string(threads) + ".fac";
+    const SalvageScan scan = scan_columnar_salvage(path("crashed.fac"));
+    const SalvageReport report = recover_columnar(path("crashed.fac"),
+                                                  path(out));
+    if (threads == 1) {
+      scan_text = scan.to_string();
+      report_text = report.to_string();
+      recovered_bytes = read_file(dir_ / out);
+      ASSERT_GT(report.rows_recovered, 0u);
+    } else {
+      EXPECT_EQ(scan.to_string(), scan_text);
+      EXPECT_EQ(report.to_string(), report_text);
+      EXPECT_EQ(read_file(dir_ / out), recovered_bytes)
+          << "recovered file depends on thread count";
+    }
+  }
+  ThreadPool::set_default_thread_count(0);
+}
+
+}  // namespace
+}  // namespace fa::trace

@@ -1,11 +1,17 @@
 // fa_trace — command-line front end of the failure-analysis toolkit.
 //
 //   fa_trace simulate --out DIR|FILE.fac [--scale S] [--seed N]
+//                     [--checkpoint-every N] [--io-crash-at BYTE [--io-seed N]]
 //       Simulate a datacenter trace. A directory --out exports the
 //       five-file CSV schema (servers/tickets/weekly_usage/power_events/
 //       snapshots); a FILE.fac --out streams chunks straight into the
 //       binary columnar format with memory bounded by chunk size, so
-//       --scale may exceed 1 (e.g. 8x the paper fleet).
+//       --scale may exceed 1 (e.g. 8x the paper fleet). Columnar only:
+//       --checkpoint-every N embeds a footer checkpoint every N chunks
+//       (a crash then loses at most one chunk); --io-crash-at BYTE routes
+//       the writes through the deterministic fault injector and simulates
+//       a power loss at that file offset (exit code 3), leaving a
+//       truncated file for `fa_trace recover` to salvage.
 //
 //   fa_trace report [--lenient] [--scale S] [DIR|FILE.fac]
 //       Load a CSV or columnar trace and print the full failure-analysis summary:
@@ -13,6 +19,9 @@
 //       times, spatial dependency and reliability metrics. With
 //       --lenient, defective rows are repaired or quarantined instead of
 //       aborting the load, and the sanitization report is printed first.
+//       On a columnar file --lenient is storage-level instead: chunks that
+//       fail their checksum are skipped, the degraded-read report is
+//       printed, and the analysis is marked as covering partial data.
 //       Without DIR, the report runs on a default simulated trace
 //       (paper defaults scaled by --scale, default 0.1) via the artifact
 //       cache — no files needed.
@@ -49,7 +58,18 @@
 //   fa_trace info FILE.fac
 //       Dump a columnar file's footer: observation windows, per-table row
 //       and chunk counts, and each chunk's offset, size, checksum and
-//       per-column min/max statistics.
+//       per-column min/max statistics. On a truncated or crash-damaged
+//       file the footer is unreadable; info then prints a salvage
+//       diagnostic (last valid chunk, estimated recoverable rows) and
+//       points at `fa_trace recover` (exit code 3).
+//
+//   fa_trace recover IN.fac OUT.fac [--report FILE]
+//       Salvage a damaged columnar file: scan the frame stream for the
+//       longest valid prefix (verifying every chunk checksum), then
+//       rewrite the surviving rows as a fresh, fully valid columnar file
+//       with a clean footer. Prints the salvage report (optionally also
+//       written to --report FILE). Recovery is idempotent: recovering an
+//       already-recovered file reproduces it byte for byte.
 //
 //   fa_trace classify DIR|FILE.fac
 //       Load a CSV or columnar trace, run crash extraction + k-means classification
@@ -69,6 +89,9 @@
 //   --no-obs          turn off metric/span recording at runtime
 //   --metrics PATH    write the metrics JSON snapshot before exiting
 //   --trace-out PATH  write the Chrome trace-event JSON before exiting
+//
+// Exit codes: 0 success, 1 analysis/data error, 2 usage error,
+// 3 I/O failure (unreadable, truncated or crash-damaged file).
 #include <array>
 #include <cstdlib>
 #include <exception>
@@ -95,6 +118,7 @@
 #include "src/analysis/spatial.h"
 #include "src/analysis/transitions.h"
 #include "src/inject/corruptor.h"
+#include "src/inject/io_faults.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
@@ -102,9 +126,11 @@
 #include "src/stats/fitting.h"
 #include "src/trace/columnar_io.h"
 #include "src/trace/csv_io.h"
+#include "src/trace/recovery.h"
 #include "src/trace/sanitize.h"
 #include "src/trace/trace_writer.h"
 #include "src/util/error.h"
+#include "src/util/io.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
@@ -116,10 +142,13 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  fa_trace simulate --out DIR|FILE.fac [--scale S] [--seed N]\n"
+         "                    [--checkpoint-every N] [--io-crash-at BYTE "
+         "[--io-seed N]]\n"
          "  fa_trace report [--lenient] [--scale S] [DIR|FILE.fac]\n"
          "  fa_trace convert --in DIR|FILE.fac --out DIR|FILE.fac "
          "[--chunk-rows N]\n"
          "  fa_trace info FILE.fac\n"
+         "  fa_trace recover IN.fac OUT.fac [--report FILE]\n"
          "  fa_trace classify DIR|FILE.fac\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
@@ -128,14 +157,16 @@ int usage() {
          "                   [--mix class=rate,...] [--counts-csv FILE]\n"
          "  fa_trace profile [COMMAND ...]\n"
          "global flags: --threads N, --no-cache, --no-obs,\n"
-         "              --metrics PATH, --trace-out PATH\n";
+         "              --metrics PATH, --trace-out PATH\n"
+         "exit codes: 0 ok, 1 analysis/data error, 2 usage, 3 I/O failure\n";
   return 2;
 }
 
 int unknown_command(const std::string& command) {
   std::cerr << "fa_trace: unknown command '" << command
             << "'\navailable commands: simulate, report, convert, info, "
-               "classify, fit, transitions, sanitize, corrupt, profile\n";
+               "recover, classify, fit, transitions, sanitize, corrupt, "
+               "profile\n";
   return usage();
 }
 
@@ -164,6 +195,9 @@ int cmd_simulate(const std::vector<std::string>& args) {
   double scale = 1.0;
   std::uint64_t seed = 0;
   bool have_seed = false;
+  std::uint32_t checkpoint_every = 0;
+  std::int64_t io_crash_at = -1;
+  std::uint64_t io_seed = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out" && i + 1 < args.size()) {
       out = args[++i];
@@ -172,12 +206,24 @@ int cmd_simulate(const std::vector<std::string>& args) {
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       seed = std::strtoull(args[++i].c_str(), nullptr, 10);
       have_seed = true;
+    } else if (args[i] == "--checkpoint-every" && i + 1 < args.size()) {
+      checkpoint_every = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--io-crash-at" && i + 1 < args.size()) {
+      io_crash_at = std::strtoll(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--io-seed" && i + 1 < args.size()) {
+      io_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
     } else {
       std::cerr << "simulate: unknown argument '" << args[i] << "'\n";
       return usage();
     }
   }
   if (out.empty() || scale <= 0.0) return usage();
+  if ((checkpoint_every > 0 || io_crash_at >= 0) && !out.ends_with(".fac")) {
+    std::cerr << "simulate: --checkpoint-every / --io-crash-at apply to "
+                 "columnar (.fac) output only\n";
+    return usage();
+  }
 
   auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
   if (have_seed) config.seed = seed;
@@ -185,7 +231,17 @@ int cmd_simulate(const std::vector<std::string>& args) {
   if (out.ends_with(".fac")) {
     // Stream chunks straight into the columnar format: no database is ever
     // materialized, so large --scale factors run in chunk-bounded memory.
-    trace::ColumnarTraceWriter writer(out);
+    trace::WriterOptions options;
+    options.checkpoint_every_chunks = checkpoint_every;
+    std::unique_ptr<io::WritableFile> file =
+        std::make_unique<io::PosixWritableFile>(out);
+    if (io_crash_at >= 0) {
+      inject::IoFaultConfig faults;
+      faults.seed = io_seed;
+      faults.crash_at_byte = io_crash_at;
+      file = std::make_unique<inject::FaultyFile>(std::move(file), faults);
+    }
+    trace::ColumnarTraceWriter writer(std::move(file), options);
     sim::simulate_to(config, writer);
     std::cout << "wrote " << writer.server_count() << " servers, "
               << writer.ticket_count() << " tickets to " << out
@@ -210,6 +266,20 @@ int cmd_report(const std::string& dir, bool lenient, double scale) {
     // so `profile report` exercises the full simulate + analyze path).
     const auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
     ctx = analysis::cached_context(config);
+  } else if (lenient && trace::is_columnar_file(dir)) {
+    // Storage-level leniency: skip checksum-failing chunks, report what was
+    // lost and analyze the surviving rows (clearly marked as partial).
+    trace::DegradedReadReport degraded;
+    auto db = std::make_shared<const trace::TraceDatabase>(
+        trace::load_columnar_lenient(dir, degraded));
+    std::cout << degraded.to_string();
+    if (degraded.degraded()) {
+      std::cout << "warning: analysis below covers PARTIAL DATA; recover "
+                   "the file with `fa_trace recover`\n";
+    }
+    std::cout << "\n";
+    auto pipeline = analysis::ArtifactCache::global().pipeline(db);
+    ctx = {std::move(db), std::move(pipeline)};
   } else if (lenient) {
     auto result = analysis::analyze_lenient(dir);
     std::cout << result.report.to_string();
@@ -352,8 +422,32 @@ int cmd_convert(const std::vector<std::string>& args) {
   return 1;
 }
 
+// Footer unreadable: the file is truncated or crash-damaged. Print what a
+// salvage scan can still see and point at the recovery path instead of
+// leaving the user with a bare parse error.
+int info_salvage_diagnostic(const std::string& path,
+                            const std::string& error) {
+  std::cerr << "error: " << error << "\n";
+  const trace::SalvageScan scan = trace::scan_columnar_salvage(path);
+  std::cout << scan.to_string();
+  if (scan.header_ok && scan.total_chunks() > 0) {
+    std::cout << "recover the valid prefix with: fa_trace recover " << path
+              << " RECOVERED.fac\n";
+  }
+  return 3;
+}
+
 int cmd_info(const std::string& path) {
-  const trace::ChunkReader reader(path);
+  std::unique_ptr<trace::ChunkReader> opened;
+  try {
+    opened = std::make_unique<trace::ChunkReader>(path);
+  } catch (const io::IoError&) {
+    throw;  // unreadable at the filesystem level: nothing to salvage
+  } catch (const Error& e) {
+    if (!trace::is_columnar_file(path)) throw;
+    return info_salvage_diagnostic(path, e.what());
+  }
+  const trace::ChunkReader& reader = *opened;
   const auto window_line = [](const char* name, const ObservationWindow& w) {
     std::cout << "  " << name << " [" << w.begin << ", " << w.end << ")\n";
   };
@@ -392,6 +486,29 @@ int cmd_info(const std::string& path) {
       if (!stats.empty()) std::cout << "    " << stats << "\n";
     }
   }
+  return 0;
+}
+
+int cmd_recover(const std::vector<std::string>& args) {
+  std::string in, out, report_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--report" && i + 1 < args.size()) {
+      report_path = args[++i];
+    } else if (in.empty() && !args[i].starts_with("--")) {
+      in = args[i];
+    } else if (out.empty() && !args[i].starts_with("--")) {
+      out = args[i];
+    } else {
+      std::cerr << "recover: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (in.empty() || out.empty()) return usage();
+
+  const trace::SalvageReport report = trace::recover_columnar(in, out);
+  std::cout << report.to_string() << "wrote recovered trace to " << out
+            << "\n";
+  if (!report_path.empty()) write_text_file(report_path, report.to_string());
   return 0;
 }
 
@@ -604,6 +721,9 @@ int run_command(const std::vector<std::string>& args) {
   if (command == "info" && args.size() == 2) {
     return cmd_info(args[1]);
   }
+  if (command == "recover" && args.size() >= 3) {
+    return cmd_recover({args.begin() + 1, args.end()});
+  }
   if (command == "classify" && args.size() == 2) {
     return cmd_classify(args[1]);
   }
@@ -620,7 +740,8 @@ int run_command(const std::vector<std::string>& args) {
     return cmd_corrupt({args.begin() + 1, args.end()});
   }
   if (command == "classify" || command == "fit" ||
-      command == "transitions" || command == "info") {
+      command == "transitions" || command == "info" ||
+      command == "recover") {
     return usage();  // known command, wrong arity
   }
   return unknown_command(command);
@@ -733,6 +854,9 @@ int main(int argc, char** argv) {
   int rc;
   try {
     rc = run_command(args);
+  } catch (const fa::io::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << "\n";
+    rc = 3;
   } catch (const fa::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     rc = 1;
