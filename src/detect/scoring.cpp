@@ -1,0 +1,86 @@
+#include "src/detect/scoring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace fa::detect {
+
+double DetectionScore::precision() const {
+  const std::size_t total = true_positive_alerts + false_positive_alerts;
+  if (total == 0) return 1.0;
+  return static_cast<double>(true_positive_alerts) /
+         static_cast<double>(total);
+}
+
+double DetectionScore::recall() const {
+  if (changes == 0) return 1.0;
+  return static_cast<double>(detected) / static_cast<double>(changes);
+}
+
+Duration DetectionScore::median_latency() const {
+  if (latencies.empty()) return 0;
+  std::vector<Duration> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  // Even count: lower of the two middle values (stays an integer Duration).
+  return sorted[(n - 1) / 2];
+}
+
+std::string DetectionScore::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "changes=%zu detected=%zu tp=%zu fp=%zu precision=%.4f "
+                "recall=%.4f median_latency_days=%.2f",
+                changes, detected, true_positive_alerts,
+                false_positive_alerts, precision(), recall(),
+                to_days(median_latency()));
+  return buf;
+}
+
+DetectionScore score_alerts(const std::vector<TimePoint>& change_points,
+                            const std::vector<Alert>& alerts,
+                            const ScoreOptions& options) {
+  require(options.match_horizon > 0,
+          "score_alerts: match_horizon must be positive");
+  require(std::is_sorted(change_points.begin(), change_points.end()),
+          "score_alerts: change points must be sorted");
+
+  DetectionScore score;
+  score.changes = change_points.size();
+
+  std::vector<TimePoint> first_hit(
+      change_points.size(), std::numeric_limits<TimePoint>::max());
+
+  for (const Alert& alert : alerts) {
+    if (options.rate_alerts_only && alert.kind != AlertKind::kRateShift) {
+      continue;
+    }
+    // Most recent change at or before the alert.
+    auto it = std::upper_bound(change_points.begin(), change_points.end(),
+                               alert.at);
+    if (it == change_points.begin()) {
+      ++score.false_positive_alerts;
+      continue;
+    }
+    const std::size_t idx =
+        static_cast<std::size_t>(it - change_points.begin()) - 1;
+    if (alert.at < change_points[idx] + options.match_horizon) {
+      ++score.true_positive_alerts;
+      first_hit[idx] = std::min(first_hit[idx], alert.at);
+    } else {
+      ++score.false_positive_alerts;
+    }
+  }
+
+  for (std::size_t i = 0; i < change_points.size(); ++i) {
+    if (first_hit[i] == std::numeric_limits<TimePoint>::max()) continue;
+    ++score.detected;
+    score.latencies.push_back(first_hit[i] - change_points[i]);
+  }
+  return score;
+}
+
+}  // namespace fa::detect

@@ -1,0 +1,62 @@
+// Ground-truth scoring of online detection.
+//
+// The simulator-side emitter (src/sim/stream.h) injects scripted hazard
+// shifts at known instants; the detector emits alerts with detection
+// timestamps. score_alerts() joins the two event-level:
+//
+//   * an alert is a true positive iff some change point c satisfies
+//     c <= alert.at < c + match_horizon (alerts attribute to the most
+//     recent change; every other alert is a false positive);
+//   * a change is detected iff at least one alert lands in its horizon;
+//     recall = detected changes / changes;
+//   * precision = true-positive alerts / all alerts;
+//   * detection latency of a detected change = first in-horizon alert
+//     timestamp minus the change instant.
+//
+// By default only rate-shift alerts are scored (the injected ground truth
+// perturbs failure rates, not usage), so usage-channel alerts neither help
+// nor hurt unless explicitly included.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/detect/detector.h"
+#include "src/util/sim_time.h"
+
+namespace fa::detect {
+
+struct ScoreOptions {
+  // An alert within [change, change + match_horizon) counts for the change.
+  // The default covers the slowest armed strata: a low-rate channel near
+  // the arming floor needs weeks of post-change data to accumulate the
+  // alert threshold, an order of magnitude longer than the aggregate
+  // channels' few-day latency.
+  Duration match_horizon = 12 * kMinutesPerWeek;
+  // Restrict scoring to rate-shift alerts (the kind the injected hazard
+  // ground truth produces).
+  bool rate_alerts_only = true;
+};
+
+struct DetectionScore {
+  std::size_t changes = 0;   // ground-truth change points
+  std::size_t detected = 0;  // changes with at least one in-horizon alert
+  std::size_t true_positive_alerts = 0;
+  std::size_t false_positive_alerts = 0;
+  // One entry per detected change: first in-horizon alert minus change.
+  std::vector<Duration> latencies;
+
+  // Conventions for degenerate streams: no alerts -> precision 1 (nothing
+  // claimed falsely); no changes -> recall 1 (nothing missed).
+  double precision() const;
+  double recall() const;
+  Duration median_latency() const;  // 0 when nothing was detected
+
+  std::string to_string() const;
+};
+
+DetectionScore score_alerts(const std::vector<TimePoint>& change_points,
+                            const std::vector<Alert>& alerts,
+                            const ScoreOptions& options = {});
+
+}  // namespace fa::detect

@@ -1,0 +1,47 @@
+#include "src/detect/serve.h"
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace fa::detect {
+
+TenantResult serve_tenant(const TenantSpec& spec,
+                          const ScoreOptions& score_options) {
+  require(!spec.name.empty(), "serve_tenant: tenant name must be non-empty");
+  obs::Span span("detect.serve_tenant");
+
+  DetectorOptions options = spec.detector;
+  options.tenant = spec.name;
+  OnlineDetector detector(std::move(options));
+
+  const trace::TraceDatabase db = sim::simulate(spec.config);
+  sim::emit_stream(db, spec.scenario, detector);
+
+  TenantResult result;
+  result.name = spec.name;
+  result.change_points = spec.scenario.change_points();
+  result.report = detector.report();
+  result.score =
+      score_alerts(result.change_points, result.report.alerts, score_options);
+  return result;
+}
+
+std::vector<TenantResult> serve_tenants(const std::vector<TenantSpec>& specs,
+                                        const ScoreOptions& score_options) {
+  obs::Span span("detect.serve");
+  std::vector<TenantResult> results(specs.size());
+  // Tenant i writes only slot i and owns all of its randomness (the config
+  // seed), so the result set is independent of scheduling. The inner
+  // simulate() also uses parallel_for; nested calls are safe because a
+  // caller always drains its own batch.
+  parallel_for(specs.size(), [&](std::size_t i) {
+    results[i] = serve_tenant(specs[i], score_options);
+  });
+  obs::counter("fa.detect.serve.tenants").add(specs.size());
+  return results;
+}
+
+}  // namespace fa::detect

@@ -1,0 +1,50 @@
+// Multi-tenant ingestion service: runs many independent tenant streams
+// concurrently over the shared ThreadPool.
+//
+// Each tenant is one (fleet config, stream scenario, detector options)
+// triple: the tenant's fleet is simulated, replayed as an event stream, and
+// folded through its own OnlineDetector. Tenants share nothing but the
+// pool, every tenant's randomness comes from its own config seed, and each
+// result lands in the tenant's slot of the output vector — so the full
+// result set (reports, alert logs, scores) is bit-identical at any
+// --threads setting and results always come back in spec order.
+//
+// Per-tenant observability rides on the detector's fa.detect.* counter
+// families, labeled {tenant=<name>}: the registry snapshot after a serve
+// run shows each tenant's event/alert totals independently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/detect/detector.h"
+#include "src/detect/scoring.h"
+#include "src/sim/config.h"
+#include "src/sim/stream.h"
+
+namespace fa::detect {
+
+struct TenantSpec {
+  std::string name;
+  sim::SimulationConfig config;     // fleet + seed (tenant-owned randomness)
+  sim::StreamScenario scenario;     // hazard timeline + optional cutoff
+  DetectorOptions detector;         // detector.tenant is overwritten by name
+};
+
+struct TenantResult {
+  std::string name;
+  std::vector<TimePoint> change_points;  // scenario ground truth
+  DetectorReport report;
+  DetectionScore score;
+};
+
+// Serves every tenant (parallel across tenants, deterministic output).
+// Scoring uses `score_options` against each scenario's change points.
+std::vector<TenantResult> serve_tenants(const std::vector<TenantSpec>& specs,
+                                        const ScoreOptions& score_options = {});
+
+// Single-tenant convenience: simulate, stream, detect, score.
+TenantResult serve_tenant(const TenantSpec& spec,
+                          const ScoreOptions& score_options = {});
+
+}  // namespace fa::detect

@@ -1,0 +1,174 @@
+#include "src/sim/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/util/error.h"
+
+namespace fa::sim {
+namespace {
+
+// Piecewise-constant relative intensity of the scenario over `window`:
+// segment i covers [edges[i], edges[i+1]) with intensity factors[i].
+struct Timeline {
+  std::vector<TimePoint> edges;   // size n+1, edges.front()=begin, back()=end
+  std::vector<double> factors;    // size n, all > 0
+  std::vector<double> cum_mass;   // size n+1, cum_mass[i] = mass before edge i
+  double total_mass = 0.0;
+};
+
+Timeline build_timeline(const StreamScenario& scenario,
+                        const ObservationWindow& window) {
+  Timeline tl;
+  tl.edges.push_back(window.begin);
+  tl.factors.push_back(1.0);
+  TimePoint prev = window.begin;
+  for (const HazardShift& s : scenario.shifts) {
+    require(s.factor > 0.0, "emit_stream: hazard shift factor must be > 0");
+    require(s.at > prev && s.at < window.end,
+            "emit_stream: hazard shifts must be strictly increasing and "
+            "inside the stream window");
+    prev = s.at;
+    tl.edges.push_back(s.at);
+    tl.factors.push_back(s.factor);
+  }
+  tl.edges.push_back(window.end);
+  tl.cum_mass.resize(tl.edges.size(), 0.0);
+  for (std::size_t i = 0; i < tl.factors.size(); ++i) {
+    tl.cum_mass[i + 1] =
+        tl.cum_mass[i] +
+        tl.factors[i] * static_cast<double>(tl.edges[i + 1] - tl.edges[i]);
+  }
+  tl.total_mass = tl.cum_mass.back();
+  return tl;
+}
+
+// Maps window fraction u in [0, 1] to the point where the normalized
+// integral of the timeline intensity reaches u (inverse-CDF of r / |r|).
+TimePoint warp_fraction(const Timeline& tl, const ObservationWindow& window,
+                        double u) {
+  const double target = u * tl.total_mass;
+  // Find the segment holding `target` mass (few segments: linear scan).
+  std::size_t i = 0;
+  while (i + 1 < tl.factors.size() && tl.cum_mass[i + 1] < target) ++i;
+  const double within = (target - tl.cum_mass[i]) / tl.factors[i];
+  const TimePoint warped =
+      tl.edges[i] + static_cast<TimePoint>(std::llround(within));
+  return std::clamp(warped, window.begin, window.end - 1);
+}
+
+struct Entry {
+  TimePoint at = 0;
+  trace::StreamEventKind kind = trace::StreamEventKind::kTicket;
+  const trace::Ticket* ticket = nullptr;
+  const trace::WeeklyUsage* usage = nullptr;
+};
+
+// Deterministic delivery order: time, then kind, then record identity.
+bool entry_less(const Entry& a, const Entry& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.kind == trace::StreamEventKind::kTicket) {
+    return a.ticket->id < b.ticket->id;
+  }
+  if (a.usage->server != b.usage->server) return a.usage->server < b.usage->server;
+  return a.usage->week < b.usage->week;
+}
+
+}  // namespace
+
+std::vector<TimePoint> StreamScenario::change_points() const {
+  std::vector<TimePoint> points;
+  double factor = 1.0;
+  for (const HazardShift& s : shifts) {
+    if (s.factor != factor) points.push_back(s.at);
+    factor = s.factor;
+  }
+  return points;
+}
+
+TimePoint warp_time(const StreamScenario& scenario,
+                    const ObservationWindow& window, TimePoint t) {
+  if (scenario.shifts.empty() || !window.contains(t)) return t;
+  const Timeline tl = build_timeline(scenario, window);
+  const double u = static_cast<double>(t - window.begin) /
+                   static_cast<double>(window.length());
+  return warp_fraction(tl, window, u);
+}
+
+void emit_stream(const trace::TraceDatabase& db,
+                 const StreamScenario& scenario, trace::StreamSink& sink) {
+  obs::Span span("detect.emit_stream");
+  require(db.finalized(), "emit_stream: database must be finalized");
+  const ObservationWindow& window = db.window();
+  const bool warp = !scenario.shifts.empty();
+  Timeline tl;
+  if (warp) tl = build_timeline(scenario, window);
+  const TimePoint stream_end =
+      scenario.cutoff > 0 ? scenario.cutoff : window.end;
+  require(stream_end > window.begin && stream_end <= window.end,
+          "emit_stream: cutoff must lie inside the stream window");
+
+  trace::StreamMeta meta;
+  meta.window = window;
+  meta.server_count = db.servers().size();
+  for (const trace::ServerRecord& s : db.servers()) {
+    ++meta.servers_by_type[static_cast<std::size_t>(s.type)];
+    ++meta.servers_by_subsystem[s.subsystem];
+  }
+
+  std::vector<Entry> entries;
+  entries.reserve(db.tickets().size());
+  for (const trace::Ticket& t : db.tickets()) {
+    Entry e;
+    e.kind = trace::StreamEventKind::kTicket;
+    e.ticket = &t;
+    e.at = t.opened;
+    if (warp && window.contains(t.opened)) {
+      const double u = static_cast<double>(t.opened - window.begin) /
+                       static_cast<double>(window.length());
+      e.at = warp_fraction(tl, window, u);
+    }
+    entries.push_back(e);
+  }
+  // A weekly average becomes available at the end of its week; the
+  // monitoring cadence is wall-clock, so usage timestamps are never warped.
+  for (const trace::ServerRecord& s : db.servers()) {
+    for (const trace::WeeklyUsage& u : db.weekly_usage_for(s.id)) {
+      Entry e;
+      e.kind = trace::StreamEventKind::kUsage;
+      e.usage = &u;
+      e.at = std::min<TimePoint>(
+          window.begin + static_cast<TimePoint>(u.week + 1) * kMinutesPerWeek,
+          window.end);
+      entries.push_back(e);
+    }
+  }
+  std::sort(entries.begin(), entries.end(), entry_less);
+
+  sink.begin(meta);
+  std::size_t delivered = 0;
+  for (const Entry& e : entries) {
+    if (e.at >= stream_end) break;  // sorted: everything later is cut off too
+    trace::StreamEvent event;
+    event.kind = e.kind;
+    event.at = e.at;
+    if (e.kind == trace::StreamEventKind::kTicket) {
+      event.ticket = *e.ticket;
+      event.ticket.opened = e.at;
+      event.ticket.closed = e.at + e.ticket->repair_time();
+      event.machine_type = db.server(e.ticket->server).type;
+    } else {
+      event.usage = *e.usage;
+      event.machine_type = db.server(e.usage->server).type;
+    }
+    sink.on_event(event);
+    ++delivered;
+  }
+  sink.finish(stream_end);
+  obs::counter("fa.detect.stream.emitted").add(delivered);
+}
+
+}  // namespace fa::sim

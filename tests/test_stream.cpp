@@ -1,0 +1,247 @@
+#include "src/sim/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/analysis/out_of_core.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace fa::sim {
+namespace {
+
+// Records the full delivery sequence for assertions.
+class RecordingSink final : public trace::StreamSink {
+ public:
+  void begin(const trace::StreamMeta& meta) override {
+    EXPECT_FALSE(begun);
+    begun = true;
+    this->meta = meta;
+  }
+  void on_event(const trace::StreamEvent& event) override {
+    EXPECT_TRUE(begun);
+    EXPECT_FALSE(finished);
+    events.push_back(event);
+  }
+  void finish(TimePoint end) override {
+    EXPECT_TRUE(begun);
+    EXPECT_FALSE(finished);
+    finished = true;
+    stream_end = end;
+  }
+
+  bool begun = false;
+  bool finished = false;
+  TimePoint stream_end = 0;
+  trace::StreamMeta meta;
+  std::vector<trace::StreamEvent> events;
+};
+
+StreamScenario shift_at_day(double day, double factor) {
+  StreamScenario scenario;
+  scenario.shifts.push_back({ticket_window().begin + from_days(day), factor});
+  return scenario;
+}
+
+TEST(StreamScenario, ChangePointsSkipNoOpShifts) {
+  const ObservationWindow w = ticket_window();
+  StreamScenario scenario;
+  scenario.shifts.push_back({w.begin + from_days(30), 1.0});   // no-op
+  scenario.shifts.push_back({w.begin + from_days(90), 4.0});   // change
+  scenario.shifts.push_back({w.begin + from_days(180), 4.0});  // no-op
+  scenario.shifts.push_back({w.begin + from_days(270), 1.0});  // change back
+  const auto points = scenario.change_points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], w.begin + from_days(90));
+  EXPECT_EQ(points[1], w.begin + from_days(270));
+}
+
+TEST(WarpTime, IdentityWithoutShiftsOrOutsideWindow) {
+  const ObservationWindow w = ticket_window();
+  const StreamScenario stationary;
+  EXPECT_EQ(warp_time(stationary, w, w.begin + from_days(100)),
+            w.begin + from_days(100));
+  const StreamScenario shifted = shift_at_day(180, 4.0);
+  EXPECT_EQ(warp_time(shifted, w, w.begin - 1), w.begin - 1);
+  EXPECT_EQ(warp_time(shifted, w, w.end + 5), w.end + 5);
+}
+
+TEST(WarpTime, MonotoneAndMeasurePreserving) {
+  const ObservationWindow w = ticket_window();
+  const StreamScenario scenario = shift_at_day(180, 4.0);
+  // Intensity 1 on the first 180 days, 4 on the remaining 185: total mass
+  // 180 + 4*185 = 920 "unit days". The warped image of original fraction u
+  // is where the normalized intensity integral reaches u, so the original
+  // point at u = 180/920 lands exactly on the shift instant.
+  const double u_break = 180.0 / 920.0;
+  const TimePoint t_break =
+      w.begin + static_cast<TimePoint>(u_break * static_cast<double>(w.length()));
+  const TimePoint shift_at = w.begin + from_days(180);
+  EXPECT_NEAR(static_cast<double>(warp_time(scenario, w, t_break)),
+              static_cast<double>(shift_at), static_cast<double>(from_days(1)));
+
+  TimePoint prev = w.begin;
+  for (int day = 0; day <= 364; ++day) {
+    const TimePoint t = warp_time(scenario, w, w.begin + from_days(day));
+    EXPECT_GE(t, prev);
+    EXPECT_GE(t, w.begin);
+    EXPECT_LT(t, w.end);
+    prev = t;
+  }
+}
+
+TEST(EmitStream, OrderedCompleteAndMetaPopulated) {
+  const auto& db = fa::testing::small_simulated_db();
+  RecordingSink sink;
+  emit_stream(db, {}, sink);
+
+  EXPECT_TRUE(sink.finished);
+  EXPECT_EQ(sink.stream_end, db.window().end);
+  EXPECT_EQ(sink.meta.server_count, db.servers().size());
+  std::size_t type_total = 0, sys_total = 0;
+  for (std::size_t n : sink.meta.servers_by_type) type_total += n;
+  for (std::size_t n : sink.meta.servers_by_subsystem) sys_total += n;
+  EXPECT_EQ(type_total, db.servers().size());
+  EXPECT_EQ(sys_total, db.servers().size());
+
+  std::size_t tickets = 0, usage = 0;
+  TimePoint prev = sink.meta.window.begin;
+  for (const trace::StreamEvent& e : sink.events) {
+    EXPECT_GE(e.at, prev) << "stream must be timestamp-ordered";
+    prev = e.at;
+    if (e.kind == trace::StreamEventKind::kTicket) {
+      ++tickets;
+    } else {
+      ++usage;
+    }
+  }
+  EXPECT_EQ(tickets, db.tickets().size());
+  // A weekly average becomes available at the end of its week; a week that
+  // ends at (or past) the stream end is never delivered, everything earlier
+  // arrives exactly once.
+  const ObservationWindow& w = db.window();
+  std::size_t available = 0;
+  for (const trace::ServerRecord& s : db.servers()) {
+    for (const trace::WeeklyUsage& u : db.weekly_usage_for(s.id)) {
+      if (w.begin + static_cast<TimePoint>(u.week + 1) * kMinutesPerWeek <
+          w.end) {
+        ++available;
+      }
+    }
+  }
+  EXPECT_EQ(usage, available);
+}
+
+TEST(EmitStream, StationaryReplayPreservesTimestamps) {
+  const auto& db = fa::testing::small_simulated_db();
+  RecordingSink sink;
+  emit_stream(db, {}, sink);
+  // Without a warp every ticket keeps its database opening time.
+  std::map<std::int32_t, TimePoint> opened;
+  for (const trace::Ticket& t : db.tickets()) opened[t.id.value] = t.opened;
+  for (const trace::StreamEvent& e : sink.events) {
+    if (e.kind != trace::StreamEventKind::kTicket) continue;
+    EXPECT_EQ(e.at, opened.at(e.ticket.id.value));
+  }
+}
+
+TEST(EmitStream, WarpShiftsRatesByTheScriptedFactor) {
+  // A hand-built trace with exactly one crash per day: uniform unit
+  // intensity, so the warped rate ratio is the scripted factor alone (the
+  // simulated fleet has its own growth trend that would confound this).
+  fa::testing::TinyDbBuilder b;
+  const auto pm = b.add_pm(0);
+  for (int day = 0; day < 365; ++day) {
+    b.add_crash(pm, day + 0.5, 1.0);
+  }
+  const auto db = b.finish();
+  const StreamScenario scenario = shift_at_day(180, 4.0);
+  RecordingSink sink;
+  emit_stream(db, scenario, sink);
+
+  const TimePoint shift_at = scenario.shifts[0].at;
+  std::size_t tickets = 0, pre = 0, post = 0;
+  for (const trace::StreamEvent& e : sink.events) {
+    if (e.kind != trace::StreamEventKind::kTicket) continue;
+    ++tickets;
+    (e.at < shift_at ? pre : post)++;
+  }
+  // Measure-preserving: the warp moves events around, it never adds or
+  // drops any.
+  EXPECT_EQ(tickets, 365u);
+  // Intensity 1 for 180 days then 4 for 185: mass 920 unit-days, so the
+  // pre-shift segment holds 180/920 of the events (71-72 of 365) spread
+  // over 180 days while the rest pack into 185 days — a x4 rate step.
+  EXPECT_NEAR(static_cast<double>(pre), 365.0 * 180.0 / 920.0, 2.0);
+  const double pre_rate = static_cast<double>(pre) / 180.0;
+  const double post_rate = static_cast<double>(post) / 185.0;
+  EXPECT_NEAR(post_rate / pre_rate, 4.0, 0.25);
+}
+
+TEST(EmitStream, WarpMatchesWarpTimePerTicket) {
+  const auto& db = fa::testing::small_simulated_db();
+  const StreamScenario scenario = shift_at_day(180, 4.0);
+  std::map<std::int32_t, TimePoint> opened;
+  for (const trace::Ticket& t : db.tickets()) opened[t.id.value] = t.opened;
+  RecordingSink sink;
+  emit_stream(db, scenario, sink);
+  std::size_t tickets = 0;
+  for (const trace::StreamEvent& e : sink.events) {
+    if (e.kind != trace::StreamEventKind::kTicket) continue;
+    ++tickets;
+    ASSERT_EQ(e.at,
+              warp_time(scenario, db.window(), opened.at(e.ticket.id.value)));
+  }
+  EXPECT_EQ(tickets, db.tickets().size());
+}
+
+TEST(EmitStream, RepairDurationsRideAlongTheWarp) {
+  const auto& db = fa::testing::small_simulated_db();
+  std::map<std::int32_t, Duration> repair;
+  for (const trace::Ticket& t : db.tickets()) {
+    repair[t.id.value] = t.repair_time();
+  }
+  RecordingSink sink;
+  emit_stream(db, shift_at_day(180, 4.0), sink);
+  for (const trace::StreamEvent& e : sink.events) {
+    if (e.kind != trace::StreamEventKind::kTicket) continue;
+    EXPECT_EQ(e.ticket.opened, e.at);
+    EXPECT_EQ(e.ticket.repair_time(), repair.at(e.ticket.id.value));
+  }
+}
+
+TEST(EmitStream, CutoffEndsTheStreamEarly) {
+  const auto& db = fa::testing::small_simulated_db();
+  StreamScenario scenario;
+  scenario.cutoff = ticket_window().begin + from_days(100);
+  RecordingSink sink;
+  emit_stream(db, scenario, sink);
+  EXPECT_EQ(sink.stream_end, scenario.cutoff);
+  EXPECT_FALSE(sink.events.empty());
+  for (const trace::StreamEvent& e : sink.events) {
+    EXPECT_LT(e.at, scenario.cutoff);
+  }
+}
+
+TEST(EmitStream, RejectsInvalidScenarios) {
+  const auto& db = fa::testing::small_simulated_db();
+  RecordingSink sink;
+  StreamScenario outside;
+  outside.shifts.push_back({ticket_window().end + 1, 2.0});
+  EXPECT_THROW(emit_stream(db, outside, sink), Error);
+  StreamScenario negative = shift_at_day(100, -1.0);
+  EXPECT_THROW(emit_stream(db, negative, sink), Error);
+  StreamScenario unsorted;
+  unsorted.shifts.push_back({ticket_window().begin + from_days(200), 2.0});
+  unsorted.shifts.push_back({ticket_window().begin + from_days(100), 3.0});
+  EXPECT_THROW(emit_stream(db, unsorted, sink), Error);
+  StreamScenario bad_cutoff;
+  bad_cutoff.cutoff = ticket_window().end + from_days(1);
+  EXPECT_THROW(emit_stream(db, bad_cutoff, sink), Error);
+}
+
+}  // namespace
+}  // namespace fa::sim

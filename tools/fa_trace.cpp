@@ -71,6 +71,31 @@
 //       written to --report FILE). Recovery is idempotent: recovering an
 //       already-recovered file reproduces it byte for byte.
 //
+//   fa_trace watch [DIR|FILE.fac] [--scale S] [--seed N] [--shift D:F]...
+//                  [--cutoff D] [--ooo reject|buffer|drop] [--slack MIN]
+//                  [--threshold NATS] [--warmup-weeks W]
+//                  [--alerts-out FILE] [--score] [--horizon D]
+//       Replay one trace (default: a simulated fleet) as a timestamp-ordered
+//       event stream through the online detector and print alerts live with
+//       their detection timestamps, then the stream summary. Each --shift
+//       D:F multiplies the failure rate by F from day D of the stream on
+//       (the scripted ground truth); --cutoff D ends the stream early at
+//       day D. --ooo selects the out-of-order policy (--slack sets the
+//       reorder-buffer tolerance in minutes). --alerts-out writes the
+//       byte-stable alert log (identical at any --threads); --score prints
+//       precision/recall/latency against the injected change points, with
+//       an alert counted for a change within --horizon days (default 84 —
+//       low-rate strata near the arming floor legitimately take weeks).
+//
+//   fa_trace serve [--tenants N] [--scale S] [--seed BASE] [--shift D:F]...
+//                  [--cutoff D] [--threshold NATS] [--warmup-weeks W]
+//                  [--score] [--horizon D]
+//       Multiplex N independent tenant streams (seeds BASE..BASE+N-1) over
+//       the shared thread pool, one online detector per tenant, and print
+//       the per-tenant summary table in tenant order. Results are
+//       bit-identical at any --threads; per-tenant event/alert counters are
+//       exported under fa.detect.* with a tenant label (see --metrics).
+//
 //   fa_trace classify DIR|FILE.fac
 //       Load a CSV or columnar trace, run crash extraction + k-means classification
 //       and print the per-class ticket distribution (and, when the trace
@@ -117,6 +142,7 @@
 #include "src/analysis/report.h"
 #include "src/analysis/spatial.h"
 #include "src/analysis/transitions.h"
+#include "src/detect/serve.h"
 #include "src/inject/corruptor.h"
 #include "src/inject/io_faults.h"
 #include "src/obs/export.h"
@@ -149,6 +175,17 @@ int usage() {
          "[--chunk-rows N]\n"
          "  fa_trace info FILE.fac\n"
          "  fa_trace recover IN.fac OUT.fac [--report FILE]\n"
+         "  fa_trace watch [DIR|FILE.fac] [--scale S] [--seed N] "
+         "[--shift D:F]...\n"
+         "                 [--cutoff D] [--ooo reject|buffer|drop] "
+         "[--slack MIN]\n"
+         "                 [--threshold NATS] [--warmup-weeks W]\n"
+         "                 [--alerts-out FILE] [--score] [--horizon D]\n"
+         "  fa_trace serve [--tenants N] [--scale S] [--seed BASE] "
+         "[--shift D:F]...\n"
+         "                 [--cutoff D] [--threshold NATS] "
+         "[--warmup-weeks W]\n"
+         "                 [--score] [--horizon D]\n"
          "  fa_trace classify DIR|FILE.fac\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
@@ -164,9 +201,9 @@ int usage() {
 
 int unknown_command(const std::string& command) {
   std::cerr << "fa_trace: unknown command '" << command
-            << "'\navailable commands: simulate, report, convert, info, "
-               "recover, classify, fit, transitions, sanitize, corrupt, "
-               "profile\n";
+            << "'\navailable commands: simulate, report, watch, serve, "
+               "convert, info, recover, classify, fit, transitions, "
+               "sanitize, corrupt, profile\n";
   return usage();
 }
 
@@ -512,6 +549,222 @@ int cmd_recover(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Shared flag state of the streaming-detection verbs (watch / serve).
+struct StreamFlags {
+  std::vector<std::pair<double, double>> shifts;  // (day-of-stream, factor)
+  double cutoff_days = 0.0;
+  double threshold_nats = 0.0;   // 0 = detector default
+  double warmup_weeks = 0.0;     // 0 = detector default
+  std::string ooo;               // "", "reject", "buffer", "drop"
+  double slack_minutes = 0.0;
+  bool score = false;
+  double horizon_days = 84.0;
+};
+
+// Parses one --shift D:F operand ("rate x F from stream day D on").
+bool parse_shift(const std::string& spec,
+                 std::vector<std::pair<double, double>>& out) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    std::cerr << "--shift expects DAY:FACTOR, got '" << spec << "'\n";
+    return false;
+  }
+  out.emplace_back(std::atof(spec.substr(0, colon).c_str()),
+                   std::atof(spec.c_str() + colon + 1));
+  return true;
+}
+
+// Consumes a stream flag at args[i] if it is one; returns true and advances
+// `i` past any operand. `ok` turns false on a malformed operand.
+bool consume_stream_flag(const std::vector<std::string>& args, std::size_t& i,
+                         StreamFlags& flags, bool& ok) {
+  const std::string& arg = args[i];
+  const bool has_operand = i + 1 < args.size();
+  if (arg == "--shift" && has_operand) {
+    ok = parse_shift(args[++i], flags.shifts) && ok;
+  } else if (arg == "--cutoff" && has_operand) {
+    flags.cutoff_days = std::atof(args[++i].c_str());
+  } else if (arg == "--threshold" && has_operand) {
+    flags.threshold_nats = std::atof(args[++i].c_str());
+  } else if (arg == "--warmup-weeks" && has_operand) {
+    flags.warmup_weeks = std::atof(args[++i].c_str());
+  } else if (arg == "--ooo" && has_operand) {
+    flags.ooo = args[++i];
+  } else if (arg == "--slack" && has_operand) {
+    flags.slack_minutes = std::atof(args[++i].c_str());
+  } else if (arg == "--score") {
+    flags.score = true;
+  } else if (arg == "--horizon" && has_operand) {
+    flags.horizon_days = std::atof(args[++i].c_str());
+  } else {
+    return false;
+  }
+  return true;
+}
+
+sim::StreamScenario build_scenario(const StreamFlags& flags,
+                                   const ObservationWindow& window) {
+  sim::StreamScenario scenario;
+  for (const auto& [day, factor] : flags.shifts) {
+    scenario.shifts.push_back({window.begin + from_days(day), factor});
+  }
+  if (flags.cutoff_days > 0.0) {
+    scenario.cutoff = window.begin + from_days(flags.cutoff_days);
+  }
+  return scenario;
+}
+
+// Returns false (after reporting) on an unknown --ooo policy.
+bool build_detector_options(const StreamFlags& flags,
+                            detect::DetectorOptions& options) {
+  if (flags.threshold_nats > 0.0) {
+    options.cusum_threshold = flags.threshold_nats;
+  }
+  if (flags.warmup_weeks > 0.0) {
+    options.warmup =
+        static_cast<Duration>(flags.warmup_weeks * kMinutesPerWeek);
+  }
+  if (flags.ooo == "buffer") {
+    options.out_of_order = detect::OutOfOrderPolicy::kBuffer;
+    options.reorder_slack =
+        flags.slack_minutes > 0.0
+            ? static_cast<Duration>(flags.slack_minutes)
+            : kMinutesPerDay;
+  } else if (flags.ooo == "drop") {
+    options.out_of_order = detect::OutOfOrderPolicy::kDrop;
+  } else if (!flags.ooo.empty() && flags.ooo != "reject") {
+    std::cerr << "unknown --ooo policy '" << flags.ooo
+              << "' (expected reject, buffer or drop)\n";
+    return false;
+  }
+  return true;
+}
+
+int cmd_watch(const std::vector<std::string>& args) {
+  std::string dir, alerts_out;
+  double scale = 0.5;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  StreamFlags flags;
+  bool flags_ok = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (consume_stream_flag(args, i, flags, flags_ok)) {
+      continue;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      have_seed = true;
+    } else if (args[i] == "--alerts-out" && i + 1 < args.size()) {
+      alerts_out = args[++i];
+    } else if (dir.empty() && !args[i].starts_with("--")) {
+      dir = args[i];
+    } else {
+      std::cerr << "watch: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (!flags_ok || scale <= 0.0) return usage();
+
+  std::shared_ptr<const trace::TraceDatabase> db;
+  if (dir.empty()) {
+    auto config = sim::SimulationConfig::paper_defaults().scaled(scale);
+    if (have_seed) config.seed = seed;
+    db = analysis::ArtifactCache::global().database(config);
+  } else {
+    db = std::make_shared<const trace::TraceDatabase>(
+        trace::is_columnar_file(dir) ? trace::load_columnar(dir)
+                                     : trace::load_database(dir));
+  }
+
+  const sim::StreamScenario scenario = build_scenario(flags, db->window());
+  detect::DetectorOptions options;
+  options.tenant = "watch";
+  if (!build_detector_options(flags, options)) return usage();
+
+  detect::OnlineDetector detector(std::move(options));
+  detector.set_alert_callback([](const detect::Alert& alert) {
+    std::cout << detect::alert_line(alert) << "\n";
+  });
+  sim::emit_stream(*db, scenario, detector);
+  const detect::DetectorReport& report = detector.report();
+
+  std::cout << "\n" << report.to_string();
+  if (!alerts_out.empty()) write_text_file(alerts_out, report.alert_log());
+  if (flags.score) {
+    detect::ScoreOptions score_options;
+    score_options.match_horizon = from_days(flags.horizon_days);
+    const detect::DetectionScore score = detect::score_alerts(
+        scenario.change_points(), report.alerts, score_options);
+    std::cout << "score: " << score.to_string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  int tenants = 4;
+  double scale = 0.3;
+  std::uint64_t base_seed = 1;
+  StreamFlags flags;
+  bool flags_ok = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (consume_stream_flag(args, i, flags, flags_ok)) {
+      continue;
+    } else if (args[i] == "--tenants" && i + 1 < args.size()) {
+      tenants = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      base_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      std::cerr << "serve: unknown argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (!flags_ok || tenants <= 0 || scale <= 0.0) return usage();
+
+  detect::DetectorOptions options;
+  if (!build_detector_options(flags, options)) return usage();
+  const sim::StreamScenario scenario =
+      build_scenario(flags, ticket_window());
+
+  std::vector<detect::TenantSpec> specs(static_cast<std::size_t>(tenants));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "tenant-" + std::to_string(i);
+    specs[i].config = sim::SimulationConfig::paper_defaults().scaled(scale);
+    specs[i].config.seed = base_seed + i;
+    specs[i].scenario = scenario;
+    specs[i].detector = options;
+  }
+  detect::ScoreOptions score_options;
+  score_options.match_horizon = from_days(flags.horizon_days);
+  const std::vector<detect::TenantResult> results =
+      detect::serve_tenants(specs, score_options);
+
+  analysis::TextTable table({"tenant", "events", "crashes", "usage", "alerts",
+                             "precision", "recall", "latency_d"});
+  std::uint64_t total_events = 0, total_alerts = 0;
+  for (const detect::TenantResult& r : results) {
+    total_events += r.report.events;
+    total_alerts += r.report.alerts.size();
+    const bool scored = !r.change_points.empty();
+    table.add_row(
+        {r.name, std::to_string(r.report.events),
+         std::to_string(r.report.crash_tickets),
+         std::to_string(r.report.usage_samples),
+         std::to_string(r.report.alerts.size()),
+         scored ? format_double(r.score.precision(), 3) : std::string("-"),
+         scored ? format_double(r.score.recall(), 3) : std::string("-"),
+         scored ? format_double(to_days(r.score.median_latency()), 2)
+                : std::string("-")});
+  }
+  std::cout << table.to_string() << "served " << results.size()
+            << " tenant streams: " << total_events << " events, "
+            << total_alerts << " alerts\n";
+  return 0;
+}
+
 int cmd_classify(const std::string& dir) {
   const auto ctx = loaded_context(dir);
   const analysis::AnalysisPipeline& pipeline = *ctx.pipeline;
@@ -714,6 +967,12 @@ int run_command(const std::vector<std::string>& args) {
     }
     if (scale <= 0.0) return usage();
     return cmd_report(dir, lenient, scale);
+  }
+  if (command == "watch") {
+    return cmd_watch({args.begin() + 1, args.end()});
+  }
+  if (command == "serve") {
+    return cmd_serve({args.begin() + 1, args.end()});
   }
   if (command == "convert") {
     return cmd_convert({args.begin() + 1, args.end()});
