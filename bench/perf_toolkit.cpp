@@ -454,6 +454,12 @@ int run_stage_report(double scale, const std::string& json_path) {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"detect\": {\n");
   std::fprintf(out, "    \"scale\": %.2f,\n", kDetectScale);
+  // Guards for tools/bench_compare.py: the detect block is also extracted
+  // standalone (BENCH_detect.json), so it must carry its own comparability
+  // context rather than relying on the top-level fields.
+  std::fprintf(out, "    \"hardware_concurrency\": %zu,\n", hw);
+  std::fprintf(out, "    \"single_core_warning\": %s,\n",
+               single_core ? "true" : "false");
   std::fprintf(out, "    \"shift_day\": 180,\n");
   std::fprintf(out, "    \"shift_factor\": 4.0,\n");
   std::fprintf(out, "    \"events\": %llu,\n",

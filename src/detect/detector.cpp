@@ -88,6 +88,15 @@ std::string DetectorReport::to_string() const {
                 static_cast<unsigned long long>(late_dropped),
                 static_cast<unsigned long long>(reordered_buffered));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "lag (minutes): event p50=%.0f p99=%.0f max=%.0f | watermark "
+                "p99=%.0f max=%.0f | detection p50=%.0f max=%.0f | "
+                "ooo_occupancy max=%.0f\n",
+                event_lag.quantile(0.50), event_lag.quantile(0.99),
+                event_lag.max, watermark_lag.quantile(0.99),
+                watermark_lag.max, detection_lag.quantile(0.50),
+                detection_lag.max, ooo_occupancy.max);
+  out += buf;
   std::snprintf(buf, sizeof(buf), "recurrence: %llu/%llu (%.2f%%)\n",
                 static_cast<unsigned long long>(recurrent_crashes),
                 static_cast<unsigned long long>(crash_tickets),
@@ -175,6 +184,13 @@ void OnlineDetector::begin(const trace::StreamMeta& meta) {
 void OnlineDetector::on_event(const trace::StreamEvent& event) {
   require(begun_, "OnlineDetector: on_event() before begin()");
   require(!finished_, "OnlineDetector: on_event() after finish()");
+  // Arrival-disorder accounting, shared by every policy: how far behind
+  // the newest arrival seen so far did this event land? Zero on an ordered
+  // stream.
+  const bool late_arrival = event.at < arrival_high_;
+  event_lag_.record(
+      late_arrival ? static_cast<double>(arrival_high_ - event.at) : 0.0);
+  arrival_high_ = std::max(arrival_high_, event.at);
   switch (options_.out_of_order) {
     case OutOfOrderPolicy::kReject:
       require(event.at >= watermark_,
@@ -189,8 +205,7 @@ void OnlineDetector::on_event(const trace::StreamEvent& event) {
       ingest(event);
       return;
     case OutOfOrderPolicy::kBuffer: {
-      if (event.at < arrival_high_) ++report_.reordered_buffered;
-      arrival_high_ = std::max(arrival_high_, event.at);
+      if (late_arrival) ++report_.reordered_buffered;
       pending_.push(Pending{event, arrival_seq_++});
       // Anything older than the slack behind the newest arrival can no
       // longer be overtaken: release it in timestamp order.
@@ -204,6 +219,7 @@ void OnlineDetector::on_event(const trace::StreamEvent& event) {
           ingest(next);
         }
       }
+      ooo_occupancy_.record(static_cast<double>(pending_.size()));
       return;
     }
   }
@@ -211,6 +227,13 @@ void OnlineDetector::on_event(const trace::StreamEvent& event) {
 }
 
 void OnlineDetector::ingest(const trace::StreamEvent& event) {
+  // Staleness at processing time: the arrival frontier minus the event's
+  // own timestamp — the reorder buffer's hold time under kBuffer, zero on
+  // the direct path.
+  watermark_lag_.record(
+      event.at < arrival_high_
+          ? static_cast<double>(arrival_high_ - event.at)
+          : 0.0);
   advance_to(event.at);
   watermark_ = std::max(watermark_, event.at);
   ++report_.events;
@@ -345,9 +368,18 @@ void OnlineDetector::close_rate_tick(RateChannel& channel, TimePoint tick_end) {
   // Poisson likelihood-ratio CUSUM (in nats) against the frozen baseline,
   // designed for a rate step of factor `cusum_ratio`.
   const double rho = options_.cusum_ratio;
+  const double prev_cusum = channel.cusum;
   channel.cusum = std::max(
       0.0, channel.cusum + static_cast<double>(n) * std::log(rho) -
                channel.lambda0 * (rho - 1.0));
+  // Excursion onset: the tick where the statistic first left zero — the
+  // earliest moment the eventual alert can be blamed on. Lag = alert tick
+  // minus the start of that tick (its events carry timestamps >= there).
+  if (channel.cusum <= 0.0) {
+    channel.onset = -1;
+  } else if (prev_cusum <= 0.0) {
+    channel.onset = tick_end - options_.tick;
+  }
   if (channel.cusum > options_.cusum_threshold) {
     Alert alert;
     alert.at = tick_end;
@@ -359,6 +391,9 @@ void OnlineDetector::close_rate_tick(RateChannel& channel, TimePoint tick_end) {
         static_cast<double>(channel.in_window.size()) / weeks_per_window;
     alert.baseline = channel.lambda0;
     alert.score = channel.cusum;
+    alert.onset_lag =
+        channel.onset >= 0 ? tick_end - channel.onset : Duration{0};
+    detection_lag_.record(static_cast<double>(alert.onset_lag));
     ++channel.alerts;
     raise(std::move(alert));
     // Re-learn the baseline at the post-change level so a persistent step
@@ -367,6 +402,7 @@ void OnlineDetector::close_rate_tick(RateChannel& channel, TimePoint tick_end) {
     channel.learn_sum = 0.0;
     channel.learn_ticks = 0;
     channel.cusum = 0.0;
+    channel.onset = -1;
   }
 }
 
@@ -492,9 +528,13 @@ void OnlineDetector::finish(TimePoint stream_end) {
     u.alerts = ch.alerts;
     report_.usage.push_back(std::move(u));
   }
+  report_.event_lag = event_lag_;
+  report_.watermark_lag = watermark_lag_;
+  report_.detection_lag = detection_lag_;
+  report_.ooo_occupancy = ooo_occupancy_;
 
   // One deterministic per-tenant obs flush at stream close (event counts
-  // only; no wall-clock data).
+  // and sim-time lag histograms only; no wall-clock data).
   const obs::Labels labels = {{"tenant", options_.tenant}};
   obs::counter("fa.detect.events", labels).add(report_.events);
   obs::counter("fa.detect.crash_tickets", labels).add(report_.crash_tickets);
@@ -503,11 +543,64 @@ void OnlineDetector::finish(TimePoint stream_end) {
   obs::counter("fa.detect.duplicates_dropped", labels)
       .add(report_.duplicates_dropped);
   obs::counter("fa.detect.late_dropped", labels).add(report_.late_dropped);
+  obs::counter("fa.detect.reordered_buffered", labels)
+      .add(report_.reordered_buffered);
+  const auto det = obs::Stability::kDeterministic;
+  obs::histogram("fa.detect.lag.event_minutes", obs::sim_lag_minutes_bounds(),
+                 labels, det)
+      .merge(event_lag_);
+  obs::histogram("fa.detect.lag.watermark_minutes",
+                 obs::sim_lag_minutes_bounds(), labels, det)
+      .merge(watermark_lag_);
+  obs::histogram("fa.detect.lag.detection_minutes",
+                 obs::sim_lag_minutes_bounds(), labels, det)
+      .merge(detection_lag_);
+  obs::histogram("fa.detect.ooo.occupancy", obs::occupancy_bounds(), labels,
+                 det)
+      .merge(ooo_occupancy_);
 }
 
 const DetectorReport& OnlineDetector::report() const {
   require(finished_, "OnlineDetector: report() before finish()");
   return report_;
+}
+
+OnlineDetector::LiveStats OnlineDetector::live_stats() const {
+  require(begun_, "OnlineDetector: live_stats() before begin()");
+  LiveStats s;
+  s.watermark = watermark_;
+  s.arrival_high = arrival_high_;
+  s.events = report_.events;
+  s.tickets = report_.tickets;
+  s.crash_tickets = report_.crash_tickets;
+  s.usage_samples = report_.usage_samples;
+  s.duplicates_dropped = report_.duplicates_dropped;
+  s.reordered_buffered = report_.reordered_buffered;
+  s.late_dropped = report_.late_dropped;
+  s.recurrent_crashes = report_.recurrent_crashes;
+  s.alerts = report_.alerts.size();
+  s.ooo_pending = pending_.size();
+  s.event_lag = event_lag_;
+  s.watermark_lag = watermark_lag_;
+  s.detection_lag = detection_lag_;
+  s.ooo_occupancy = ooo_occupancy_;
+  s.strata.reserve(rates_.size());
+  const double weeks = static_cast<double>(options_.window) /
+                       static_cast<double>(kMinutesPerWeek);
+  for (const RateChannel& ch : rates_) {
+    LiveStats::Stratum st;
+    st.name = ch.name;
+    st.crashes = ch.total;
+    st.window_rate =
+        ch.servers > 0
+            ? static_cast<double>(ch.in_window.size()) /
+                  (static_cast<double>(ch.servers) * weeks)
+            : 0.0;
+    st.alerts = ch.alerts;
+    st.armed = ch.armed;
+    s.strata.push_back(std::move(st));
+  }
+  return s;
 }
 
 }  // namespace fa::detect

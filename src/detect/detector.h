@@ -39,6 +39,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/trace/event_stream.h"
 #include "src/util/sim_time.h"
 
@@ -97,6 +98,11 @@ struct Alert {
   double observed = 0.0;   // per-tick level at detection
   double baseline = 0.0;   // frozen per-tick baseline
   double score = 0.0;      // CUSUM statistic at the crossing
+  // Sim-time detection lag: alert tick minus the start of the tick where
+  // the CUSUM excursion began (rate alerts only; 0 for usage alerts).
+  // Carried on the struct, never printed by alert_line() — the golden
+  // alert-log format is pinned.
+  Duration onset_lag = 0;
 };
 
 // Canonical single-line rendering (the alert-log format golden files pin).
@@ -138,6 +144,20 @@ struct DetectorReport {
   std::vector<UsageStats> usage;     // cpu, mem
   std::vector<Alert> alerts;         // in detection order
 
+  // End-to-end lag accounting, all in deterministic sim-time minutes (or
+  // entry counts for the occupancy histogram):
+  //   event_lag      per-arrival disorder: newest-arrival-seen minus the
+  //                  event's own timestamp (0 on an ordered stream);
+  //   watermark_lag  per-ingest staleness: how far the arrival frontier had
+  //                  run ahead when the event was finally processed
+  //                  (reorder-buffer hold time under kBuffer);
+  //   detection_lag  per-rate-alert onset lag (Alert::onset_lag);
+  //   ooo_occupancy  reorder-buffer size sampled at each kBuffer arrival.
+  obs::BucketStats event_lag;
+  obs::BucketStats watermark_lag;
+  obs::BucketStats detection_lag;
+  obs::BucketStats ooo_occupancy;
+
   double recurrence_fraction() const {
     return crash_tickets > 0
                ? static_cast<double>(recurrent_crashes) /
@@ -167,6 +187,45 @@ class OnlineDetector final : public trace::StreamSink {
   // Valid after finish().
   const DetectorReport& report() const;
 
+  // Point-in-time view for the health heartbeat emitter: valid any time
+  // after begin(), including mid-stream. Pure function of the events
+  // processed so far, so snapshots taken at sim-time boundaries are
+  // byte-identical at any thread count.
+  struct LiveStats {
+    TimePoint watermark = 0;     // highest processed event time
+    TimePoint arrival_high = 0;  // newest arrival seen (frontier)
+    std::uint64_t events = 0;
+    std::uint64_t tickets = 0;
+    std::uint64_t crash_tickets = 0;
+    std::uint64_t usage_samples = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t reordered_buffered = 0;
+    std::uint64_t late_dropped = 0;
+    std::uint64_t recurrent_crashes = 0;
+    std::uint64_t alerts = 0;
+    std::size_t ooo_pending = 0;  // reorder-buffer entries held right now
+    obs::BucketStats event_lag;
+    obs::BucketStats watermark_lag;
+    obs::BucketStats detection_lag;
+    obs::BucketStats ooo_occupancy;
+    struct Stratum {
+      std::string name;
+      std::uint64_t crashes = 0;
+      double window_rate = 0.0;  // live window, failures/server/week
+      std::uint64_t alerts = 0;
+      bool armed = false;
+    };
+    std::vector<Stratum> strata;
+
+    double recurrence_fraction() const {
+      return crash_tickets > 0
+                 ? static_cast<double>(recurrent_crashes) /
+                       static_cast<double>(crash_tickets)
+                 : 0.0;
+    }
+  };
+  LiveStats live_stats() const;
+
  private:
   struct RateChannel {
     std::string name;
@@ -182,6 +241,10 @@ class OnlineDetector final : public trace::StreamSink {
     std::uint64_t learn_ticks = 0;
     double lambda0 = 0.0;  // frozen per-tick baseline
     double cusum = 0.0;
+    // Start of the tick where the current CUSUM excursion began rising
+    // from zero; -1 while the statistic sits at zero. Alert lag = alert
+    // tick minus onset.
+    TimePoint onset = -1;
     std::uint64_t alerts = 0;
     // Window-rate time average, sampled at tick closes past the first
     // full window.
@@ -253,7 +316,15 @@ class OnlineDetector final : public trace::StreamSink {
   };
   std::priority_queue<Pending, std::vector<Pending>, PendingAfter> pending_;
   std::uint64_t arrival_seq_ = 0;
-  TimePoint arrival_high_ = 0;  // newest arrival time seen (kBuffer horizon)
+  TimePoint arrival_high_ = 0;  // newest arrival time seen (any policy)
+
+  // Lag accounting (see DetectorReport): plain local histograms so the
+  // numbers exist even with observability disabled; mirrored into the obs
+  // registry once, at finish().
+  obs::BucketStats event_lag_{obs::sim_lag_minutes_bounds()};
+  obs::BucketStats watermark_lag_{obs::sim_lag_minutes_bounds()};
+  obs::BucketStats detection_lag_{obs::sim_lag_minutes_bounds()};
+  obs::BucketStats ooo_occupancy_{obs::occupancy_bounds()};
 
   // Recurrence: last crash time per server seen crashing.
   std::unordered_map<std::int32_t, TimePoint> last_crash_;

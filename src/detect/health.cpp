@@ -1,0 +1,369 @@
+#include "src/detect/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/util/error.h"
+
+namespace fa::detect {
+namespace {
+
+constexpr std::string_view kTimingMarker = ", \"timing\": ";
+
+void append_quantiles(std::string& out, const char* key,
+                      const obs::BucketStats& s) {
+  out += '"';
+  out += key;
+  out += "\": {\"count\": ";
+  out += std::to_string(s.count);
+  out += ", \"p50\": ";
+  out += obs::json_double(s.quantile(0.50));
+  out += ", \"p90\": ";
+  out += obs::json_double(s.quantile(0.90));
+  out += ", \"p99\": ";
+  out += obs::json_double(s.quantile(0.99));
+  out += ", \"max\": ";
+  out += obs::json_double(s.max);
+  out += '}';
+}
+
+void append_count(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+// ---- ThrottledSink ----
+
+ThrottledSink::ThrottledSink(trace::StreamSink& inner, ThrottleSpec spec,
+                             std::string tenant)
+    : inner_(inner), spec_(spec), tenant_(std::move(tenant)) {
+  require(spec_.service_minutes >= 0,
+          "ThrottledSink: service_minutes must be non-negative");
+  stats_.queue_depth = obs::BucketStats(obs::occupancy_bounds());
+  stats_.wait_minutes = obs::BucketStats(obs::sim_lag_minutes_bounds());
+}
+
+void ThrottledSink::begin(const trace::StreamMeta& meta) {
+  clock_ = meta.window.begin;
+  free_at_ = meta.window.begin;
+  inner_.begin(meta);
+}
+
+void ThrottledSink::on_event(const trace::StreamEvent& event) {
+  // Virtual arrival clock: monotone even on a disordered feed (a late
+  // event still arrives "now" at the consumer).
+  clock_ = std::max(clock_, event.at);
+  if (spec_.service_minutes > 0) {
+    while (!completions_.empty() && completions_.front() <= clock_) {
+      completions_.pop_front();
+    }
+    const TimePoint start = std::max(clock_, free_at_);
+    const Duration wait = start - clock_;
+    free_at_ = start + spec_.service_minutes;
+    completions_.push_back(free_at_);
+    const std::uint64_t depth =
+        static_cast<std::uint64_t>(completions_.size());
+    ++stats_.events;
+    if (wait > 0) ++stats_.delayed;
+    stats_.max_wait = std::max(stats_.max_wait, wait);
+    stats_.total_wait += wait;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+    stats_.queue_depth.record(static_cast<double>(depth));
+    stats_.wait_minutes.record(static_cast<double>(wait));
+  }
+  inner_.on_event(event);
+}
+
+void ThrottledSink::finish(TimePoint stream_end) {
+  // Deterministic per-tenant obs flush: sim-time queueing only, no wall
+  // clock anywhere in the model.
+  const obs::Labels labels = {{"tenant", tenant_}};
+  obs::counter("fa.detect.serve.throttled_events", labels).add(stats_.events);
+  obs::counter("fa.detect.serve.backpressure_events", labels)
+      .add(stats_.delayed);
+  const auto det = obs::Stability::kDeterministic;
+  obs::histogram("fa.detect.serve.queue_depth", obs::occupancy_bounds(),
+                 labels, det)
+      .merge(stats_.queue_depth);
+  obs::histogram("fa.detect.serve.wait_minutes",
+                 obs::sim_lag_minutes_bounds(), labels, det)
+      .merge(stats_.wait_minutes);
+  inner_.finish(stream_end);
+}
+
+std::size_t ThrottledSink::queue_depth_at(TimePoint t) const {
+  const auto it =
+      std::upper_bound(completions_.begin(), completions_.end(), t);
+  return static_cast<std::size_t>(completions_.end() - it);
+}
+
+// ---- heartbeat rendering ----
+
+std::string heartbeat_line(const std::string& tenant, TimePoint at,
+                           std::uint64_t seq,
+                           const OnlineDetector::LiveStats& live,
+                           const ThrottledSink* throttle, double wall_ms) {
+  std::string out = "{\"v\": 1, \"tenant\": \"";
+  obs::append_json_escaped(out, tenant);
+  out += "\", ";
+  append_count(out, "seq", seq);
+  out += ", \"det\": {\"sim_time\": ";
+  out += std::to_string(at);
+  out += ", \"time\": \"";
+  obs::append_json_escaped(out, format_time(at));
+  out += "\", \"watermark\": ";
+  out += std::to_string(live.watermark);
+  out += ", \"arrival_high\": ";
+  out += std::to_string(live.arrival_high);
+  out += ", ";
+  append_count(out, "events", live.events);
+  out += ", ";
+  append_count(out, "tickets", live.tickets);
+  out += ", ";
+  append_count(out, "crash_tickets", live.crash_tickets);
+  out += ", ";
+  append_count(out, "usage_samples", live.usage_samples);
+  out += ", ";
+  append_count(out, "alerts", live.alerts);
+  out += ", ";
+  append_count(out, "duplicates_dropped", live.duplicates_dropped);
+  out += ", ";
+  append_count(out, "late_dropped", live.late_dropped);
+  out += ", ";
+  append_count(out, "reordered_buffered", live.reordered_buffered);
+  out += ", \"recurrence\": ";
+  out += obs::json_double(live.recurrence_fraction());
+  out += ", ";
+  append_count(out, "ooo_pending",
+               static_cast<std::uint64_t>(live.ooo_pending));
+  out += ", ";
+  append_quantiles(out, "event_lag_minutes", live.event_lag);
+  out += ", ";
+  append_quantiles(out, "watermark_lag_minutes", live.watermark_lag);
+  out += ", ";
+  append_quantiles(out, "detection_lag_minutes", live.detection_lag);
+  out += ", ";
+  append_quantiles(out, "ooo_occupancy", live.ooo_occupancy);
+  out += ", \"queue\": {\"throttled\": ";
+  out += throttle ? "true" : "false";
+  const BackpressureStats empty;
+  const BackpressureStats& bp = throttle ? throttle->stats() : empty;
+  out += ", \"service_minutes\": ";
+  out += std::to_string(throttle ? throttle->spec().service_minutes
+                                 : Duration{0});
+  out += ", ";
+  append_count(out, "depth",
+               throttle ? static_cast<std::uint64_t>(
+                              throttle->queue_depth_at(at))
+                        : 0);
+  out += ", ";
+  append_count(out, "delayed", bp.delayed);
+  out += ", ";
+  append_count(out, "max_depth", bp.max_queue_depth);
+  out += ", \"max_wait_minutes\": ";
+  out += std::to_string(bp.max_wait);
+  out += ", ";
+  append_quantiles(out, "wait_minutes", bp.wait_minutes);
+  out += "}, \"strata\": [";
+  bool first = true;
+  for (const auto& st : live.strata) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    obs::append_json_escaped(out, st.name);
+    out += "\", ";
+    append_count(out, "crashes", st.crashes);
+    out += ", \"window_rate\": ";
+    out += obs::json_double(st.window_rate);
+    out += ", ";
+    append_count(out, "alerts", st.alerts);
+    out += ", \"armed\": ";
+    out += st.armed ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  out += kTimingMarker;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "{\"wall_ms\": %.3f}", wall_ms);
+  out += buf;
+  out += '}';
+  return out;
+}
+
+std::string_view heartbeat_det_prefix(std::string_view line) {
+  const std::size_t pos = line.rfind(kTimingMarker);
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+// ---- minimal field extraction (fa_trace top) ----
+
+namespace {
+
+// Position just past `"key": ` in `scope`, or npos.
+std::size_t value_pos(std::string_view scope, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\": ";
+  const std::size_t pos = scope.find(needle);
+  return pos == std::string_view::npos ? pos : pos + needle.size();
+}
+
+// Balanced bracket span starting at `start` (scope[start] is open).
+std::string_view balanced(std::string_view scope, std::size_t start,
+                          char open, char close) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = start; i < scope.size(); ++i) {
+    const char c = scope[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) return scope.substr(start, i - start + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view heartbeat_object(std::string_view scope,
+                                  std::string_view key) {
+  const std::size_t pos = value_pos(scope, key);
+  if (pos == std::string_view::npos || pos >= scope.size() ||
+      scope[pos] != '{') {
+    return {};
+  }
+  return balanced(scope, pos, '{', '}');
+}
+
+std::string_view heartbeat_array(std::string_view scope,
+                                 std::string_view key) {
+  const std::size_t pos = value_pos(scope, key);
+  if (pos == std::string_view::npos || pos >= scope.size() ||
+      scope[pos] != '[') {
+    return {};
+  }
+  return balanced(scope, pos, '[', ']');
+}
+
+bool heartbeat_number(std::string_view scope, std::string_view key,
+                      double& out) {
+  const std::size_t pos = value_pos(scope, key);
+  if (pos == std::string_view::npos) return false;
+  // The value fits comfortably in a small buffer (%.17g at most).
+  char buf[48] = {};
+  const std::size_t n = std::min(scope.size() - pos, sizeof(buf) - 1);
+  scope.copy(buf, n, pos);
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end == buf) return false;
+  out = v;
+  return true;
+}
+
+bool heartbeat_string(std::string_view scope, std::string_view key,
+                      std::string& out) {
+  std::size_t pos = value_pos(scope, key);
+  if (pos == std::string_view::npos || pos >= scope.size() ||
+      scope[pos] != '"') {
+    return false;
+  }
+  out.clear();
+  for (++pos; pos < scope.size(); ++pos) {
+    const char c = scope[pos];
+    if (c == '\\' && pos + 1 < scope.size()) {
+      out += scope[++pos];
+    } else if (c == '"') {
+      return true;
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string_view> heartbeat_items(std::string_view array) {
+  std::vector<std::string_view> items;
+  if (array.size() < 2) return items;
+  std::size_t i = 1;  // past '['
+  while (i + 1 < array.size()) {
+    if (array[i] == '{') {
+      const std::string_view item = balanced(array, i, '{', '}');
+      if (item.empty()) break;
+      items.push_back(item);
+      i += item.size();
+    } else {
+      ++i;
+    }
+  }
+  return items;
+}
+
+// ---- HealthMonitor ----
+
+HealthMonitor::HealthMonitor(trace::StreamSink& inner,
+                             const OnlineDetector& detector,
+                             const ThrottledSink* throttle,
+                             HealthOptions options, std::string tenant,
+                             Emit emit)
+    : inner_(inner), detector_(detector), throttle_(throttle),
+      options_(options), tenant_(std::move(tenant)), emit_(std::move(emit)) {
+  require(options_.every > 0, "HealthMonitor: heartbeat cadence must be > 0");
+  require(static_cast<bool>(emit_), "HealthMonitor: emit callback required");
+}
+
+void HealthMonitor::begin(const trace::StreamMeta& meta) {
+  next_emit_ = meta.window.begin + options_.every;
+  wall_start_ = std::chrono::steady_clock::now();
+  inner_.begin(meta);
+}
+
+void HealthMonitor::on_event(const trace::StreamEvent& event) {
+  // Boundary snapshots fire before the crossing event, so a heartbeat at
+  // sim-time T covers exactly the events with arrival order before T's
+  // crossing — a pure function of the stream prefix.
+  while (event.at >= next_emit_) {
+    emit_snapshot(next_emit_);
+    next_emit_ += options_.every;
+  }
+  inner_.on_event(event);
+}
+
+void HealthMonitor::finish(TimePoint stream_end) {
+  // Final heartbeat after the inner finish: the reorder buffer has been
+  // drained and the last ticks closed, so this is the end-of-stream state.
+  inner_.finish(stream_end);
+  emit_snapshot(stream_end);
+}
+
+void HealthMonitor::emit_snapshot(TimePoint at) {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  Heartbeat hb;
+  hb.at = at;
+  hb.seq = seq_++;
+  hb.line = heartbeat_line(tenant_, at, hb.seq, detector_.live_stats(),
+                           throttle_, wall_ms);
+  emit_(hb);
+}
+
+}  // namespace fa::detect

@@ -1,0 +1,144 @@
+// Streaming health instrumentation over the emit → detect → alert chain:
+//
+//   * ThrottledSink — a deterministic slow-consumer model for backpressure
+//     testing. A virtual single-server queue with a fixed per-event service
+//     time (in sim-minutes) sits in front of the inner sink: queue depth
+//     and waiting time are pure functions of the event sequence, never of
+//     wall clock or thread schedule, and every event is forwarded
+//     *unchanged*, so detection results are identical with or without the
+//     throttle. This is the "deterministic slow-tenant knob" behind
+//     `fa_trace serve --throttle`.
+//
+//   * HealthMonitor — a pass-through sink that emits a JSONL heartbeat
+//     line every `HealthOptions::every` sim-minutes of stream time plus a
+//     final one at finish(). Each line splits into a "det" object (pure
+//     function of the event prefix: watermark, counts, sim-time lag
+//     quantiles, reorder-buffer occupancy, backpressure, per-stratum
+//     rates — byte-identical at any --threads setting) and a "timing"
+//     object (wall-clock milliseconds since begin()). Schema:
+//     tools/health_schema.json; `fa_trace top` renders the latest lines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/detect/detector.h"
+#include "src/trace/event_stream.h"
+#include "src/util/sim_time.h"
+
+namespace fa::detect {
+
+struct ThrottleSpec {
+  // Virtual per-event service time in sim-minutes; 0 disables the model.
+  // A value near the tenant's mean inter-event gap produces transient
+  // queueing; a larger one produces sustained backpressure.
+  Duration service_minutes = 0;
+};
+
+struct BackpressureStats {
+  std::uint64_t events = 0;            // events pushed through the throttle
+  std::uint64_t delayed = 0;           // events that waited (queue nonempty)
+  std::uint64_t max_queue_depth = 0;   // peak virtual queue depth
+  Duration max_wait = 0;               // worst per-event wait, sim-minutes
+  Duration total_wait = 0;             // summed waits, sim-minutes
+  obs::BucketStats queue_depth;        // depth sampled at each arrival
+  obs::BucketStats wait_minutes;       // per-event wait distribution
+};
+
+class ThrottledSink final : public trace::StreamSink {
+ public:
+  // `tenant` labels the obs flush (fa.detect.serve.*{tenant=...}).
+  ThrottledSink(trace::StreamSink& inner, ThrottleSpec spec,
+                std::string tenant);
+
+  void begin(const trace::StreamMeta& meta) override;
+  void on_event(const trace::StreamEvent& event) override;
+  void finish(TimePoint stream_end) override;
+
+  const BackpressureStats& stats() const { return stats_; }
+  const ThrottleSpec& spec() const { return spec_; }
+  // Virtual queue depth at sim-time `t`: admitted events whose service
+  // completes after `t`. Used by heartbeat snapshots.
+  std::size_t queue_depth_at(TimePoint t) const;
+
+ private:
+  trace::StreamSink& inner_;
+  ThrottleSpec spec_;
+  std::string tenant_;
+  TimePoint clock_ = 0;                // newest arrival time seen
+  TimePoint free_at_ = 0;              // when the virtual consumer frees up
+  std::deque<TimePoint> completions_;  // in-flight completion times (sorted)
+  BackpressureStats stats_;
+};
+
+struct HealthOptions {
+  Duration every = 0;  // heartbeat cadence in sim-minutes; 0 = disabled
+};
+
+struct Heartbeat {
+  TimePoint at = 0;       // sim-time stamp of the snapshot
+  std::uint64_t seq = 0;  // per-tenant sequence number, 0-based
+  std::string line;       // one JSONL line (det + timing), no newline
+};
+
+class HealthMonitor final : public trace::StreamSink {
+ public:
+  using Emit = std::function<void(const Heartbeat&)>;
+
+  // `throttle` may be null (no backpressure model in the chain). The
+  // monitor forwards every event to `inner` untouched and calls `emit`
+  // whenever the stream crosses a heartbeat boundary, plus once at finish.
+  HealthMonitor(trace::StreamSink& inner, const OnlineDetector& detector,
+                const ThrottledSink* throttle, HealthOptions options,
+                std::string tenant, Emit emit);
+
+  void begin(const trace::StreamMeta& meta) override;
+  void on_event(const trace::StreamEvent& event) override;
+  void finish(TimePoint stream_end) override;
+
+ private:
+  void emit_snapshot(TimePoint at);
+
+  trace::StreamSink& inner_;
+  const OnlineDetector& detector_;
+  const ThrottledSink* throttle_;
+  HealthOptions options_;
+  std::string tenant_;
+  Emit emit_;
+  TimePoint next_emit_ = 0;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+// Builds one heartbeat JSONL line (no trailing newline) from a live
+// detector view. Exposed so tests can pin the det-section bytes directly.
+std::string heartbeat_line(const std::string& tenant, TimePoint at,
+                           std::uint64_t seq,
+                           const OnlineDetector::LiveStats& live,
+                           const ThrottledSink* throttle, double wall_ms);
+
+// The byte-comparable prefix of a heartbeat line: everything before the
+// trailing ', "timing": {...}}' suffix. Thread-count determinism holds for
+// this prefix, not the wall-clock tail.
+std::string_view heartbeat_det_prefix(std::string_view line);
+
+// Minimal field access over our own heartbeat JSONL (enough for `fa_trace
+// top`; not a general JSON parser). Objects/arrays return the balanced
+// "{...}" / "[...]" substring of the first `"key": ` occurrence within
+// `scope`; empty view when absent.
+std::string_view heartbeat_object(std::string_view scope,
+                                  std::string_view key);
+std::string_view heartbeat_array(std::string_view scope, std::string_view key);
+bool heartbeat_number(std::string_view scope, std::string_view key,
+                      double& out);
+bool heartbeat_string(std::string_view scope, std::string_view key,
+                      std::string& out);
+// Splits a "[{...}, {...}]" array view into its top-level object views.
+std::vector<std::string_view> heartbeat_items(std::string_view array);
+
+}  // namespace fa::detect

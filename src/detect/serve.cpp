@@ -1,5 +1,7 @@
 #include "src/detect/serve.h"
 
+#include <memory>
+
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/simulator.h"
@@ -9,7 +11,8 @@
 namespace fa::detect {
 
 TenantResult serve_tenant(const TenantSpec& spec,
-                          const ScoreOptions& score_options) {
+                          const ScoreOptions& score_options,
+                          const HealthOptions& health) {
   require(!spec.name.empty(), "serve_tenant: tenant name must be non-empty");
   obs::Span span("detect.serve_tenant");
 
@@ -17,20 +20,39 @@ TenantResult serve_tenant(const TenantSpec& spec,
   options.tenant = spec.name;
   OnlineDetector detector(std::move(options));
 
-  const trace::TraceDatabase db = sim::simulate(spec.config);
-  sim::emit_stream(db, spec.scenario, detector);
-
+  // Sink chain, innermost first: detector <- throttle <- health monitor.
+  // Each stage forwards events unchanged; the chain only adds accounting.
+  trace::StreamSink* sink = &detector;
+  std::unique_ptr<ThrottledSink> throttle;
+  if (spec.throttle.service_minutes > 0) {
+    throttle =
+        std::make_unique<ThrottledSink>(*sink, spec.throttle, spec.name);
+    sink = throttle.get();
+  }
   TenantResult result;
+  std::unique_ptr<HealthMonitor> monitor;
+  if (health.every > 0) {
+    monitor = std::make_unique<HealthMonitor>(
+        *sink, detector, throttle.get(), health, spec.name,
+        [&result](const Heartbeat& hb) { result.heartbeats.push_back(hb); });
+    sink = monitor.get();
+  }
+
+  const trace::TraceDatabase db = sim::simulate(spec.config);
+  sim::emit_stream(db, spec.scenario, *sink);
+
   result.name = spec.name;
   result.change_points = spec.scenario.change_points();
   result.report = detector.report();
   result.score =
       score_alerts(result.change_points, result.report.alerts, score_options);
+  if (throttle) result.backpressure = throttle->stats();
   return result;
 }
 
 std::vector<TenantResult> serve_tenants(const std::vector<TenantSpec>& specs,
-                                        const ScoreOptions& score_options) {
+                                        const ScoreOptions& score_options,
+                                        const HealthOptions& health) {
   obs::Span span("detect.serve");
   std::vector<TenantResult> results(specs.size());
   // Tenant i writes only slot i and owns all of its randomness (the config
@@ -38,7 +60,7 @@ std::vector<TenantResult> serve_tenants(const std::vector<TenantSpec>& specs,
   // simulate() also uses parallel_for; nested calls are safe because a
   // caller always drains its own batch.
   parallel_for(specs.size(), [&](std::size_t i) {
-    results[i] = serve_tenant(specs[i], score_options);
+    results[i] = serve_tenant(specs[i], score_options, health);
   });
   obs::counter("fa.detect.serve.tenants").add(specs.size());
   return results;

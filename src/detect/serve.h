@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/detect/detector.h"
+#include "src/detect/health.h"
 #include "src/detect/scoring.h"
 #include "src/sim/config.h"
 #include "src/sim/stream.h"
@@ -29,6 +30,11 @@ struct TenantSpec {
   sim::SimulationConfig config;     // fleet + seed (tenant-owned randomness)
   sim::StreamScenario scenario;     // hazard timeline + optional cutoff
   DetectorOptions detector;         // detector.tenant is overwritten by name
+  // Deterministic slow-consumer model (health.h): a nonzero service time
+  // inserts a ThrottledSink in front of the detector. Events are forwarded
+  // unchanged, so detection results are unaffected — only the
+  // backpressure accounting reacts.
+  ThrottleSpec throttle;
 };
 
 struct TenantResult {
@@ -36,15 +42,22 @@ struct TenantResult {
   std::vector<TimePoint> change_points;  // scenario ground truth
   DetectorReport report;
   DetectionScore score;
+  BackpressureStats backpressure;    // zeroes unless the tenant is throttled
+  std::vector<Heartbeat> heartbeats; // empty unless HealthOptions.every > 0
 };
 
 // Serves every tenant (parallel across tenants, deterministic output).
-// Scoring uses `score_options` against each scenario's change points.
+// Scoring uses `score_options` against each scenario's change points. A
+// nonzero `health.every` collects per-tenant heartbeat lines (emitted
+// serially inside each tenant's stream, so they are deterministic per
+// tenant regardless of thread count).
 std::vector<TenantResult> serve_tenants(const std::vector<TenantSpec>& specs,
-                                        const ScoreOptions& score_options = {});
+                                        const ScoreOptions& score_options = {},
+                                        const HealthOptions& health = {});
 
 // Single-tenant convenience: simulate, stream, detect, score.
 TenantResult serve_tenant(const TenantSpec& spec,
-                          const ScoreOptions& score_options = {});
+                          const ScoreOptions& score_options = {},
+                          const HealthOptions& health = {});
 
 }  // namespace fa::detect

@@ -3,11 +3,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <utility>
 
 namespace fa::obs {
-namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
+void append_json_escaped(std::string& out, const std::string& s) {
   for (char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -26,13 +26,21 @@ void append_escaped(std::string& out, const std::string& s) {
   }
 }
 
-std::string fmt_double(double v) {
+std::string json_double(double v) {
   char buf[40];
   // %.17g round-trips doubles: identical values print identically, which
   // the byte-comparison determinism contract relies on.
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  append_json_escaped(out, s);
+}
+
+std::string fmt_double(double v) { return json_double(v); }
 
 std::string fmt_ms(double v) {
   char buf[40];
@@ -82,6 +90,20 @@ void append_histogram(std::string& out, const HistogramSample& h,
   }
   out += "], \"count\": ";
   out += std::to_string(h.count);
+  // Extremes and bucket-derived quantiles: order-independent, so they are
+  // part of the deterministic section alongside the bucket counts.
+  out += ", \"min\": ";
+  out += fmt_double(h.min);
+  out += ", \"max\": ";
+  out += fmt_double(h.max);
+  for (const auto& [key, q] :
+       {std::pair{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}}) {
+    out += ", \"";
+    out += key;
+    out += "\": ";
+    out += fmt_double(bucket_quantile(h.bounds, h.buckets, h.count, h.min,
+                                      h.max, q));
+  }
   if (include_sum) {
     out += ", \"sum\": ";
     out += fmt_double(h.sum);
@@ -236,6 +258,14 @@ std::string render_table(const MetricsSnapshot& snapshot) {
     for (const HistogramSample& h : snapshot.histograms) {
       std::string value = std::to_string(h.count);
       value += " obs";
+      if (h.count > 0) {
+        value += ", p50 " + fmt_ms(bucket_quantile(h.bounds, h.buckets,
+                                                   h.count, h.min, h.max,
+                                                   0.50));
+        value += ", p99 " + fmt_ms(bucket_quantile(h.bounds, h.buckets,
+                                                   h.count, h.min, h.max,
+                                                   0.99));
+      }
       if (h.stability == Stability::kTiming) {
         value += ", sum " + fmt_ms(h.sum);
       }

@@ -35,6 +35,11 @@ std::string deterministic_json(const MetricsSnapshot& snapshot);
 // microseconds since the registry epoch.
 std::string chrome_trace_json(const std::vector<SpanEvent>& events);
 
+// JSON string-escape and round-tripping %.17g double formatting, shared
+// with other hand-rolled JSON emitters (the health heartbeat lines).
+void append_json_escaped(std::string& out, const std::string& s);
+std::string json_double(double v);
+
 // Writes `text` to `path`; returns false (after perror) on failure. Shared
 // by the bench/CLI export surfaces.
 bool write_text_file(const std::string& path, const std::string& text);

@@ -1,6 +1,8 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace fa::obs {
 
@@ -25,6 +27,96 @@ std::vector<double> size_bounds() {
           262144.0, 1048576.0};
 }
 
+std::vector<double> quantile_bounds(double lo, double hi,
+                                    int steps_per_octave) {
+  const double ratio = std::pow(2.0, 1.0 / static_cast<double>(
+                                           std::max(1, steps_per_octave)));
+  std::vector<double> bounds;
+  double v = std::max(1.0, lo);
+  double bound = std::ceil(v);
+  bounds.push_back(bound);
+  while (bound < hi) {
+    v *= ratio;
+    const double next = std::ceil(v);
+    if (next > bound) {
+      bound = next;
+      bounds.push_back(bound);
+    }
+  }
+  return bounds;
+}
+
+std::vector<double> sim_lag_minutes_bounds() {
+  // 15 minutes .. ~32 weeks, two bounds per doubling. Covers everything
+  // from reorder-buffer slack (hours-days) to detection lag (days-weeks).
+  return quantile_bounds(15.0, 32.0 * 7.0 * 24.0 * 60.0, 2);
+}
+
+std::vector<double> occupancy_bounds() {
+  // Queue/buffer occupancies: one bound per doubling up to 64K entries.
+  return quantile_bounds(1.0, 65536.0, 1);
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double min_value,
+                       double max_value, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, nearest-rank with ceil).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside bucket b between its lower and upper edges,
+    // clamped to the observed extremes (tightens the first/last bucket and
+    // makes p100 exactly the max).
+    const double lo = std::max(min_value, b == 0 ? min_value : bounds[b - 1]);
+    const double hi =
+        std::min(max_value, b < bounds.size() ? bounds[b] : max_value);
+    if (in_bucket == 0 || hi <= lo) return std::min(hi, max_value);
+    const double frac = (static_cast<double>(rank) -
+                         static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+    return lo + frac * (hi - lo);
+  }
+  return max_value;
+}
+
+BucketStats::BucketStats(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)), buckets(bounds.size() + 1, 0) {
+  std::sort(bounds.begin(), bounds.end());
+}
+
+void BucketStats::record(double v) {
+  std::size_t b = 0;
+  while (b < bounds.size() && v > bounds[b]) ++b;
+  if (buckets.empty()) buckets.assign(bounds.size() + 1, 0);
+  ++buckets[b];
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+double BucketStats::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double BucketStats::quantile(double q) const {
+  return bucket_quantile(bounds, buckets, count, min, max, q);
+}
+
 #ifndef FA_OBS_DISABLED
 inline namespace enabled_impl {
 
@@ -41,11 +133,25 @@ std::string metric_key(std::string_view name, const std::string& labels) {
 
 }  // namespace
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
   std::sort(bounds_.begin(), bounds_.end());
   buckets_ =
       std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_[b] = 0;
+}
+
+void Histogram::fold_extremes(double lo, double hi) noexcept {
+  double cur = min_.load(std::memory_order_relaxed);
+  while (lo < cur &&
+         !min_.compare_exchange_weak(cur, lo, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (hi > cur &&
+         !max_.compare_exchange_weak(cur, hi, std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::record(double v) noexcept {
@@ -55,6 +161,22 @@ void Histogram::record(double v) noexcept {
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  fold_extremes(v, v);
+}
+
+void Histogram::merge(const BucketStats& stats) noexcept {
+  if (!enabled() || stats.count == 0) return;
+  if (stats.bounds != bounds_ || stats.buckets.size() != bounds_.size() + 1) {
+    return;  // mismatched layout: nothing sane to add
+  }
+  for (std::size_t b = 0; b < stats.buckets.size(); ++b) {
+    if (stats.buckets[b] != 0) {
+      buckets_[b].fetch_add(stats.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(stats.count, std::memory_order_relaxed);
+  sum_.fetch_add(stats.sum, std::memory_order_relaxed);
+  fold_extremes(stats.min, stats.max);
 }
 
 MetricsRegistry::MetricsRegistry()
@@ -144,6 +266,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
       sample.count = h.count_.load(std::memory_order_relaxed);
       sample.sum = h.sum_.load(std::memory_order_relaxed);
+      if (sample.count > 0) {
+        sample.min = h.min_.load(std::memory_order_relaxed);
+        sample.max = h.max_.load(std::memory_order_relaxed);
+      }
       snap.histograms.push_back(std::move(sample));
     }
   }
@@ -202,6 +328,10 @@ void MetricsRegistry::reset() {
       }
       h.count_.store(0, std::memory_order_relaxed);
       h.sum_.store(0.0, std::memory_order_relaxed);
+      h.min_.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+      h.max_.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(span_mutex_);

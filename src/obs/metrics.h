@@ -66,6 +66,8 @@ struct HistogramSample {
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
   std::uint64_t count = 0;
   double sum = 0.0;  // order-dependent accumulation: timing data by nature
+  double min = 0.0;  // order-independent extremes: deterministic, 0 if empty
+  double max = 0.0;
 };
 
 // One closed span, times relative to the registry epoch.
@@ -101,6 +103,50 @@ std::string canonical_labels(Labels labels);
 // counts (powers of four). Declared here so call sites and tests agree.
 std::vector<double> duration_seconds_bounds();
 std::vector<double> size_bounds();
+
+// Log-spaced ("HDR-style") integer bucket bounds: a geometric grid from lo
+// to just past hi with steps_per_octave bounds per doubling, rounded to
+// integers and deduplicated. Relative quantile error is bounded by the
+// step ratio 2^(1/steps_per_octave).
+std::vector<double> quantile_bounds(double lo, double hi,
+                                    int steps_per_octave);
+
+// Shared bound sets for sim-time lag metrics (minutes: 15 min .. ~32 weeks)
+// and for queue-occupancy counts. One definition so recorder, exporter and
+// schema tests agree on the bucket layout.
+std::vector<double> sim_lag_minutes_bounds();
+std::vector<double> occupancy_bounds();
+
+// Quantile estimate from bucketed counts: walks the cumulative bucket
+// counts to the bucket holding rank q*count and interpolates linearly
+// inside it, clamped to the observed [min, max]. Pure arithmetic over
+// order-independent inputs, so quantiles of deterministic histograms are
+// themselves deterministic. Returns 0 for an empty histogram.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double min_value,
+                       double max_value, double q);
+
+// Plain (non-atomic, non-registered) log-bucketed histogram for
+// single-threaded pipeline stages that need quantiles locally — e.g. the
+// detector's lag tracking, which must keep working with observability
+// compiled out. Mirror into a registered obs::Histogram via merge() for
+// the exported snapshot.
+struct BucketStats {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+
+  BucketStats() = default;
+  explicit BucketStats(std::vector<double> bucket_bounds);
+
+  void record(double v);
+  double mean() const;
+  double quantile(double q) const;
+};
 
 #ifndef FA_OBS_DISABLED
 
@@ -150,7 +196,13 @@ class Histogram {
  public:
   // Finds the first bound >= v (linear scan: bound lists are short) and
   // bumps that bucket; values above every bound land in the overflow slot.
+  // Also folds v into the running min/max (CAS loops — order-independent,
+  // so the extremes stay in the deterministic export).
   void record(double v) noexcept;
+
+  // Bulk-adds a locally-accumulated BucketStats with identical bounds
+  // (deterministic flush at stage close; mismatched bounds are ignored).
+  void merge(const BucketStats& stats) noexcept;
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -160,10 +212,14 @@ class Histogram {
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds);
 
+  void fold_extremes(double lo, double hi) noexcept;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf when empty
+  std::atomic<double> max_;  // -inf when empty
 };
 
 // Thread-local sink for closed spans. Owned jointly by the registry (for
@@ -296,6 +352,7 @@ class Gauge {
 class Histogram {
  public:
   void record(double) noexcept {}
+  void merge(const BucketStats&) noexcept {}
   std::uint64_t count() const noexcept { return 0; }
 };
 

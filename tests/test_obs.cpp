@@ -120,6 +120,91 @@ TEST(MetricsRegistry, HistogramBucketPlacement) {
   FAIL() << "test.buckets not in snapshot";
 }
 
+TEST(BucketStats, QuantilesInterpolateWithinBuckets) {
+  obs::BucketStats stats({10.0, 100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) stats.record(5.0);    // bucket <= 10
+  for (int i = 0; i < 80; ++i) stats.record(50.0);   // bucket <= 100
+  for (int i = 0; i < 10; ++i) stats.record(500.0);  // bucket <= 1000
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.min, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max, 500.0);
+  // p50 lands mid-way through the 10..100 bucket; the estimate must stay
+  // inside that bucket and inside the observed [min, max] envelope.
+  const double p50 = stats.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 100.0);
+  // p99 falls in the last occupied bucket, clamped by the observed max.
+  const double p99 = stats.quantile(0.99);
+  EXPECT_GT(p99, 100.0);
+  EXPECT_LE(p99, 500.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), (10 * 5.0 + 80 * 50.0 + 10 * 500.0) / 100.0);
+}
+
+TEST(BucketStats, SingleValueCollapsesAllQuantiles) {
+  obs::BucketStats stats(obs::sim_lag_minutes_bounds());
+  stats.record(1440.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5), 1440.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.99), 1440.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1440.0);
+  EXPECT_DOUBLE_EQ(stats.max, 1440.0);
+}
+
+TEST(BucketStats, QuantileBoundsAreSortedAndDeduped) {
+  const auto bounds = obs::quantile_bounds(15.0, 32.0 * 7.0 * 24.0 * 60.0, 2);
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 15.0);
+}
+
+TEST(MetricsRegistry, HistogramTracksExtremesAndMergesBucketStats) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with FA_OBS_DISABLED";
+  registry().reset();
+  obs::Histogram& h = obs::histogram("test.merge", {1.0, 10.0}, {},
+                                     obs::Stability::kDeterministic);
+  h.record(4.0);
+  obs::BucketStats local(std::vector<double>{1.0, 10.0});
+  local.record(0.5);
+  local.record(25.0);
+  h.merge(local);
+  // A mismatched-bounds merge is ignored rather than corrupting buckets.
+  obs::BucketStats other(std::vector<double>{2.0, 20.0});
+  other.record(3.0);
+  h.merge(other);
+  const auto snapshot = registry().snapshot();
+  for (const auto& s : snapshot.histograms) {
+    if (s.name != "test.merge") continue;
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.min, 0.5);
+    EXPECT_DOUBLE_EQ(s.max, 25.0);
+    ASSERT_EQ(s.buckets.size(), 3u);
+    EXPECT_EQ(s.buckets[0], 1u);  // 0.5
+    EXPECT_EQ(s.buckets[1], 1u);  // 4.0
+    EXPECT_EQ(s.buckets[2], 1u);  // 25.0 overflow
+    return;
+  }
+  FAIL() << "test.merge not in snapshot";
+}
+
+TEST(Export, DeterministicHistogramsCarryQuantiles) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with FA_OBS_DISABLED";
+  registry().reset();
+  obs::Histogram& h = obs::histogram("test.quantiles", {10.0, 100.0}, {},
+                                     obs::Stability::kDeterministic);
+  for (int i = 0; i < 100; ++i) h.record(50.0);
+  const std::string det = obs::deterministic_json(registry().snapshot());
+  EXPECT_NE(det.find("\"p50\""), std::string::npos);
+  EXPECT_NE(det.find("\"p90\""), std::string::npos);
+  EXPECT_NE(det.find("\"p99\""), std::string::npos);
+  EXPECT_NE(det.find("\"min\": 50"), std::string::npos);
+  EXPECT_NE(det.find("\"max\": 50"), std::string::npos);
+  // All mass on one value: every quantile is exactly that value.
+  EXPECT_NE(det.find("\"p99\": 50"), std::string::npos);
+  EXPECT_EQ(det.find("\"sum\""), std::string::npos);
+}
+
 TEST(MetricsRegistry, CanonicalLabelsSortByKey) {
   EXPECT_EQ(obs::canonical_labels({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
   EXPECT_EQ(obs::canonical_labels({}), "");

@@ -19,6 +19,16 @@ Modes:
       Assert that the "deterministic" sections of two metrics snapshots are
       identical (the cross-thread-count determinism contract).
 
+  check_metrics_schema.py --health SCHEMA HEARTBEATS_JSONL
+      Validate every line of a health-heartbeat JSONL file (fa_trace
+      serve/watch --stats-every --stats-out) against SCHEMA
+      (tools/health_schema.json).
+
+  check_metrics_schema.py --compare-health A_JSONL B_JSONL
+      Assert that two heartbeat files are identical after dropping each
+      line's wall-clock "timing" object (the per-tenant heartbeat
+      determinism contract across --threads settings).
+
 Exit status: 0 on success, 1 on any violation (each printed to stderr).
 """
 
@@ -119,6 +129,74 @@ def compare_deterministic(a_path, b_path):
     return 0
 
 
+def load_heartbeats(path):
+    """Parses a heartbeat JSONL file into (line_number, object) pairs."""
+    beats = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for number, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    beats.append((number, json.loads(line)))
+                except json.JSONDecodeError as e:
+                    sys.stderr.write(f"{path}:{number}: {e}\n")
+                    sys.exit(1)
+    except OSError as e:
+        sys.stderr.write(f"{path}: {e}\n")
+        sys.exit(1)
+    return beats
+
+
+def check_health(schema_path, data_path):
+    schema = load(schema_path)
+    beats = load_heartbeats(data_path)
+    if not beats:
+        sys.stderr.write(f"{data_path}: no heartbeat lines\n")
+        return 1
+    errors = []
+    for number, beat in beats:
+        line_errors = []
+        validate(beat, schema, "$", line_errors)
+        errors.extend(f"line {number} {e}" for e in line_errors)
+    for e in errors:
+        sys.stderr.write(f"{data_path}: {e}\n")
+    if errors:
+        return 1
+    print(f"{data_path}: ok ({len(beats)} heartbeats)")
+    return 0
+
+
+def compare_health(a_path, b_path):
+    def det_lines(path):
+        # Drop the wall-clock "timing" object; everything else must match.
+        out = []
+        for _, beat in load_heartbeats(path):
+            beat.pop("timing", None)
+            out.append(json.dumps(beat, sort_keys=True))
+        return out
+
+    a, b = det_lines(a_path), det_lines(b_path)
+    if not a:
+        sys.stderr.write(f"{a_path}: no heartbeat lines — "
+                         "nothing meaningful was compared\n")
+        return 1
+    if a != b:
+        if len(a) != len(b):
+            sys.stderr.write(f"heartbeat counts differ: {len(a)} in {a_path} "
+                             f"vs {len(b)} in {b_path}\n")
+        for i, (la, lb) in enumerate(zip(a, b), start=1):
+            if la != lb:
+                sys.stderr.write(f"heartbeat {i} differs:\n"
+                                 f"  {a_path}: {la}\n  {b_path}: {lb}\n")
+                break
+        sys.stderr.write("heartbeat det sections differ\n")
+        return 1
+    print(f"heartbeat det sections identical ({len(a)} heartbeats)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=True)
@@ -126,8 +204,12 @@ def main():
                       help="validate a metrics snapshot against SCHEMA")
     mode.add_argument("--trace", metavar="SCHEMA",
                       help="validate a Chrome trace export against SCHEMA")
+    mode.add_argument("--health", metavar="SCHEMA",
+                      help="validate a heartbeat JSONL file against SCHEMA")
     mode.add_argument("--compare-deterministic", action="store_true",
                       help="compare the deterministic sections of two files")
+    mode.add_argument("--compare-health", action="store_true",
+                      help="compare two heartbeat files minus wall-clock")
     parser.add_argument("files", nargs="+")
     args = parser.parse_args()
 
@@ -135,6 +217,14 @@ def main():
         if len(args.files) != 2:
             parser.error("--compare-deterministic takes exactly two files")
         return compare_deterministic(args.files[0], args.files[1])
+    if args.compare_health:
+        if len(args.files) != 2:
+            parser.error("--compare-health takes exactly two files")
+        return compare_health(args.files[0], args.files[1])
+    if args.health:
+        if len(args.files) != 1:
+            parser.error("--health takes exactly one data file")
+        return check_health(args.health, args.files[0])
     schema = args.schema or args.trace
     if len(args.files) != 1:
         parser.error("schema validation takes exactly one data file")

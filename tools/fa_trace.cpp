@@ -75,6 +75,7 @@
 //                  [--cutoff D] [--ooo reject|buffer|drop] [--slack MIN]
 //                  [--threshold NATS] [--warmup-weeks W]
 //                  [--alerts-out FILE] [--score] [--horizon D]
+//                  [--stats-every D [--stats-out FILE]]
 //       Replay one trace (default: a simulated fleet) as a timestamp-ordered
 //       event stream through the online detector and print alerts live with
 //       their detection timestamps, then the stream summary. Each --shift
@@ -86,15 +87,33 @@
 //       precision/recall/latency against the injected change points, with
 //       an alert counted for a change within --horizon days (default 84 —
 //       low-rate strata near the arming floor legitimately take weeks).
+//       --stats-every D emits a JSONL health heartbeat every D stream-days
+//       (schema: tools/health_schema.json) to --stats-out, or interleaved
+//       on stdout without it.
 //
 //   fa_trace serve [--tenants N] [--scale S] [--seed BASE] [--shift D:F]...
 //                  [--cutoff D] [--threshold NATS] [--warmup-weeks W]
-//                  [--score] [--horizon D]
+//                  [--score] [--horizon D] [--throttle T:MIN]...
+//                  [--stats-every D [--stats-out FILE]]
 //       Multiplex N independent tenant streams (seeds BASE..BASE+N-1) over
 //       the shared thread pool, one online detector per tenant, and print
 //       the per-tenant summary table in tenant order. Results are
 //       bit-identical at any --threads; per-tenant event/alert counters are
 //       exported under fa.detect.* with a tenant label (see --metrics).
+//       Each --throttle T:MIN puts a deterministic slow-consumer model
+//       (virtual single-server queue, MIN sim-minutes of service per event)
+//       in front of tenant T's detector: events are forwarded unchanged so
+//       detection is unaffected, but backpressure (queue depth, waits) is
+//       accounted and printed. --stats-every D streams per-tenant JSONL
+//       health heartbeats, merged in (sim-time, tenant) order, to
+//       --stats-out or stdout; the "det" object of every line is
+//       byte-identical at any --threads.
+//
+//   fa_trace top FILE.jsonl
+//       Render the latest heartbeat per tenant from a --stats-out file as a
+//       health table (events, alerts, lag quantiles, reorder-buffer and
+//       backpressure state), plus the per-stratum rows that have fired
+//       alerts. A cheap terminal dashboard over the JSONL schema.
 //
 //   fa_trace classify DIR|FILE.fac
 //       Load a CSV or columnar trace, run crash extraction + k-means classification
@@ -117,6 +136,7 @@
 //
 // Exit codes: 0 success, 1 analysis/data error, 2 usage error,
 // 3 I/O failure (unreadable, truncated or crash-damaged file).
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <exception>
@@ -129,6 +149,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "src/analysis/artifact_cache.h"
@@ -181,11 +203,14 @@ int usage() {
          "[--slack MIN]\n"
          "                 [--threshold NATS] [--warmup-weeks W]\n"
          "                 [--alerts-out FILE] [--score] [--horizon D]\n"
+         "                 [--stats-every D [--stats-out FILE]]\n"
          "  fa_trace serve [--tenants N] [--scale S] [--seed BASE] "
          "[--shift D:F]...\n"
          "                 [--cutoff D] [--threshold NATS] "
          "[--warmup-weeks W]\n"
-         "                 [--score] [--horizon D]\n"
+         "                 [--score] [--horizon D] [--throttle T:MIN]...\n"
+         "                 [--stats-every D [--stats-out FILE]]\n"
+         "  fa_trace top FILE.jsonl\n"
          "  fa_trace classify DIR|FILE.fac\n"
          "  fa_trace fit DIR (interfailure|repair) (pm|vm)\n"
          "  fa_trace transitions DIR\n"
@@ -201,7 +226,7 @@ int usage() {
 
 int unknown_command(const std::string& command) {
   std::cerr << "fa_trace: unknown command '" << command
-            << "'\navailable commands: simulate, report, watch, serve, "
+            << "'\navailable commands: simulate, report, watch, serve, top, "
                "convert, info, recover, classify, fit, transitions, "
                "sanitize, corrupt, profile\n";
   return usage();
@@ -559,6 +584,8 @@ struct StreamFlags {
   double slack_minutes = 0.0;
   bool score = false;
   double horizon_days = 84.0;
+  double stats_every_days = 0.0;  // heartbeat cadence; 0 = no heartbeats
+  std::string stats_out;          // heartbeat JSONL sink ("" = stdout)
 };
 
 // Parses one --shift D:F operand ("rate x F from stream day D on").
@@ -597,6 +624,10 @@ bool consume_stream_flag(const std::vector<std::string>& args, std::size_t& i,
     flags.score = true;
   } else if (arg == "--horizon" && has_operand) {
     flags.horizon_days = std::atof(args[++i].c_str());
+  } else if (arg == "--stats-every" && has_operand) {
+    flags.stats_every_days = std::atof(args[++i].c_str());
+  } else if (arg == "--stats-out" && has_operand) {
+    flags.stats_out = args[++i];
   } else {
     return false;
   }
@@ -666,6 +697,10 @@ int cmd_watch(const std::vector<std::string>& args) {
     }
   }
   if (!flags_ok || scale <= 0.0) return usage();
+  if (!flags.stats_out.empty() && flags.stats_every_days <= 0.0) {
+    std::cerr << "watch: --stats-out needs --stats-every D\n";
+    return usage();
+  }
 
   std::shared_ptr<const trace::TraceDatabase> db;
   if (dir.empty()) {
@@ -687,7 +722,36 @@ int cmd_watch(const std::vector<std::string>& args) {
   detector.set_alert_callback([](const detect::Alert& alert) {
     std::cout << detect::alert_line(alert) << "\n";
   });
-  sim::emit_stream(*db, scenario, detector);
+
+  // Optional health heartbeats: wrap the detector in a HealthMonitor and
+  // stream each JSONL line as soon as the boundary is crossed (live, not
+  // batched — the point of a heartbeat).
+  std::ofstream stats_file;
+  std::ostream* stats_stream = nullptr;
+  if (flags.stats_every_days > 0.0) {
+    if (flags.stats_out.empty()) {
+      stats_stream = &std::cout;
+    } else {
+      stats_file.open(flags.stats_out);
+      require(stats_file.good(),
+              "cannot open " + flags.stats_out + " for writing");
+      stats_stream = &stats_file;
+    }
+  }
+  trace::StreamSink* sink = &detector;
+  std::unique_ptr<detect::HealthMonitor> monitor;
+  if (stats_stream) {
+    detect::HealthOptions health;
+    health.every = from_days(flags.stats_every_days);
+    monitor = std::make_unique<detect::HealthMonitor>(
+        detector, detector, nullptr, health, "watch",
+        [stats_stream](const detect::Heartbeat& hb) {
+          (*stats_stream) << hb.line << "\n" << std::flush;
+        });
+    sink = monitor.get();
+  }
+
+  sim::emit_stream(*db, scenario, *sink);
   const detect::DetectorReport& report = detector.report();
 
   std::cout << "\n" << report.to_string();
@@ -702,10 +766,25 @@ int cmd_watch(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Parses one --throttle T:MIN operand ("tenant T is a slow consumer that
+// takes MIN sim-minutes per event").
+bool parse_throttle(const std::string& spec,
+                    std::vector<std::pair<int, double>>& out) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    std::cerr << "--throttle expects TENANT:MINUTES, got '" << spec << "'\n";
+    return false;
+  }
+  out.emplace_back(std::atoi(spec.substr(0, colon).c_str()),
+                   std::atof(spec.c_str() + colon + 1));
+  return true;
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   int tenants = 4;
   double scale = 0.3;
   std::uint64_t base_seed = 1;
+  std::vector<std::pair<int, double>> throttles;  // (tenant index, minutes)
   StreamFlags flags;
   bool flags_ok = true;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -717,12 +796,25 @@ int cmd_serve(const std::vector<std::string>& args) {
       scale = std::atof(args[++i].c_str());
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       base_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--throttle" && i + 1 < args.size()) {
+      flags_ok = parse_throttle(args[++i], throttles) && flags_ok;
     } else {
       std::cerr << "serve: unknown argument '" << args[i] << "'\n";
       return usage();
     }
   }
   if (!flags_ok || tenants <= 0 || scale <= 0.0) return usage();
+  if (!flags.stats_out.empty() && flags.stats_every_days <= 0.0) {
+    std::cerr << "serve: --stats-out needs --stats-every D\n";
+    return usage();
+  }
+  for (const auto& [index, minutes] : throttles) {
+    if (index < 0 || index >= tenants || minutes < 0.0) {
+      std::cerr << "serve: --throttle tenant " << index
+                << " out of range (0.." << tenants - 1 << ")\n";
+      return usage();
+    }
+  }
 
   detect::DetectorOptions options;
   if (!build_detector_options(flags, options)) return usage();
@@ -737,10 +829,18 @@ int cmd_serve(const std::vector<std::string>& args) {
     specs[i].scenario = scenario;
     specs[i].detector = options;
   }
+  for (const auto& [index, minutes] : throttles) {
+    specs[static_cast<std::size_t>(index)].throttle.service_minutes =
+        static_cast<Duration>(minutes);
+  }
   detect::ScoreOptions score_options;
   score_options.match_horizon = from_days(flags.horizon_days);
+  detect::HealthOptions health;
+  if (flags.stats_every_days > 0.0) {
+    health.every = from_days(flags.stats_every_days);
+  }
   const std::vector<detect::TenantResult> results =
-      detect::serve_tenants(specs, score_options);
+      detect::serve_tenants(specs, score_options, health);
 
   analysis::TextTable table({"tenant", "events", "crashes", "usage", "alerts",
                              "precision", "recall", "latency_d"});
@@ -762,6 +862,135 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::cout << table.to_string() << "served " << results.size()
             << " tenant streams: " << total_events << " events, "
             << total_alerts << " alerts\n";
+
+  // Backpressure accounting for throttled tenants only, so the default
+  // serve output (and its goldens) is unchanged.
+  for (const detect::TenantResult& r : results) {
+    const detect::BackpressureStats& bp = r.backpressure;
+    if (bp.events == 0) continue;
+    std::cout << r.name << " backpressure: " << bp.delayed << "/" << bp.events
+              << " events delayed, max queue " << bp.max_queue_depth
+              << ", max wait " << bp.max_wait << "m, p99 wait "
+              << format_double(bp.wait_minutes.quantile(0.99), 0) << "m\n";
+  }
+
+  if (health.every > 0) {
+    // Merge per-tenant heartbeat streams into one JSONL feed ordered by
+    // (sim-time, tenant slot, seq) — deterministic at any --threads.
+    struct Entry {
+      TimePoint at;
+      std::size_t slot;
+      std::uint64_t seq;
+      const std::string* line;
+    };
+    std::vector<Entry> entries;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      for (const detect::Heartbeat& hb : results[i].heartbeats) {
+        entries.push_back({hb.at, i, hb.seq, &hb.line});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return std::tie(a.at, a.slot, a.seq) <
+                       std::tie(b.at, b.slot, b.seq);
+              });
+    std::string jsonl;
+    for (const Entry& e : entries) {
+      jsonl += *e.line;
+      jsonl += '\n';
+    }
+    if (flags.stats_out.empty()) {
+      std::cout << jsonl;
+    } else {
+      write_text_file(flags.stats_out, jsonl);
+      std::cout << "wrote " << entries.size() << " heartbeats to "
+                << flags.stats_out << "\n";
+    }
+  }
+  return 0;
+}
+
+// `fa_trace top`: one-shot health dashboard over a --stats-out JSONL file.
+// Keeps the newest heartbeat per tenant (tenants in first-seen order) and
+// renders the per-tenant health table plus any strata that fired alerts.
+int cmd_top(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "top: cannot open " << path << "\n";
+    return 3;
+  }
+  std::vector<std::string> order;                // tenants, first-seen order
+  std::map<std::string, std::string> latest;     // tenant -> newest line
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string tenant;
+    if (!detect::heartbeat_string(line, "tenant", tenant)) {
+      std::cerr << "top: line without a tenant field in " << path << "\n";
+      return 1;
+    }
+    if (!latest.contains(tenant)) order.push_back(tenant);
+    latest[tenant] = line;  // lines are time-ordered; last one wins
+  }
+  if (order.empty()) {
+    std::cerr << "top: no heartbeats in " << path << "\n";
+    return 1;
+  }
+
+  const auto count = [](std::string_view scope, std::string_view key) {
+    double v = 0.0;
+    detect::heartbeat_number(scope, key, v);
+    return std::to_string(static_cast<long long>(v));
+  };
+  const auto quantile = [](std::string_view scope, std::string_view family,
+                           std::string_view key) {
+    double v = 0.0;
+    detect::heartbeat_number(detect::heartbeat_object(scope, family), key, v);
+    return format_double(v, 0);
+  };
+
+  analysis::TextTable table({"tenant", "time", "events", "alerts", "lag_p99m",
+                             "wm_p99m", "ooo", "qdepth", "delayed"});
+  analysis::TextTable strata({"tenant", "stratum", "crashes", "rate_wk",
+                              "alerts", "armed"});
+  std::size_t alerting = 0;
+  for (const std::string& tenant : order) {
+    const std::string_view det = detect::heartbeat_object(latest[tenant], "det");
+    if (det.empty()) {
+      std::cerr << "top: heartbeat for " << tenant << " has no det object\n";
+      return 1;
+    }
+    std::string when;
+    detect::heartbeat_string(det, "time", when);
+    const std::string_view queue = detect::heartbeat_object(det, "queue");
+    table.add_row({tenant, when, count(det, "events"), count(det, "alerts"),
+                   quantile(det, "event_lag_minutes", "p99"),
+                   quantile(det, "watermark_lag_minutes", "p99"),
+                   count(det, "ooo_pending"), count(queue, "depth"),
+                   count(queue, "delayed")});
+    for (const std::string_view item :
+         detect::heartbeat_items(detect::heartbeat_array(det, "strata"))) {
+      double stratum_alerts = 0.0;
+      detect::heartbeat_number(item, "alerts", stratum_alerts);
+      if (stratum_alerts <= 0.0) continue;
+      ++alerting;
+      std::string name;
+      detect::heartbeat_string(item, "name", name);
+      double rate = 0.0;
+      detect::heartbeat_number(item, "window_rate", rate);
+      strata.add_row({tenant, name, count(item, "crashes"),
+                      format_double(rate, 4), count(item, "alerts"),
+                      item.find("\"armed\": true") != std::string_view::npos
+                          ? "yes"
+                          : "no"});
+    }
+  }
+  std::cout << table.to_string();
+  if (alerting > 0) {
+    std::cout << "\nstrata with alerts:\n" << strata.to_string();
+  } else {
+    std::cout << "no stratum-level alerts\n";
+  }
   return 0;
 }
 
@@ -974,6 +1203,9 @@ int run_command(const std::vector<std::string>& args) {
   if (command == "serve") {
     return cmd_serve({args.begin() + 1, args.end()});
   }
+  if (command == "top" && args.size() == 2) {
+    return cmd_top(args[1]);
+  }
   if (command == "convert") {
     return cmd_convert({args.begin() + 1, args.end()});
   }
@@ -1000,7 +1232,7 @@ int run_command(const std::vector<std::string>& args) {
   }
   if (command == "classify" || command == "fit" ||
       command == "transitions" || command == "info" ||
-      command == "recover") {
+      command == "recover" || command == "top") {
     return usage();  // known command, wrong arity
   }
   return unknown_command(command);
